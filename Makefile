@@ -1,0 +1,49 @@
+# Convenience targets; everything is plain go tooling underneath.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure on stdout (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/bfanalysis
+	$(GO) run ./cmd/bfanalysis -insider
+	$(GO) run ./cmd/bftrace
+	$(GO) run ./cmd/bfsim
+	$(GO) run ./cmd/bfattack -order 16
+	$(GO) run ./cmd/bfattack -apd
+	$(GO) run ./cmd/bfattack -bandwidth
+	$(GO) run ./cmd/bfattack -collude
+	$(GO) run ./cmd/bfablate
+	$(GO) run ./cmd/bfbench -conns 500000
+	$(GO) run ./examples/worm_containment
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/edge_router
+	$(GO) run ./examples/worm_containment
+	$(GO) run ./examples/ftp_holepunch
+	$(GO) run ./examples/failover
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,186 @@
+// Package bitmapfilter is the public API of this repository: a Go
+// implementation of the bitmap filter from "Mitigating Active Attacks
+// Towards Client Networks Using the Bitmap Filter" (Huang, Chen, Lei;
+// DSN 2006).
+//
+// A bitmap filter is a composite of k rotating Bloom-filter bit vectors of
+// 2^n bits installed at the entry point of a client network. Outgoing
+// packets mark the hash positions of their partial address tuple in all k
+// vectors; incoming packets are admitted only if all positions are set in
+// the current vector; every Δt seconds the oldest vector is zeroed. The
+// result behaves like a stateful-inspection firewall whose state expires
+// after T_e = k·Δt, but with O(1) per-packet cost and a fixed
+// (k·2^n)/8-byte footprint.
+//
+// Quick start:
+//
+//	f, err := bitmapfilter.New() // the paper's {4×20}, m=3, Δt=5s
+//	if err != nil { ... }
+//	verdict := f.Process(bitmapfilter.Packet{
+//		Time:  elapsed,            // virtual or wall-clock offset
+//		Tuple: tuple,              // 4-tuple + protocol
+//		Dir:   bitmapfilter.Outgoing,
+//	})
+//
+// See examples/quickstart for a complete program, internal/core for the
+// implementation, and DESIGN.md for the experiment index.
+package bitmapfilter
+
+import (
+	"io"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/packet"
+)
+
+// Core packet-model types, aliased from the implementation packages so
+// callers need only this import.
+type (
+	// Packet is one observed packet with its timestamp, tuple,
+	// direction, TCP flags and length.
+	Packet = packet.Packet
+	// Tuple is the address tuple {src, sport, dst, dport, proto}.
+	Tuple = packet.Tuple
+	// Addr is an IPv4 address in host byte order.
+	Addr = packet.Addr
+	// Prefix is an IPv4 CIDR prefix.
+	Prefix = packet.Prefix
+	// Proto is a transport protocol number.
+	Proto = packet.Proto
+	// Direction tells whether a packet leaves or enters the client
+	// network.
+	Direction = packet.Direction
+	// Flags holds TCP control flags.
+	Flags = packet.Flags
+	// Verdict is a filter decision.
+	Verdict = filtering.Verdict
+	// Counters accumulates per-filter packet statistics.
+	Counters = filtering.Counters
+	// PacketFilter is the interface shared by the bitmap filter and the
+	// SPI baselines in internal/flowtable.
+	PacketFilter = filtering.PacketFilter
+)
+
+// Re-exported enum values.
+const (
+	TCP = packet.TCP
+	UDP = packet.UDP
+
+	Outgoing = packet.Outgoing
+	Incoming = packet.Incoming
+
+	Pass = filtering.Pass
+	Drop = filtering.Drop
+
+	FIN = packet.FIN
+	SYN = packet.SYN
+	RST = packet.RST
+	PSH = packet.PSH
+	ACK = packet.ACK
+	URG = packet.URG
+)
+
+// AddrFrom4 builds an Addr from four octets.
+func AddrFrom4(a, b, c, d byte) Addr { return packet.AddrFrom4(a, b, c, d) }
+
+// PrefixFrom returns the CIDR prefix base/bits.
+func PrefixFrom(base Addr, bits uint8) Prefix { return packet.PrefixFrom(base, bits) }
+
+// Filter is the {k×n}-bitmap filter (not safe for concurrent use; see
+// Safe).
+type Filter = core.Filter
+
+// Safe is a goroutine-safe wrapper around Filter.
+type Safe = core.Safe
+
+// Option configures a Filter.
+type Option = core.Option
+
+// DropPolicy is an adaptive-packet-dropping indicator (§5.3).
+type DropPolicy = core.DropPolicy
+
+// MarkPolicy and TuplePolicy select ablation variants of the filter.
+type (
+	MarkPolicy  = core.MarkPolicy
+	TuplePolicy = core.TuplePolicy
+)
+
+// Re-exported policy values.
+const (
+	MarkAllVectors  = core.MarkAllVectors
+	MarkCurrentOnly = core.MarkCurrentOnly
+	PartialTuple    = core.PartialTuple
+	FullTuple       = core.FullTuple
+)
+
+// New constructs a bitmap filter. With no options it is the paper's
+// {4×20}-bitmap with m = 3 hash functions rotated every 5 seconds
+// (512 KiB, T_e = 20 s).
+func New(opts ...Option) (*Filter, error) { return core.New(opts...) }
+
+// NewSafe wraps a filter for concurrent use.
+func NewSafe(f *Filter) *Safe { return core.NewSafe(f) }
+
+// Sharded partitions one logical filter across independently locked shards
+// for multi-core packet paths; flow-key routing keeps semantics identical
+// to a single filter.
+type Sharded = core.Sharded
+
+// NewSharded builds a sharded filter (shard count rounded up to a power of
+// two; each shard gets the configured per-filter memory).
+func NewSharded(shards int, opts ...Option) (*Sharded, error) {
+	return core.NewSharded(shards, opts...)
+}
+
+// Configuration options (see the paper's §3.4 for the parameter
+// trade-offs).
+func WithOrder(n uint) Option                 { return core.WithOrder(n) }
+func WithVectors(k int) Option                { return core.WithVectors(k) }
+func WithHashes(m int) Option                 { return core.WithHashes(m) }
+func WithRotateEvery(dt time.Duration) Option { return core.WithRotateEvery(dt) }
+func WithSeed(seed uint64) Option             { return core.WithSeed(seed) }
+func WithAPD(policy DropPolicy) Option        { return core.WithAPD(policy) }
+func WithMarkPolicy(p MarkPolicy) Option      { return core.WithMarkPolicy(p) }
+func WithTuplePolicy(p TuplePolicy) Option    { return core.WithTuplePolicy(p) }
+
+// NewBandwidthPolicy returns the §5.3 APD design 1 (drop with probability
+// equal to the link's bandwidth utilization).
+func NewBandwidthPolicy(capacityBitsPerSec float64, window time.Duration) (*core.BandwidthPolicy, error) {
+	return core.NewBandwidthPolicy(capacityBitsPerSec, window)
+}
+
+// NewRatioPolicy returns the §5.3 APD design 2 (drop probability driven by
+// the in/out packet ratio between thresholds l and h).
+func NewRatioPolicy(low, high float64, window time.Duration) (*core.RatioPolicy, error) {
+	return core.NewRatioPolicy(low, high, window)
+}
+
+// ReadSnapshot reconstructs a filter from a stream written by
+// Filter.WriteSnapshot (e.g. for edge-router failover). Extra options such
+// as WithAPD are applied on top of the serialized configuration.
+func ReadSnapshot(r io.Reader, opts ...Option) (*Filter, error) {
+	return core.ReadSnapshot(r, opts...)
+}
+
+// LiveFilter is the wall-clock deployment adapter: goroutine-safe, stamps
+// packets with elapsed monotonic time, and can rotate in the background
+// while the link is quiet.
+type LiveFilter = live.Filter
+
+// Clock abstracts the LiveFilter's time source for tests.
+type Clock = live.Clock
+
+// LiveOption configures NewLive.
+type LiveOption = live.Option
+
+// NewLive wraps a filter for wall-clock operation. The wrapped filter must
+// not be used directly afterwards.
+func NewLive(f *Filter, opts ...LiveOption) (*LiveFilter, error) {
+	return live.New(f, opts...)
+}
+
+// WithClock substitutes the LiveFilter's time source.
+func WithClock(c Clock) LiveOption { return live.WithClock(c) }

@@ -1,0 +1,153 @@
+// Command bfanalysis evaluates the paper's closed-form analysis:
+//
+//   - default: the §4.1 capacity table (Equation 5 bounds, optimal m,
+//     memory footprint) for the {4×20} configuration.
+//   - -insider: the §5.2 insider-attack sweep, comparing simulated bitmap
+//     utilization against the m·r·T_e/2^n estimate.
+//
+// Usage:
+//
+//	bfanalysis
+//	bfanalysis -insider [-rates 100,1000,10000]
+//	bfanalysis -plan -conns 15000 -p 0.05 [-te 20s] [-dt 5s] [-maxmem N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/experiments"
+	"bitmapfilter/internal/model"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfanalysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		insider = flag.Bool("insider", false, "run the §5.2 insider-attack sweep")
+		rates   = flag.String("rates", "", "comma-separated flood rates for -insider")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		plan    = flag.Bool("plan", false, "run the §3.4 parameter planner")
+		conns   = flag.Float64("conns", 15000, "planner: expected active connections per T_e window")
+		pTarget = flag.Float64("p", 0.05, "planner: target penetration probability")
+		te      = flag.Duration("te", 20*time.Second, "planner: expiry timer T_e")
+		dt      = flag.Duration("dt", 5*time.Second, "planner: rotation period Δt")
+		maxmem  = flag.Uint64("maxmem", 0, "planner: memory cap in bytes (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *plan {
+		return runPlanner(*conns, *pTarget, *te, *dt, *maxmem, *seed)
+	}
+
+	if !*insider {
+		res, err := experiments.RunCapacity()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+
+	cfg := experiments.DefaultInsiderConfig()
+	cfg.Seed = *seed
+	if *rates != "" {
+		parsed, err := parseRates(*rates)
+		if err != nil {
+			return err
+		}
+		cfg.Rates = parsed
+	}
+	res, err := experiments.RunInsider(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+// runPlanner prints the §3.4 recommendation and validates it by
+// simulation: the planned filter is loaded with the expected connections
+// and probed with random tuples.
+func runPlanner(conns, pTarget float64, te, dt time.Duration, maxmem, seed uint64) error {
+	plan, err := model.PlanFor(model.PlanInput{
+		ActiveConnections: conns,
+		TargetPenetration: pTarget,
+		ExpiryTimer:       te,
+		RotateEvery:       dt,
+		MaxMemoryBytes:    maxmem,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("recommended:", plan)
+
+	f, err := core.New(
+		core.WithOrder(plan.Order),
+		core.WithVectors(plan.Vectors),
+		core.WithHashes(plan.Hashes),
+		core.WithRotateEvery(plan.RotateEvery),
+		core.WithSeed(seed),
+	)
+	if err != nil {
+		return err
+	}
+	r := xrand.New(seed)
+	client := packet.AddrFrom4(10, 10, 0, 1)
+	for i := 0; i < int(conns); i++ {
+		f.Process(packet.Packet{
+			Tuple: packet.Tuple{
+				Src: client, Dst: packet.Addr(r.Uint32() | 1),
+				SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: packet.TCP,
+			},
+			Dir: packet.Outgoing, Flags: packet.ACK,
+		})
+	}
+	const probes = 500000
+	hits := 0
+	for i := 0; i < probes; i++ {
+		tup := packet.Tuple{
+			Src: packet.Addr(r.Uint32() | 1), Dst: client,
+			SrcPort: uint16(1 + r.Intn(65535)), DstPort: uint16(1 + r.Intn(65535)),
+			Proto: packet.TCP,
+		}
+		if f.WouldAdmit(tup) {
+			hits++
+		}
+	}
+	measured := float64(hits) / probes
+	fmt.Printf("validated:   measured penetration %.3e over %d probes (target %.0e, Eq.2 predicts %.3e)\n",
+		measured, probes, pTarget, plan.PredictedPenetration)
+	if measured > pTarget {
+		fmt.Println("warning: measured penetration exceeds the target; consider one order larger")
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse rate %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("rate %v must be positive", v)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}

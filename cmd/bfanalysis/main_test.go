@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("100, 2500.5 ,9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 2500.5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("%d rates", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rate %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseRatesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "100,-5", "100,0", "100,,200"} {
+		if _, err := parseRates(in); err == nil {
+			t.Errorf("parseRates(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command bfattack reproduces the attack experiments:
+//
+//   - default: Figure 5 — the random-scan flood mixed into the benign
+//     trace, reporting the attack filtering rate and the per-interval
+//     series of normal / attack / passed traffic.
+//   - -apd: the §5.3 adaptive-packet-dropping comparison under a SYN scan.
+//
+// Usage:
+//
+//	bfattack [-duration 5m] [-rate 30] [-mult 20] [-series]
+//	bfattack -apd [-scanrate 2000]
+//	bfattack -collude | -bandwidth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bitmapfilter/internal/asciiplot"
+	"bitmapfilter/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration  = flag.Duration("duration", 5*time.Minute, "trace duration")
+		rate      = flag.Float64("rate", 30, "session arrival rate per second")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		mult      = flag.Float64("mult", 20, "attack rate as a multiple of the benign packet rate")
+		startAt   = flag.Float64("start", 0.55, "attack start as a fraction of the trace")
+		order     = flag.Uint("order", 20, "bitmap order n; shrink to match the paper's utilization at reduced trace scale")
+		series    = flag.Bool("series", false, "print the Figure 5-a time series")
+		plot      = flag.Bool("plot", false, "render the Figure 5-a series as an ASCII chart")
+		apd       = flag.Bool("apd", false, "run the §5.3 APD experiment instead")
+		scanrate  = flag.Float64("scanrate", 2000, "APD experiment scan rate (probes/s)")
+		collude   = flag.Bool("collude", false, "run the §5.4 colluding-attacker sweep instead")
+		bandwidth = flag.Bool("bandwidth", false, "run the bottleneck-link bandwidth-attack comparison instead")
+		snoop     = flag.Float64("snoop", 0.05, "collusion: fraction of outgoing tuples sniffed")
+	)
+	flag.Parse()
+
+	if *bandwidth {
+		cfg := experiments.DefaultBandwidthConfig()
+		cfg.Seed = *seed
+		res, err := experiments.RunBandwidth(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+
+	if *collude {
+		cfg := experiments.DefaultCollusionConfig()
+		cfg.Scale = experiments.Scale{Duration: *duration, ConnRate: *rate, Seed: *seed}
+		cfg.SnoopFraction = *snoop
+		res, err := experiments.RunCollusion(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+
+	if *apd {
+		cfg := experiments.DefaultAPDConfig()
+		cfg.Seed = *seed
+		cfg.ScanRate = *scanrate
+		res, err := experiments.RunAPD(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+
+	cfg := experiments.DefaultFig5Config()
+	cfg.Scale = experiments.Scale{Duration: *duration, ConnRate: *rate, Seed: *seed}
+	cfg.AttackRateMultiplier = *mult
+	cfg.AttackStartFraction = *startAt
+	cfg.Order = *order
+	res, err := experiments.RunFig5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+
+	if *plot {
+		n := res.Normal.Len()
+		normal := make([]float64, n)
+		atk := make([]float64, n)
+		passed := make([]float64, n)
+		for i := 0; i < n; i++ {
+			normal[i] = res.Normal.At(i)
+			atk[i] = res.Attack.At(i)
+			passed[i] = res.Passed.At(i)
+		}
+		fmt.Println("\nFigure 5-a (n=benign incoming, a=attack, p=passed):")
+		fmt.Print(asciiplot.Lines([]string{"normal", "attack", "passed"},
+			[][]float64{normal, atk, passed}, 72, 18))
+	}
+
+	if *series {
+		fmt.Println("\nFigure 5-a series (t, normal_in, attack, passed):")
+		for i := 0; i < res.Normal.Len(); i++ {
+			fmt.Printf("  %5.0f %8.0f %9.0f %8.0f\n",
+				res.Normal.BucketStart(i), res.Normal.At(i),
+				res.Attack.At(i), res.Passed.At(i))
+		}
+	}
+	return nil
+}

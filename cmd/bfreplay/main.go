@@ -1,0 +1,148 @@
+// Command bfreplay evaluates a pcap capture against a packet filter: every
+// frame is classified as outgoing or incoming relative to the configured
+// client subnets and run through the selected filter, and the verdict
+// statistics are printed. Use cmd/bftrace -pcap to produce a synthetic
+// capture, or feed a real one.
+//
+// Usage:
+//
+//	bfreplay -in trace.pcap [-filter bitmap|spi] [-subnets 10.10.0.0/24,...]
+//	bfreplay -in trace.pcap -stats      # also compute Figure 2 statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/delaymeter"
+	"bitmapfilter/internal/experiments"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/flowtable"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/replay"
+	"bitmapfilter/internal/stats"
+	"bitmapfilter/internal/trafficgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inPath     = flag.String("in", "", "pcap file to replay (required)")
+		filterName = flag.String("filter", "bitmap", "filter to evaluate: bitmap or spi")
+		subnetsCSV = flag.String("subnets", "", "comma-separated client CIDRs (default: the generator's campus subnets)")
+		order      = flag.Uint("order", 20, "bitmap order n")
+		vectors    = flag.Int("vectors", 4, "bitmap vector count k")
+		hashes     = flag.Int("hashes", 3, "hash count m")
+		statsFlag  = flag.Bool("stats", false, "also compute Figure 2 trace statistics for the capture")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	subnets := trafficgen.CampusSubnets()
+	if *subnetsCSV != "" {
+		parsed, err := parseSubnets(*subnetsCSV)
+		if err != nil {
+			return err
+		}
+		subnets = parsed
+	}
+
+	var filter filtering.PacketFilter
+	switch *filterName {
+	case "bitmap":
+		f, err := core.New(
+			core.WithOrder(*order),
+			core.WithVectors(*vectors),
+			core.WithHashes(*hashes),
+		)
+		if err != nil {
+			return err
+		}
+		filter = f
+	case "spi":
+		filter = flowtable.NewHashList()
+	default:
+		return fmt.Errorf("unknown filter %q (want bitmap or spi)", *filterName)
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var observers []func(packet.Packet)
+	var lives *experiments.LifetimeTracker
+	meter := delaymeter.MustNew(delaymeter.DefaultExpiry)
+	var delays stats.Sample
+	if *statsFlag {
+		lives = experiments.NewLifetimeTracker()
+		observers = append(observers, func(pkt packet.Packet) {
+			lives.Observe(pkt)
+			if d, ok := meter.Observe(pkt); ok {
+				delays.Add(d.Seconds())
+			}
+		})
+	}
+
+	res, err := replay.Run(f, filter, subnets, observers...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capture:   %s (%v .. %v)\n", *inPath, res.FirstTime, res.LastTime)
+	fmt.Printf("filter:    %s (%d bytes of state)\n", filter.Name(), filter.MemoryBytes())
+	fmt.Printf("frames:    %d (%d skipped)\n", res.Frames, res.Skipped)
+	fmt.Printf("outgoing:  %d\n", res.Outgoing)
+	fmt.Printf("incoming:  %d  passed %d  dropped %d  (drop rate %.3f%%)\n",
+		res.Incoming, res.Passed, res.Dropped, res.DropRate()*100)
+	if *statsFlag {
+		fmt.Printf("lifetimes: %d connections, q90 %.1fs, q95 %.1fs, >515s %.3f%%\n",
+			lives.Count(), lives.Quantile(0.90), lives.Quantile(0.95),
+			lives.FractionOver(515)*100)
+		fmt.Printf("delays:    %d measured, q95 %.2fs, q99 %.2fs\n",
+			delays.N(), delays.Quantile(0.95), delays.Quantile(0.99))
+	}
+	return nil
+}
+
+func parseSubnets(csv string) ([]packet.Prefix, error) {
+	var out []packet.Prefix
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		slash := strings.IndexByte(part, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("subnet %q missing /bits", part)
+		}
+		bits, err := strconv.Atoi(part[slash+1:])
+		if err != nil || bits < 0 || bits > 32 {
+			return nil, fmt.Errorf("subnet %q: bad prefix length", part)
+		}
+		octets := strings.Split(part[:slash], ".")
+		if len(octets) != 4 {
+			return nil, fmt.Errorf("subnet %q: bad address", part)
+		}
+		var quad [4]byte
+		for i, o := range octets {
+			v, err := strconv.Atoi(o)
+			if err != nil || v < 0 || v > 255 {
+				return nil, fmt.Errorf("subnet %q: bad octet %q", part, o)
+			}
+			quad[i] = byte(v)
+		}
+		out = append(out, packet.PrefixFrom(
+			packet.AddrFrom4(quad[0], quad[1], quad[2], quad[3]), uint8(bits)))
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"bitmapfilter/internal/packet"
+)
+
+func TestParseSubnets(t *testing.T) {
+	got, err := parseSubnets("10.10.0.0/24, 192.168.1.0/28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d subnets", len(got))
+	}
+	if got[0] != packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 24) {
+		t.Errorf("subnet 0 = %v", got[0])
+	}
+	if got[1] != packet.PrefixFrom(packet.AddrFrom4(192, 168, 1, 0), 28) {
+		t.Errorf("subnet 1 = %v", got[1])
+	}
+}
+
+func TestParseSubnetsErrors(t *testing.T) {
+	bad := []string{
+		"10.10.0.0",       // no prefix length
+		"10.10.0.0/33",    // bad length
+		"10.10.0.0/x",     // non-numeric length
+		"10.10.0/24",      // three octets
+		"10.10.0.300/24",  // octet out of range
+		"10.10.0.z/24",    // non-numeric octet
+		"10.0.0.0/24,bad", // second entry bad
+	}
+	for _, in := range bad {
+		if _, err := parseSubnets(in); err == nil {
+			t.Errorf("parseSubnets(%q) accepted", in)
+		}
+	}
+}

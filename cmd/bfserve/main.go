@@ -1,0 +1,165 @@
+// Command bfserve runs a live bitmap filter as a long-running daemon with
+// an HTTP monitoring and control plane:
+//
+//	GET  /healthz   liveness
+//	GET  /stats     filter introspection (JSON)
+//	GET  /metrics   Prometheus text exposition
+//	POST /punch     §5.1 hole punching
+//
+// In -demo mode (default) a calibrated synthetic workload is replayed
+// against the filter in wall-clock time at the configured speedup, so the
+// endpoints show live numbers; a real deployment would instead feed
+// packets from its capture path through the same live.Filter.
+//
+// Usage:
+//
+//	bfserve [-listen :8080] [-demo] [-speedup 10] [-order 20]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/httpapi"
+	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/trafficgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		demo    = flag.Bool("demo", true, "replay a synthetic workload against the filter")
+		speedup = flag.Float64("speedup", 10, "demo replay speed relative to real time")
+		rate    = flag.Float64("rate", 25, "demo session arrival rate per second (trace time)")
+		order   = flag.Uint("order", 20, "bitmap order n")
+		vectors = flag.Int("vectors", 4, "bitmap vector count k")
+		hashes  = flag.Int("hashes", 3, "hash count m")
+		rotate  = flag.Duration("rotate", 5*time.Second, "rotation period Δt")
+	)
+	flag.Parse()
+
+	inner, err := core.New(
+		core.WithOrder(*order),
+		core.WithVectors(*vectors),
+		core.WithHashes(*hashes),
+		core.WithRotateEvery(*rotate),
+	)
+	if err != nil {
+		return err
+	}
+	filter, err := live.New(inner)
+	if err != nil {
+		return err
+	}
+	if err := filter.StartRotations(0); err != nil {
+		return err
+	}
+	defer filter.StopRotations()
+
+	api, err := httpapi.New(filter)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("bfserve: listening on http://%s (filter %s, %d KiB)\n",
+			*listen, inner.Name(), inner.MemoryBytes()/1024)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	demoDone := make(chan struct{})
+	if *demo {
+		go func() {
+			defer close(demoDone)
+			if err := runDemo(ctx, filter, *rate, *speedup); err != nil {
+				fmt.Fprintln(os.Stderr, "bfserve: demo feed:", err)
+			}
+		}()
+	} else {
+		close(demoDone)
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("\nbfserve: shutting down")
+	case err := <-errCh:
+		stop()
+		<-demoDone
+		return err
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-demoDone
+	return <-errCh
+}
+
+// runDemo replays the calibrated trace against the filter, pacing trace
+// time at `speedup` × wall-clock time, looping forever until ctx ends.
+func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) error {
+	if speedup <= 0 {
+		return fmt.Errorf("speedup must be positive")
+	}
+	seed := uint64(1)
+	for {
+		cfg := trafficgen.DefaultConfig()
+		cfg.Duration = 10 * time.Minute
+		cfg.ConnRate = rate
+		cfg.Seed = seed
+		seed++
+		gen, err := trafficgen.NewGenerator(cfg)
+		if err != nil {
+			return err
+		}
+		epoch := time.Now()
+		for {
+			pkt, ok := gen.Next()
+			if !ok {
+				break
+			}
+			// Pace: the packet is due at epoch + traceTime/speedup.
+			due := epoch.Add(time.Duration(float64(pkt.Time) / speedup))
+			if wait := time.Until(due); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(wait):
+				}
+			} else if ctx.Err() != nil {
+				return nil
+			}
+			filter.Observe(pkt.Tuple, pkt.Dir, pkt.Flags, pkt.Length)
+		}
+	}
+}

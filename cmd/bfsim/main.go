@@ -1,0 +1,77 @@
+// Command bfsim reproduces Figure 4: it runs the benign trace through both
+// an SPI filter (Linux-conntrack-style, 240 s idle timeout) and the
+// paper's {4×20} bitmap filter and compares their packet drop rates
+// interval by interval.
+//
+// Usage:
+//
+//	bfsim [-duration 10m] [-rate 40] [-seed 1] [-interval 30] [-points]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bitmapfilter/internal/asciiplot"
+	"bitmapfilter/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration = flag.Duration("duration", 10*time.Minute, "trace duration")
+		rate     = flag.Float64("rate", 40, "session arrival rate per second")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		interval = flag.Float64("interval", 30, "scatter interval in seconds")
+		points   = flag.Bool("points", false, "print every scatter point (SPI vs bitmap drop rate)")
+		plot     = flag.Bool("plot", false, "render the Figure 4 scatter as an ASCII chart")
+		order    = flag.Uint("order", 20, "bitmap order n (2^n bits per vector)")
+		vectors  = flag.Int("vectors", 4, "bitmap vector count k")
+		hashes   = flag.Int("hashes", 3, "hash function count m")
+		rotate   = flag.Duration("rotate", 5*time.Second, "rotation period Δt")
+		spiIdle  = flag.Duration("spi-idle", 240*time.Second, "SPI idle timeout")
+	)
+	flag.Parse()
+
+	cfg := experiments.Fig4Config{
+		Scale:       experiments.Scale{Duration: *duration, ConnRate: *rate, Seed: *seed},
+		IntervalSec: *interval,
+		Order:       *order,
+		Vectors:     *vectors,
+		Hashes:      *hashes,
+		RotateEvery: *rotate,
+		SPITimeout:  *spiIdle,
+	}
+	res, err := experiments.RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+
+	if *plot {
+		xs := make([]float64, res.Scatter.N())
+		ys := make([]float64, res.Scatter.N())
+		for i := range xs {
+			xs[i], ys[i] = res.Scatter.Point(i)
+		}
+		fmt.Println("\nFigure 4 scatter (x=SPI drop rate, y=bitmap drop rate):")
+		fmt.Print(asciiplot.Scatter(xs, ys, 60, 20))
+	}
+
+	if *points {
+		fmt.Println("\nscatter points (spi_drop_rate bitmap_drop_rate):")
+		for i := 0; i < res.Scatter.N(); i++ {
+			x, y := res.Scatter.Point(i)
+			fmt.Printf("  %.5f %.5f\n", x, y)
+		}
+	}
+	return nil
+}

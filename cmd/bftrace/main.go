@@ -1,0 +1,113 @@
+// Command bftrace generates the calibrated synthetic client-network trace
+// and reports the Figure 2 statistics (connection lifetimes, out-in packet
+// delays, protocol mix). With -pcap it also writes the trace as a standard
+// pcap file readable by tcpdump/Wireshark.
+//
+// Usage:
+//
+//	bftrace [-duration 10m] [-rate 40] [-seed 1] [-pcap trace.pcap] [-hist]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bitmapfilter/internal/experiments"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/pcap"
+	"bitmapfilter/internal/trafficgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bftrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		duration = flag.Duration("duration", 10*time.Minute, "trace duration")
+		rate     = flag.Float64("rate", 40, "session arrival rate per second")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		pcapPath = flag.String("pcap", "", "also write the trace to this pcap file")
+		hist     = flag.Bool("hist", false, "print the delay histogram tail (Figure 2-b)")
+		profile  = flag.String("profile", "campus", "client-network archetype: campus, enterprise, dsl, wireless")
+	)
+	flag.Parse()
+
+	prof, err := trafficgen.ParseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	scale := experiments.Scale{Duration: *duration, ConnRate: *rate, Seed: *seed, Profile: prof}
+
+	if *pcapPath != "" {
+		if err := writePcap(*pcapPath, scale); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", *pcapPath)
+	}
+
+	res, err := experiments.RunFig2(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+
+	if *hist {
+		fmt.Println("\nFigure 2-b delay histogram tail (>20s, 1s bins):")
+		for bin := 21; bin < res.DelayHist.Bins() && bin < 300; bin++ {
+			if c := res.DelayHist.Count(bin); c > 0 {
+				fmt.Printf("  %4ds %6d %s\n", bin, c, bar(c))
+			}
+		}
+	}
+	return nil
+}
+
+func bar(n uint64) string {
+	const maxBar = 50
+	if n > maxBar {
+		n = maxBar
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// writePcap encodes the trace to the libpcap format.
+func writePcap(path string, scale experiments.Scale) error {
+	gen, err := trafficgen.NewGenerator(scale.TraceConfig())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	var encodeErr error
+	gen.Drain(func(pkt packet.Packet) {
+		if encodeErr != nil {
+			return
+		}
+		frame, err := packet.Encode(pkt)
+		if err != nil {
+			encodeErr = err
+			return
+		}
+		if err := w.WriteRecord(pcap.Record{Time: pkt.Time, Data: frame}); err != nil {
+			encodeErr = err
+		}
+	})
+	return encodeErr
+}

@@ -1,0 +1,126 @@
+package bitmapfilter_test
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"bitmapfilter"
+)
+
+// Example demonstrates the basic mark-on-outgoing / check-on-incoming
+// cycle of the bitmap filter.
+func Example() {
+	f, err := bitmapfilter.New(bitmapfilter.WithOrder(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	client := bitmapfilter.AddrFrom4(10, 0, 0, 42)
+	server := bitmapfilter.AddrFrom4(198, 51, 100, 7)
+	request := bitmapfilter.Tuple{
+		Src: client, Dst: server,
+		SrcPort: 40000, DstPort: 443,
+		Proto: bitmapfilter.TCP,
+	}
+
+	// The client's outgoing packet marks the bitmap.
+	f.Process(bitmapfilter.Packet{Tuple: request, Dir: bitmapfilter.Outgoing})
+
+	// The server's reply matches; a stranger's probe does not.
+	reply := bitmapfilter.Packet{
+		Time: time.Second, Tuple: request.Reverse(), Dir: bitmapfilter.Incoming,
+	}
+	probe := reply
+	probe.Tuple.Src = bitmapfilter.AddrFrom4(203, 0, 113, 66)
+
+	fmt.Println("reply:", f.Process(reply))
+	fmt.Println("probe:", f.Process(probe))
+	// Output:
+	// reply: pass
+	// probe: drop
+}
+
+// ExampleFilter_PunchHole shows the §5.1 hole-punching technique that
+// makes active-mode-FTP-style inbound connections work.
+func ExampleFilter_PunchHole() {
+	f, err := bitmapfilter.New(bitmapfilter.WithOrder(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	client := bitmapfilter.AddrFrom4(10, 0, 0, 42)
+	server := bitmapfilter.AddrFrom4(198, 51, 100, 7)
+
+	// The server's active data connection toward client:20000 would be
+	// dropped — until the client punches the hole.
+	f.PunchHole(client, 20000, server, bitmapfilter.TCP)
+
+	data := bitmapfilter.Packet{
+		Tuple: bitmapfilter.Tuple{
+			Src: server, Dst: client,
+			SrcPort: 20, DstPort: 20000,
+			Proto: bitmapfilter.TCP,
+		},
+		Dir:   bitmapfilter.Incoming,
+		Flags: bitmapfilter.SYN,
+	}
+	fmt.Println("active data connection:", f.Process(data))
+	// Output:
+	// active data connection: pass
+}
+
+// ExampleReadSnapshot shows persisting filter state across a restart.
+func ExampleReadSnapshot() {
+	f, err := bitmapfilter.New(bitmapfilter.WithOrder(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tup := bitmapfilter.Tuple{
+		Src: bitmapfilter.AddrFrom4(10, 0, 0, 1), Dst: bitmapfilter.AddrFrom4(198, 51, 100, 7),
+		SrcPort: 4000, DstPort: 80, Proto: bitmapfilter.TCP,
+	}
+	f.Process(bitmapfilter.Packet{Tuple: tup, Dir: bitmapfilter.Outgoing})
+
+	var state bytes.Buffer
+	if err := f.WriteSnapshot(&state); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	restored, err := bitmapfilter.ReadSnapshot(&state)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	reply := bitmapfilter.Packet{
+		Time: time.Second, Tuple: tup.Reverse(), Dir: bitmapfilter.Incoming,
+	}
+	fmt.Println("after restore:", restored.Process(reply))
+	// Output:
+	// after restore: pass
+}
+
+// ExampleNewLive runs the filter against a wall-clock packet source.
+func ExampleNewLive() {
+	inner, err := bitmapfilter.New(bitmapfilter.WithOrder(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lf, err := bitmapfilter.NewLive(inner)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tup := bitmapfilter.Tuple{
+		Src: bitmapfilter.AddrFrom4(10, 0, 0, 1), Dst: bitmapfilter.AddrFrom4(198, 51, 100, 7),
+		SrcPort: 4000, DstPort: 80, Proto: bitmapfilter.TCP,
+	}
+	lf.Observe(tup, bitmapfilter.Outgoing, bitmapfilter.SYN, 60)
+	fmt.Println("reply:", lf.Observe(tup.Reverse(), bitmapfilter.Incoming, bitmapfilter.ACK, 60))
+	// Output:
+	// reply: pass
+}

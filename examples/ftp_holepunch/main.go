@@ -1,0 +1,124 @@
+// Command ftp_holepunch demonstrates the §5.1 compatibility story
+// (experiment E11). Active-mode FTP separates the command and data
+// channels: the client opens the command connection, but the *server*
+// opens the data connection back to a client port. A bitmap filter drops
+// such server-initiated connections — unless the client first "punches a
+// hole" by sending one packet with the tuple {client, dataPort, server, x},
+// which marks the bitmap exactly like any outgoing packet and admits the
+// server's inbound connection until the marks expire.
+//
+// The demo runs the full scenario twice over the network simulator: once
+// without the hole punch (the data connection dies at the edge router) and
+// once with it (the transfer succeeds).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bitmapfilter"
+	"bitmapfilter/internal/netsim"
+)
+
+const (
+	ctrlPort   = 21
+	dataSrc    = 20 // active-mode FTP data connections originate from port 20
+	clientData = 18765
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftp_holepunch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, punch := range []bool{false, true} {
+		delivered, err := scenario(punch)
+		if err != nil {
+			return err
+		}
+		status := "FAILED (dropped at edge router)"
+		if delivered {
+			status = "succeeded"
+		}
+		fmt.Printf("hole punch %-5v: active data connection %s\n", punch, status)
+	}
+	return nil
+}
+
+// scenario plays one active-mode FTP exchange and reports whether the
+// server's data connection reached the client.
+func scenario(punch bool) (bool, error) {
+	sim := netsim.NewSimulator()
+	subnet := bitmapfilter.PrefixFrom(bitmapfilter.AddrFrom4(10, 10, 0, 0), 24)
+	filter, err := bitmapfilter.New(
+		bitmapfilter.WithOrder(14),
+		bitmapfilter.WithVectors(4),
+		bitmapfilter.WithHashes(3),
+		bitmapfilter.WithRotateEvery(5*time.Second),
+	)
+	if err != nil {
+		return false, err
+	}
+	safe := bitmapfilter.NewSafe(filter)
+	net, err := netsim.NewNetwork(sim, []bitmapfilter.Prefix{subnet}, safe)
+	if err != nil {
+		return false, err
+	}
+
+	client, err := net.AddHost("ftp-client", subnet.Nth(5))
+	if err != nil {
+		return false, err
+	}
+	server, err := net.AddInternetHost("ftp-server", bitmapfilter.AddrFrom4(198, 51, 100, 21))
+	if err != nil {
+		return false, err
+	}
+
+	dataDelivered := false
+	client.OnPacket = func(sim *netsim.Simulator, self *netsim.Host, pkt bitmapfilter.Packet) {
+		switch {
+		case pkt.Tuple.SrcPort == ctrlPort && pkt.Flags.Has(bitmapfilter.SYN|bitmapfilter.ACK):
+			// Control connection established. Issue PORT h,p (the
+			// command itself is abstract) and optionally punch the
+			// hole for the announced data port.
+			self.Send(server.Addr(), 41000, ctrlPort, bitmapfilter.TCP,
+				bitmapfilter.PSH|bitmapfilter.ACK, 120)
+			if punch {
+				// §5.1: "the client can send a TCP or UDP packet
+				// with the address tuple {c, p, s, x}".
+				safe.PunchHole(self.Addr(), clientData, server.Addr(), bitmapfilter.TCP)
+			}
+		case pkt.Tuple.SrcPort == dataSrc && pkt.Flags.Has(bitmapfilter.SYN):
+			// The server's active data connection arrived.
+			dataDelivered = true
+			self.Send(server.Addr(), clientData, dataSrc, bitmapfilter.TCP,
+				bitmapfilter.SYN|bitmapfilter.ACK, 60)
+		}
+	}
+	server.OnPacket = func(sim *netsim.Simulator, self *netsim.Host, pkt bitmapfilter.Packet) {
+		switch {
+		case pkt.Tuple.DstPort == ctrlPort && pkt.Flags == bitmapfilter.SYN:
+			// Accept the control connection.
+			self.Send(pkt.Tuple.Src, ctrlPort, pkt.Tuple.SrcPort,
+				bitmapfilter.TCP, bitmapfilter.SYN|bitmapfilter.ACK, 60)
+		case pkt.Tuple.DstPort == ctrlPort && pkt.Flags.Has(bitmapfilter.PSH):
+			// PORT command received: open the active data connection
+			// from port 20 to the client's announced port.
+			sim.After(20*time.Millisecond, func() {
+				self.Send(pkt.Tuple.Src, dataSrc, clientData,
+					bitmapfilter.TCP, bitmapfilter.SYN, 60)
+			})
+		}
+	}
+
+	// Kick off: the client opens the control connection.
+	sim.After(0, func() {
+		client.Send(server.Addr(), 41000, ctrlPort, bitmapfilter.TCP, bitmapfilter.SYN, 60)
+	})
+	sim.RunAll()
+	return dataDelivered, nil
+}

@@ -1,0 +1,3 @@
+module bitmapfilter
+
+go 1.22

@@ -1,0 +1,344 @@
+// Package attack implements the adversarial traffic generators of the
+// paper's evaluation and discussion sections:
+//
+//   - RandomScan (§4.3, Figure 5): incoming packets with random source
+//     address, source port and destination port, destination confined to
+//     the protected subnets, at a configurable rate (the paper uses
+//     500 K pps, "about 20 times faster than the normal traffic").
+//   - PortScan (§5.3): SYN- or FIN-scans sweeping hosts and ports of a
+//     subnet, used to validate the APD marking policy.
+//   - InsiderFlood (§5.2): an infected inside host emitting random
+//     *outgoing* tuples that pollute the bitmap.
+//   - Worm (worm.go): a random-scanning SI epidemic in the style of the
+//     Code Red models the paper cites [6, 13, 21].
+//
+// All generators implement Stream and can be interleaved with the normal
+// workload via Merge.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// ErrConfig is returned by generator constructors for invalid parameters.
+var ErrConfig = errors.New("attack: invalid configuration")
+
+// Stream is a time-ordered packet source. trafficgen.Generator satisfies
+// it structurally.
+type Stream interface {
+	// Next returns the next packet; ok is false once the stream ends.
+	Next() (pkt packet.Packet, ok bool)
+}
+
+// RandomScanConfig parameterizes a random scanning flood.
+type RandomScanConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Rate is the attack packet rate per second.
+	Rate float64
+	// Start is when the attack begins on the trace clock.
+	Start time.Duration
+	// Duration is how long the attack lasts.
+	Duration time.Duration
+	// Subnets confines destination addresses ("daddr is confined to the
+	// address space of the given sub-networks").
+	Subnets []packet.Prefix
+	// UDPFraction is the share of scan packets sent over UDP; the rest
+	// are TCP SYNs.
+	UDPFraction float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c RandomScanConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("%w: rate %v", ErrConfig, c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("%w: duration %v", ErrConfig, c.Duration)
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("%w: start %v", ErrConfig, c.Start)
+	}
+	if len(c.Subnets) == 0 {
+		return fmt.Errorf("%w: no target subnets", ErrConfig)
+	}
+	if c.UDPFraction < 0 || c.UDPFraction > 1 {
+		return fmt.Errorf("%w: UDP fraction %v", ErrConfig, c.UDPFraction)
+	}
+	return nil
+}
+
+// RandomScan emits the Figure 5 attack traffic.
+type RandomScan struct {
+	cfg     RandomScanConfig
+	rng     *xrand.Rand
+	now     time.Duration
+	end     time.Duration
+	emitted uint64
+}
+
+var _ Stream = (*RandomScan)(nil)
+
+// NewRandomScan validates cfg and returns the stream.
+func NewRandomScan(cfg RandomScanConfig) (*RandomScan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &RandomScan{
+		cfg: cfg,
+		rng: xrand.New(cfg.Seed),
+		now: cfg.Start,
+		end: cfg.Start + cfg.Duration,
+	}, nil
+}
+
+// Emitted returns the number of attack packets produced so far.
+func (a *RandomScan) Emitted() uint64 { return a.emitted }
+
+// Next implements Stream: exponential interarrivals at the configured
+// rate, random source tuple, destination inside the subnets.
+func (a *RandomScan) Next() (packet.Packet, bool) {
+	a.now += time.Duration(a.rng.Exp(float64(time.Second) / a.cfg.Rate))
+	if a.now >= a.end {
+		return packet.Packet{}, false
+	}
+	subnet := a.cfg.Subnets[a.rng.Intn(len(a.cfg.Subnets))]
+	proto := packet.TCP
+	flags := packet.SYN
+	length := 60
+	if a.rng.Bool(a.cfg.UDPFraction) {
+		proto = packet.UDP
+		flags = 0
+		length = 64
+	}
+	pkt := packet.Packet{
+		Time: a.now,
+		Tuple: packet.Tuple{
+			Src:     packet.Addr(a.rng.Uint32() | 1),
+			Dst:     subnet.Nth(uint64(a.rng.Intn(int(subnet.Size())))),
+			SrcPort: uint16(1 + a.rng.Intn(65535)),
+			DstPort: uint16(1 + a.rng.Intn(65535)),
+			Proto:   proto,
+		},
+		Dir:    packet.Incoming,
+		Flags:  flags,
+		Length: length,
+	}
+	a.emitted++
+	return pkt, true
+}
+
+// PortScanConfig parameterizes a sequential SYN/FIN sweep.
+type PortScanConfig struct {
+	// Seed drives source-port randomization.
+	Seed uint64
+	// Scanner is the external source address.
+	Scanner packet.Addr
+	// Subnet is the swept client network.
+	Subnet packet.Prefix
+	// Ports are the destination ports probed on every host.
+	Ports []uint16
+	// Rate is probes per second.
+	Rate float64
+	// Start is when the sweep begins.
+	Start time.Duration
+	// FIN selects a FIN-scan instead of a SYN-scan.
+	FIN bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c PortScanConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("%w: rate %v", ErrConfig, c.Rate)
+	}
+	if len(c.Ports) == 0 {
+		return fmt.Errorf("%w: no ports", ErrConfig)
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("%w: start %v", ErrConfig, c.Start)
+	}
+	return nil
+}
+
+// PortScan sweeps every (host, port) pair of the subnet once, in order.
+type PortScan struct {
+	cfg  PortScanConfig
+	rng  *xrand.Rand
+	now  time.Duration
+	host uint64
+	port int
+}
+
+var _ Stream = (*PortScan)(nil)
+
+// NewPortScan validates cfg and returns the stream.
+func NewPortScan(cfg PortScanConfig) (*PortScan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &PortScan{cfg: cfg, rng: xrand.New(cfg.Seed), now: cfg.Start}, nil
+}
+
+// Next implements Stream.
+func (s *PortScan) Next() (packet.Packet, bool) {
+	if s.host >= s.cfg.Subnet.Size() {
+		return packet.Packet{}, false
+	}
+	flags := packet.SYN
+	if s.cfg.FIN {
+		flags = packet.FIN
+	}
+	pkt := packet.Packet{
+		Time: s.now,
+		Tuple: packet.Tuple{
+			Src:     s.cfg.Scanner,
+			Dst:     s.cfg.Subnet.Nth(s.host),
+			SrcPort: uint16(1024 + s.rng.Intn(60000)),
+			DstPort: s.cfg.Ports[s.port],
+			Proto:   packet.TCP,
+		},
+		Dir:    packet.Incoming,
+		Flags:  flags,
+		Length: 60,
+	}
+	s.advance()
+	return pkt, true
+}
+
+func (s *PortScan) advance() {
+	s.now += time.Duration(float64(time.Second) / s.cfg.Rate)
+	s.port++
+	if s.port >= len(s.cfg.Ports) {
+		s.port = 0
+		s.host++
+	}
+}
+
+// InsiderFloodConfig parameterizes the §5.2 insider attack: an infected
+// client emitting random outgoing tuples.
+type InsiderFloodConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Host is the infected inside address.
+	Host packet.Addr
+	// Rate is outgoing packets per second.
+	Rate float64
+	// Start is when the flood begins.
+	Start time.Duration
+	// Duration is how long it lasts.
+	Duration time.Duration
+}
+
+// Validate reports whether the configuration is usable.
+func (c InsiderFloodConfig) Validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("%w: rate %v", ErrConfig, c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("%w: duration %v", ErrConfig, c.Duration)
+	}
+	if c.Start < 0 {
+		return fmt.Errorf("%w: start %v", ErrConfig, c.Start)
+	}
+	return nil
+}
+
+// InsiderFlood emits random outgoing tuples that pollute the bitmap
+// (raising its utilization by ≈ m·r·T_e/2^n, §5.2).
+type InsiderFlood struct {
+	cfg     InsiderFloodConfig
+	rng     *xrand.Rand
+	now     time.Duration
+	end     time.Duration
+	emitted uint64
+}
+
+var _ Stream = (*InsiderFlood)(nil)
+
+// NewInsiderFlood validates cfg and returns the stream.
+func NewInsiderFlood(cfg InsiderFloodConfig) (*InsiderFlood, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &InsiderFlood{
+		cfg: cfg,
+		rng: xrand.New(cfg.Seed),
+		now: cfg.Start,
+		end: cfg.Start + cfg.Duration,
+	}, nil
+}
+
+// Emitted returns the number of flood packets produced so far.
+func (f *InsiderFlood) Emitted() uint64 { return f.emitted }
+
+// Next implements Stream.
+func (f *InsiderFlood) Next() (packet.Packet, bool) {
+	f.now += time.Duration(f.rng.Exp(float64(time.Second) / f.cfg.Rate))
+	if f.now >= f.end {
+		return packet.Packet{}, false
+	}
+	pkt := packet.Packet{
+		Time: f.now,
+		Tuple: packet.Tuple{
+			Src:     f.cfg.Host,
+			Dst:     packet.Addr(f.rng.Uint32() | 1),
+			SrcPort: uint16(1024 + f.rng.Intn(60000)),
+			DstPort: uint16(1 + f.rng.Intn(65535)),
+			Proto:   packet.TCP,
+		},
+		Dir:    packet.Outgoing,
+		Flags:  packet.SYN,
+		Length: 60,
+	}
+	f.emitted++
+	return pkt, true
+}
+
+// Merge interleaves streams into one time-ordered stream. Input streams
+// must each be time-ordered; ties break toward earlier argument position.
+func Merge(streams ...Stream) Stream {
+	m := &merger{}
+	for _, s := range streams {
+		if pkt, ok := s.Next(); ok {
+			m.heads = append(m.heads, head{pkt: pkt, src: s})
+		}
+	}
+	return m
+}
+
+type head struct {
+	pkt packet.Packet
+	src Stream
+}
+
+type merger struct {
+	heads []head
+}
+
+var _ Stream = (*merger)(nil)
+
+// Next implements Stream: a k-way merge over the head elements. The number
+// of merged streams is small (2–3), so a linear scan beats heap overhead.
+func (m *merger) Next() (packet.Packet, bool) {
+	if len(m.heads) == 0 {
+		return packet.Packet{}, false
+	}
+	best := 0
+	for i := 1; i < len(m.heads); i++ {
+		if m.heads[i].pkt.Time < m.heads[best].pkt.Time {
+			best = i
+		}
+	}
+	out := m.heads[best].pkt
+	if next, ok := m.heads[best].src.Next(); ok {
+		m.heads[best].pkt = next
+	} else {
+		m.heads = append(m.heads[:best], m.heads[best+1:]...)
+	}
+	return out, true
+}

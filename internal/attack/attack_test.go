@@ -1,0 +1,297 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+func subnets() []packet.Prefix {
+	return []packet.Prefix{
+		packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 24),
+		packet.PrefixFrom(packet.AddrFrom4(10, 10, 1, 0), 24),
+	}
+}
+
+func validScan() RandomScanConfig {
+	return RandomScanConfig{
+		Seed:     1,
+		Rate:     1000,
+		Start:    5 * time.Second,
+		Duration: 10 * time.Second,
+		Subnets:  subnets(),
+	}
+}
+
+func TestRandomScanValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*RandomScanConfig)
+	}{
+		{name: "zero rate", mut: func(c *RandomScanConfig) { c.Rate = 0 }},
+		{name: "zero duration", mut: func(c *RandomScanConfig) { c.Duration = 0 }},
+		{name: "negative start", mut: func(c *RandomScanConfig) { c.Start = -1 }},
+		{name: "no subnets", mut: func(c *RandomScanConfig) { c.Subnets = nil }},
+		{name: "bad udp fraction", mut: func(c *RandomScanConfig) { c.UDPFraction = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validScan()
+			tt.mut(&cfg)
+			if _, err := NewRandomScan(cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("error = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestRandomScanProperties(t *testing.T) {
+	cfg := validScan()
+	cfg.UDPFraction = 0.25
+	a, err := NewRandomScan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		count, udp int
+		last       time.Duration
+	)
+	for {
+		pkt, ok := a.Next()
+		if !ok {
+			break
+		}
+		count++
+		if pkt.Time < cfg.Start || pkt.Time >= cfg.Start+cfg.Duration {
+			t.Fatalf("packet outside window: %v", pkt.Time)
+		}
+		if pkt.Time < last {
+			t.Fatal("out of order")
+		}
+		last = pkt.Time
+		if pkt.Dir != packet.Incoming {
+			t.Fatal("scan packet not incoming")
+		}
+		found := false
+		for _, s := range cfg.Subnets {
+			if s.Contains(pkt.Tuple.Dst) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("destination %v outside subnets", pkt.Tuple.Dst)
+		}
+		if pkt.Tuple.Proto == packet.UDP {
+			udp++
+			if pkt.Flags != 0 {
+				t.Fatal("UDP scan with TCP flags")
+			}
+		} else if pkt.Flags != packet.SYN {
+			t.Fatalf("TCP scan flags = %v", pkt.Flags)
+		}
+	}
+	// ~1000 pps for 10 s.
+	if count < 8000 || count > 12000 {
+		t.Errorf("emitted %d packets, want ~10000", count)
+	}
+	if a.Emitted() != uint64(count) {
+		t.Errorf("Emitted = %d, count = %d", a.Emitted(), count)
+	}
+	udpFrac := float64(udp) / float64(count)
+	if math.Abs(udpFrac-0.25) > 0.03 {
+		t.Errorf("UDP fraction = %v", udpFrac)
+	}
+}
+
+func TestRandomScanDeterminism(t *testing.T) {
+	a1, _ := NewRandomScan(validScan())
+	a2, _ := NewRandomScan(validScan())
+	for i := 0; i < 1000; i++ {
+		p1, ok1 := a1.Next()
+		p2, ok2 := a2.Next()
+		if ok1 != ok2 || p1 != p2 {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestPortScanValidation(t *testing.T) {
+	base := PortScanConfig{
+		Scanner: packet.AddrFrom4(203, 0, 113, 9),
+		Subnet:  subnets()[0],
+		Ports:   []uint16{80, 445},
+		Rate:    100,
+	}
+	bad := base
+	bad.Rate = 0
+	if _, err := NewPortScan(bad); !errors.Is(err, ErrConfig) {
+		t.Error("zero rate accepted")
+	}
+	bad = base
+	bad.Ports = nil
+	if _, err := NewPortScan(bad); !errors.Is(err, ErrConfig) {
+		t.Error("no ports accepted")
+	}
+	bad = base
+	bad.Start = -time.Second
+	if _, err := NewPortScan(bad); !errors.Is(err, ErrConfig) {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestPortScanSweepsEveryHostPort(t *testing.T) {
+	cfg := PortScanConfig{
+		Scanner: packet.AddrFrom4(203, 0, 113, 9),
+		Subnet:  packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 28), // 16 hosts
+		Ports:   []uint16{80, 445},
+		Rate:    1000,
+	}
+	s, err := NewPortScan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[packet.Tuple]bool)
+	count := 0
+	var last time.Duration = -1
+	for {
+		pkt, ok := s.Next()
+		if !ok {
+			break
+		}
+		count++
+		if pkt.Time <= last {
+			t.Fatal("non-increasing times")
+		}
+		last = pkt.Time
+		key := pkt.Tuple
+		key.SrcPort = 0 // randomized
+		seen[key] = true
+		if pkt.Flags != packet.SYN {
+			t.Fatalf("flags = %v", pkt.Flags)
+		}
+	}
+	if count != 16*2 {
+		t.Errorf("emitted %d probes, want 32", count)
+	}
+	if len(seen) != 32 {
+		t.Errorf("distinct (host,port) pairs = %d, want 32", len(seen))
+	}
+}
+
+func TestPortScanFINMode(t *testing.T) {
+	cfg := PortScanConfig{
+		Scanner: packet.AddrFrom4(203, 0, 113, 9),
+		Subnet:  packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 30),
+		Ports:   []uint16{22},
+		Rate:    10,
+		FIN:     true,
+	}
+	s, err := NewPortScan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := s.Next()
+	if !ok || pkt.Flags != packet.FIN {
+		t.Errorf("FIN scan flags = %v", pkt.Flags)
+	}
+}
+
+func TestInsiderFloodValidation(t *testing.T) {
+	base := InsiderFloodConfig{
+		Host:     packet.AddrFrom4(10, 10, 0, 5),
+		Rate:     100,
+		Duration: time.Second,
+	}
+	for _, mut := range []func(*InsiderFloodConfig){
+		func(c *InsiderFloodConfig) { c.Rate = 0 },
+		func(c *InsiderFloodConfig) { c.Duration = 0 },
+		func(c *InsiderFloodConfig) { c.Start = -1 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := NewInsiderFlood(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestInsiderFloodEmitsOutgoing(t *testing.T) {
+	host := packet.AddrFrom4(10, 10, 0, 5)
+	f, err := NewInsiderFlood(InsiderFloodConfig{
+		Seed: 3, Host: host, Rate: 1000, Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		pkt, ok := f.Next()
+		if !ok {
+			break
+		}
+		count++
+		if pkt.Dir != packet.Outgoing {
+			t.Fatal("flood packet not outgoing")
+		}
+		if pkt.Tuple.Src != host {
+			t.Fatalf("source = %v", pkt.Tuple.Src)
+		}
+	}
+	if count < 4000 || count > 6000 {
+		t.Errorf("emitted %d, want ~5000", count)
+	}
+	if f.Emitted() != uint64(count) {
+		t.Errorf("Emitted = %d", f.Emitted())
+	}
+}
+
+func TestMergeOrdersStreams(t *testing.T) {
+	scanA, _ := NewRandomScan(RandomScanConfig{
+		Seed: 1, Rate: 500, Start: 0, Duration: 4 * time.Second, Subnets: subnets(),
+	})
+	scanB, _ := NewRandomScan(RandomScanConfig{
+		Seed: 2, Rate: 300, Start: 2 * time.Second, Duration: 4 * time.Second, Subnets: subnets(),
+	})
+	merged := Merge(scanA, scanB)
+	var last time.Duration = -1
+	count := 0
+	for {
+		pkt, ok := merged.Next()
+		if !ok {
+			break
+		}
+		if pkt.Time < last {
+			t.Fatalf("merge out of order at packet %d", count)
+		}
+		last = pkt.Time
+		count++
+	}
+	// ~500*4 + 300*4 = 3200.
+	if count < 2500 || count > 4000 {
+		t.Errorf("merged %d packets", count)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	m := Merge()
+	if _, ok := m.Next(); ok {
+		t.Error("empty merge produced a packet")
+	}
+	scan, _ := NewRandomScan(RandomScanConfig{
+		Seed: 1, Rate: 100, Duration: time.Second, Subnets: subnets(),
+	})
+	m = Merge(scan)
+	n := 0
+	for {
+		if _, ok := m.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("single-stream merge empty")
+	}
+}

@@ -1,0 +1,248 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// WormConfig parameterizes a random-scanning SI worm epidemic in the style
+// of the Code Red models the paper cites [6, 13, 21]: every infected host
+// probes uniformly random addresses at a fixed rate; probes that reach a
+// vulnerable host infect it.
+//
+// The external Internet population is modeled by the standard epidemic
+// differential equation di/dt = s·i·(V−i)/Ω (s scan rate, V vulnerable
+// population, Ω scanned address space) integrated in discrete steps, while
+// the protected client networks are modeled host-by-host: probes that land
+// in the subnets are emitted as packets so a filter can drop or deliver
+// them, and inside hosts that become infected start scanning outward
+// themselves (becoming §5.2 insiders).
+type WormConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// ScanRate is probes per second per infected host.
+	ScanRate float64
+	// ExternalVulnerable is the vulnerable population outside the
+	// protected networks.
+	ExternalVulnerable int
+	// ExternalInfected0 is the initially infected external population.
+	ExternalInfected0 int
+	// VulnerablePort is the service the worm exploits.
+	VulnerablePort uint16
+	// Subnets are the protected client networks.
+	Subnets []packet.Prefix
+	// InsideVulnerable are the vulnerable hosts inside the subnets.
+	InsideVulnerable []packet.Addr
+	// Start and Duration bound the simulated epidemic on the trace
+	// clock.
+	Start, Duration time.Duration
+	// AddressSpace is the size Ω of the scanned space. The real
+	// Internet is 2^32; experiments shrink it so the epidemic completes
+	// in simulated minutes.
+	AddressSpace float64
+	// Step is the epidemic integration step.
+	Step time.Duration
+}
+
+// Validate reports whether the configuration is usable.
+func (c WormConfig) Validate() error {
+	if c.ScanRate <= 0 {
+		return fmt.Errorf("%w: scan rate %v", ErrConfig, c.ScanRate)
+	}
+	if c.ExternalVulnerable < 1 || c.ExternalInfected0 < 1 {
+		return fmt.Errorf("%w: external population %d/%d", ErrConfig,
+			c.ExternalVulnerable, c.ExternalInfected0)
+	}
+	if c.ExternalInfected0 > c.ExternalVulnerable {
+		return fmt.Errorf("%w: infected0 exceeds vulnerable", ErrConfig)
+	}
+	if len(c.Subnets) == 0 {
+		return fmt.Errorf("%w: no subnets", ErrConfig)
+	}
+	if c.Duration <= 0 || c.Start < 0 {
+		return fmt.Errorf("%w: window %v+%v", ErrConfig, c.Start, c.Duration)
+	}
+	if c.AddressSpace <= 0 {
+		return fmt.Errorf("%w: address space %v", ErrConfig, c.AddressSpace)
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("%w: step %v", ErrConfig, c.Step)
+	}
+	return nil
+}
+
+// Worm is the epidemic packet stream. Feed packets that actually reach
+// their destination back through Deliver so inside infections occur.
+type Worm struct {
+	cfg        WormConfig
+	rng        *xrand.Rand
+	subnetSize float64
+
+	externalInfected float64
+	insideInfected   map[packet.Addr]bool
+	insideList       []packet.Addr // infection order, for deterministic iteration
+	vulnerable       map[packet.Addr]bool
+
+	stepStart time.Duration
+	buf       []packet.Packet
+	bufIdx    int
+	done      bool
+}
+
+var _ Stream = (*Worm)(nil)
+
+// NewWorm validates cfg and returns the epidemic stream.
+func NewWorm(cfg WormConfig) (*Worm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Worm{
+		cfg:              cfg,
+		rng:              xrand.New(cfg.Seed),
+		externalInfected: float64(cfg.ExternalInfected0),
+		insideInfected:   make(map[packet.Addr]bool),
+		vulnerable:       make(map[packet.Addr]bool, len(cfg.InsideVulnerable)),
+		stepStart:        cfg.Start,
+	}
+	for _, s := range cfg.Subnets {
+		w.subnetSize += float64(s.Size())
+	}
+	for _, a := range cfg.InsideVulnerable {
+		w.vulnerable[a] = true
+	}
+	return w, nil
+}
+
+// ExternalInfected returns the current external infected population.
+func (w *Worm) ExternalInfected() float64 { return w.externalInfected }
+
+// InsideInfected returns the number of infected inside hosts.
+func (w *Worm) InsideInfected() int { return len(w.insideList) }
+
+// Deliver notifies the worm that pkt reached its destination (i.e. the
+// filter, if any, admitted it). It returns true when the delivery infects
+// a previously healthy inside host.
+func (w *Worm) Deliver(pkt packet.Packet) bool {
+	if pkt.Dir != packet.Incoming || pkt.Tuple.DstPort != w.cfg.VulnerablePort {
+		return false
+	}
+	dst := pkt.Tuple.Dst
+	if !w.vulnerable[dst] || w.insideInfected[dst] {
+		return false
+	}
+	w.insideInfected[dst] = true
+	w.insideList = append(w.insideList, dst)
+	return true
+}
+
+// Next implements Stream: it emits, in time order, every worm probe that
+// crosses the edge router — inbound probes aimed at the subnets and
+// outbound probes from infected inside hosts.
+func (w *Worm) Next() (packet.Packet, bool) {
+	for w.bufIdx >= len(w.buf) {
+		if w.done {
+			return packet.Packet{}, false
+		}
+		w.fillStep()
+	}
+	pkt := w.buf[w.bufIdx]
+	w.bufIdx++
+	return pkt, true
+}
+
+// fillStep integrates one epidemic step and materializes its packets.
+func (w *Worm) fillStep() {
+	w.buf = w.buf[:0]
+	w.bufIdx = 0
+	if w.stepStart >= w.cfg.Start+w.cfg.Duration {
+		w.done = true
+		return
+	}
+	dt := w.cfg.Step
+	dtSec := dt.Seconds()
+
+	totalInfected := w.externalInfected + float64(len(w.insideInfected))
+
+	// Inbound probes: every infected host sprays the whole space; the
+	// fraction hitting our subnets is subnetSize/Ω.
+	meanInbound := totalInfected * w.cfg.ScanRate * dtSec * w.subnetSize / w.cfg.AddressSpace
+	for i := 0; i < w.poisson(meanInbound); i++ {
+		subnet := w.cfg.Subnets[w.rng.Intn(len(w.cfg.Subnets))]
+		w.buf = append(w.buf, packet.Packet{
+			Time: w.stepStart + time.Duration(w.rng.Float64()*float64(dt)),
+			Tuple: packet.Tuple{
+				Src:     packet.Addr(w.rng.Uint32() | 1),
+				Dst:     subnet.Nth(uint64(w.rng.Intn(int(subnet.Size())))),
+				SrcPort: uint16(1024 + w.rng.Intn(60000)),
+				DstPort: w.cfg.VulnerablePort,
+				Proto:   packet.TCP,
+			},
+			Dir:    packet.Incoming,
+			Flags:  packet.SYN,
+			Length: 62,
+		})
+	}
+
+	// Outbound probes from infected insiders (visible at the edge; they
+	// also pollute the bitmap exactly as §5.2 describes).
+	for _, host := range w.insideList {
+		n := w.poisson(w.cfg.ScanRate * dtSec)
+		for i := 0; i < n; i++ {
+			w.buf = append(w.buf, packet.Packet{
+				Time: w.stepStart + time.Duration(w.rng.Float64()*float64(dt)),
+				Tuple: packet.Tuple{
+					Src:     host,
+					Dst:     packet.Addr(w.rng.Uint32() | 1),
+					SrcPort: uint16(1024 + w.rng.Intn(60000)),
+					DstPort: w.cfg.VulnerablePort,
+					Proto:   packet.TCP,
+				},
+				Dir:    packet.Outgoing,
+				Flags:  packet.SYN,
+				Length: 62,
+			})
+		}
+	}
+
+	sort.SliceStable(w.buf, func(i, j int) bool { return w.buf[i].Time < w.buf[j].Time })
+
+	// External epidemic update (logistic SI step). Inside infections
+	// only happen through Deliver.
+	v := float64(w.cfg.ExternalVulnerable)
+	di := totalInfected * w.cfg.ScanRate * dtSec * (v - w.externalInfected) / w.cfg.AddressSpace
+	w.externalInfected += di
+	if w.externalInfected > v {
+		w.externalInfected = v
+	}
+
+	w.stepStart += dt
+}
+
+// poisson draws a Poisson variate with the given mean (Knuth's method for
+// small means, normal approximation above 64).
+func (w *Worm) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(mean + w.rng.Normal()*math.Sqrt(mean) + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= w.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,250 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/model"
+	"bitmapfilter/internal/packet"
+)
+
+func validWorm() WormConfig {
+	sn := subnets()
+	return WormConfig{
+		Seed:               1,
+		ScanRate:           50,
+		ExternalVulnerable: 5000,
+		ExternalInfected0:  10,
+		VulnerablePort:     445,
+		Subnets:            sn,
+		InsideVulnerable: []packet.Addr{
+			sn[0].Nth(10), sn[0].Nth(20), sn[1].Nth(30),
+		},
+		Duration:     5 * time.Minute,
+		AddressSpace: 1 << 24,
+		Step:         time.Second,
+	}
+}
+
+func TestWormValidation(t *testing.T) {
+	muts := []struct {
+		name string
+		mut  func(*WormConfig)
+	}{
+		{name: "zero scan rate", mut: func(c *WormConfig) { c.ScanRate = 0 }},
+		{name: "no vulnerable", mut: func(c *WormConfig) { c.ExternalVulnerable = 0 }},
+		{name: "no infected0", mut: func(c *WormConfig) { c.ExternalInfected0 = 0 }},
+		{name: "infected0 > vulnerable", mut: func(c *WormConfig) { c.ExternalInfected0 = 9999999 }},
+		{name: "no subnets", mut: func(c *WormConfig) { c.Subnets = nil }},
+		{name: "zero duration", mut: func(c *WormConfig) { c.Duration = 0 }},
+		{name: "zero space", mut: func(c *WormConfig) { c.AddressSpace = 0 }},
+		{name: "zero step", mut: func(c *WormConfig) { c.Step = 0 }},
+	}
+	for _, tt := range muts {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validWorm()
+			tt.mut(&cfg)
+			if _, err := NewWorm(cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("error = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestWormEpidemicGrowsLogistically(t *testing.T) {
+	w, err := NewWorm(validWorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := w.ExternalInfected()
+	// Drain the stream to drive the epidemic.
+	count := 0
+	var last time.Duration = -1
+	for {
+		pkt, ok := w.Next()
+		if !ok {
+			break
+		}
+		if pkt.Time < last {
+			t.Fatal("worm stream out of order")
+		}
+		last = pkt.Time
+		count++
+	}
+	final := w.ExternalInfected()
+	if final <= initial*2 {
+		t.Errorf("epidemic did not grow: %v -> %v", initial, final)
+	}
+	if final > float64(validWorm().ExternalVulnerable) {
+		t.Errorf("infected %v exceeds vulnerable population", final)
+	}
+	if count == 0 {
+		t.Error("no scan packets emitted")
+	}
+}
+
+func TestWormInboundProbesTargetSubnets(t *testing.T) {
+	cfg := validWorm()
+	w, err := NewWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		pkt, ok := w.Next()
+		if !ok {
+			break
+		}
+		if pkt.Dir != packet.Incoming {
+			continue
+		}
+		if pkt.Tuple.DstPort != cfg.VulnerablePort {
+			t.Fatalf("probe to port %d", pkt.Tuple.DstPort)
+		}
+		in := false
+		for _, s := range cfg.Subnets {
+			if s.Contains(pkt.Tuple.Dst) {
+				in = true
+			}
+		}
+		if !in {
+			t.Fatalf("probe to %v outside subnets", pkt.Tuple.Dst)
+		}
+	}
+}
+
+func TestWormDeliverInfectsVulnerableHost(t *testing.T) {
+	cfg := validWorm()
+	w, err := NewWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := cfg.InsideVulnerable[0]
+	probe := packet.Packet{
+		Tuple: packet.Tuple{
+			Src: packet.AddrFrom4(203, 0, 113, 1), Dst: victim,
+			SrcPort: 4444, DstPort: cfg.VulnerablePort, Proto: packet.TCP,
+		},
+		Dir: packet.Incoming,
+	}
+	if !w.Deliver(probe) {
+		t.Fatal("vulnerable host not infected")
+	}
+	if w.InsideInfected() != 1 {
+		t.Errorf("InsideInfected = %d", w.InsideInfected())
+	}
+	// Idempotent: same host cannot be infected twice.
+	if w.Deliver(probe) {
+		t.Error("host infected twice")
+	}
+
+	// Wrong port: no infection.
+	wrongPort := probe
+	wrongPort.Tuple.DstPort = 80
+	wrongPort.Tuple.Dst = cfg.InsideVulnerable[1]
+	if w.Deliver(wrongPort) {
+		t.Error("infection on wrong port")
+	}
+
+	// Non-vulnerable host: no infection.
+	healthy := probe
+	healthy.Tuple.Dst = cfg.Subnets[0].Nth(99)
+	if w.Deliver(healthy) {
+		t.Error("non-vulnerable host infected")
+	}
+
+	// Outgoing packets never infect.
+	outP := probe
+	outP.Dir = packet.Outgoing
+	outP.Tuple.Dst = cfg.InsideVulnerable[2]
+	if w.Deliver(outP) {
+		t.Error("outgoing packet caused infection")
+	}
+}
+
+func TestInfectedInsiderScansOutward(t *testing.T) {
+	cfg := validWorm()
+	cfg.ScanRate = 200
+	w, err := NewWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := cfg.InsideVulnerable[0]
+	w.Deliver(packet.Packet{
+		Tuple: packet.Tuple{
+			Src: packet.AddrFrom4(203, 0, 113, 1), Dst: victim,
+			SrcPort: 4444, DstPort: cfg.VulnerablePort, Proto: packet.TCP,
+		},
+		Dir: packet.Incoming,
+	})
+	outbound := 0
+	for i := 0; i < 5000; i++ {
+		pkt, ok := w.Next()
+		if !ok {
+			break
+		}
+		if pkt.Dir == packet.Outgoing {
+			if pkt.Tuple.Src != victim {
+				t.Fatalf("outbound scan from %v, want %v", pkt.Tuple.Src, victim)
+			}
+			outbound++
+		}
+	}
+	if outbound == 0 {
+		t.Error("infected insider emitted no outbound scans")
+	}
+}
+
+func TestWormDeterminism(t *testing.T) {
+	w1, _ := NewWorm(validWorm())
+	w2, _ := NewWorm(validWorm())
+	for i := 0; i < 3000; i++ {
+		p1, ok1 := w1.Next()
+		p2, ok2 := w2.Next()
+		if ok1 != ok2 || p1 != p2 {
+			t.Fatalf("worm streams diverge at %d", i)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+// The discrete epidemic integration must track the closed-form logistic
+// solution.
+func TestWormTracksLogisticModel(t *testing.T) {
+	cfg := validWorm()
+	cfg.Duration = 10 * time.Minute
+	w, err := NewWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := w.Next(); !ok {
+			break
+		}
+	}
+	want := model.LogisticInfected(cfg.Duration, cfg.ScanRate,
+		float64(cfg.ExternalVulnerable), float64(cfg.ExternalInfected0), cfg.AddressSpace)
+	got := w.ExternalInfected()
+	if rel := (got - want) / want; rel < -0.15 || rel > 0.15 {
+		t.Errorf("external infected %v vs logistic model %v (rel %.3f)", got, want, rel)
+	}
+}
+
+func TestWormStreamEnds(t *testing.T) {
+	cfg := validWorm()
+	cfg.Duration = 10 * time.Second
+	w, err := NewWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := w.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := w.Next(); ok {
+		t.Error("stream restarted after end")
+	}
+}

@@ -1,0 +1,218 @@
+// Package avl implements a self-balancing AVL search tree. It is the
+// substrate for the AVL-tree flow table of Table 1 in the paper, which the
+// authors list as "an implementation that efficiently reduces the time
+// complexity searching flow states" — O(log n) insert and lookup versus the
+// O(n) worst case of a hash + linked-list table.
+package avl
+
+import "cmp"
+
+// Tree is an AVL tree mapping ordered keys to values. The zero value is an
+// empty tree ready for use. Tree is not safe for concurrent use.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	value       V
+	left, right *node[K, V]
+	height      int8
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key and whether it was present.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key. It reports whether a new
+// entry was created (false means an existing entry was updated).
+func (t *Tree[K, V]) Put(key K, value V) bool {
+	var created bool
+	t.root, created = insert(t.root, key, value)
+	if created {
+		t.size++
+	}
+	return created
+}
+
+// Delete removes key from the tree and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	var deleted bool
+	t.root, deleted = remove(t.root, key)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+// Min returns the smallest key and its value. ok is false for an empty
+// tree.
+func (t *Tree[K, V]) Min() (key K, value V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, value, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.value, true
+}
+
+// Ascend calls fn for every entry in ascending key order until fn returns
+// false.
+func (t *Tree[K, V]) Ascend(fn func(key K, value V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K cmp.Ordered, V any](n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// DeleteWhere removes every entry for which pred returns true and returns
+// the number of removals. This is the garbage-collection sweep of an
+// AVL-based flow table: O(n) traversal plus O(log n) per removal.
+func (t *Tree[K, V]) DeleteWhere(pred func(key K, value V) bool) int {
+	var doomed []K
+	t.Ascend(func(k K, v V) bool {
+		if pred(k, v) {
+			doomed = append(doomed, k)
+		}
+		return true
+	})
+	for _, k := range doomed {
+		t.Delete(k)
+	}
+	return len(doomed)
+}
+
+// Height returns the height of the tree (0 for empty).
+func (t *Tree[K, V]) Height() int { return int(height(t.root)) }
+
+func height[K cmp.Ordered, V any](n *node[K, V]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[K cmp.Ordered, V any](n *node[K, V]) {
+	lh, rh := height(n.left), height(n.right)
+	if lh > rh {
+		n.height = lh + 1
+	} else {
+		n.height = rh + 1
+	}
+}
+
+func balanceFactor[K cmp.Ordered, V any](n *node[K, V]) int8 {
+	return height(n.left) - height(n.right)
+}
+
+func rotateRight[K cmp.Ordered, V any](y *node[K, V]) *node[K, V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft[K cmp.Ordered, V any](x *node[K, V]) *node[K, V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance[K cmp.Ordered, V any](n *node[K, V]) *node[K, V] {
+	fix(n)
+	bf := balanceFactor(n)
+	switch {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func insert[K cmp.Ordered, V any](n *node[K, V], key K, value V) (*node[K, V], bool) {
+	if n == nil {
+		return &node[K, V]{key: key, value: value, height: 1}, true
+	}
+	var created bool
+	switch {
+	case key < n.key:
+		n.left, created = insert(n.left, key, value)
+	case key > n.key:
+		n.right, created = insert(n.right, key, value)
+	default:
+		n.value = value
+		return n, false
+	}
+	return rebalance(n), created
+}
+
+func remove[K cmp.Ordered, V any](n *node[K, V], key K) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case key < n.key:
+		n.left, deleted = remove(n.left, key)
+	case key > n.key:
+		n.right, deleted = remove(n.right, key)
+	default:
+		deleted = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Replace with the in-order successor.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key, n.value = succ.key, succ.value
+			n.right, _ = remove(n.right, succ.key)
+		}
+	}
+	return rebalance(n), deleted
+}

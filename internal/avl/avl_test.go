@@ -1,0 +1,310 @@
+package avl
+
+import (
+	"cmp"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bitmapfilter/internal/xrand"
+)
+
+// validate checks the AVL and BST invariants of the whole tree.
+func validate[K cmp.Ordered, V any](t *testing.T, tr *Tree[K, V]) {
+	t.Helper()
+	var walk func(n *node[K, V]) (int8, int)
+	walk = func(n *node[K, V]) (int8, int) {
+		if n == nil {
+			return 0, 0
+		}
+		lh, lc := walk(n.left)
+		rh, rc := walk(n.right)
+		if n.left != nil && !(n.left.key < n.key) {
+			t.Fatalf("BST violation at %v", n.key)
+		}
+		if n.right != nil && !(n.key < n.right.key) {
+			t.Fatalf("BST violation at %v", n.key)
+		}
+		bf := lh - rh
+		if bf < -1 || bf > 1 {
+			t.Fatalf("AVL violation at %v: balance %d", n.key, bf)
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		if n.height != h+1 {
+			t.Fatalf("stale height at %v: %d want %d", n.key, n.height, h+1)
+		}
+		return h + 1, lc + rc + 1
+	}
+	_, count := walk(tr.root)
+	if count != tr.Len() {
+		t.Fatalf("Len = %d but tree holds %d nodes", tr.Len(), count)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int, string]
+	if tr.Len() != 0 {
+		t.Error("fresh tree not empty")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Error("Get on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Error("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree returned ok")
+	}
+	if tr.Height() != 0 {
+		t.Errorf("Height = %d", tr.Height())
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	var tr Tree[int, int]
+	for i := 0; i < 100; i++ {
+		if !tr.Put(i, i*10) {
+			t.Fatalf("Put(%d) reported existing", i)
+		}
+	}
+	validate(t, &tr)
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	// Update in place.
+	if tr.Put(50, 999) {
+		t.Error("updating Put reported created")
+	}
+	if v, _ := tr.Get(50); v != 999 {
+		t.Errorf("updated value = %d", v)
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len after update = %d", tr.Len())
+	}
+	// Delete half.
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	validate(t, &tr)
+	if tr.Len() != 50 {
+		t.Errorf("Len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	var tr Tree[int, int]
+	tr.Put(1, 1)
+	if tr.Delete(2) {
+		t.Error("Delete of absent key returned true")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestMinAndAscend(t *testing.T) {
+	var tr Tree[int, int]
+	r := xrand.New(1)
+	keys := r.Perm(500)
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	k, v, ok := tr.Min()
+	if !ok || k != 0 || v != 0 {
+		t.Errorf("Min = %d,%d,%v", k, v, ok)
+	}
+	var got []int
+	tr.Ascend(func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.IntsAreSorted(got) {
+		t.Error("Ascend not in order")
+	}
+	if len(got) != 500 {
+		t.Errorf("Ascend visited %d", len(got))
+	}
+	// Early termination.
+	var firstTen []int
+	tr.Ascend(func(k, _ int) bool {
+		firstTen = append(firstTen, k)
+		return len(firstTen) < 10
+	})
+	if len(firstTen) != 10 {
+		t.Errorf("early-stop Ascend visited %d", len(firstTen))
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	var tr Tree[int, int]
+	for i := 0; i < 100; i++ {
+		tr.Put(i, i)
+	}
+	n := tr.DeleteWhere(func(k, _ int) bool { return k%3 == 0 })
+	if n != 34 {
+		t.Errorf("DeleteWhere removed %d, want 34", n)
+	}
+	validate(t, &tr)
+	tr.Ascend(func(k, _ int) bool {
+		if k%3 == 0 {
+			t.Fatalf("key %d survived DeleteWhere", k)
+		}
+		return true
+	})
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	var tr Tree[int, struct{}]
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Put(i, struct{}{}) // worst case: sorted insertion
+	}
+	validate(t, &tr)
+	maxHeight := int(1.45*math.Log2(n+2)) + 1
+	if h := tr.Height(); h > maxHeight {
+		t.Errorf("height %d exceeds AVL bound %d for n=%d", h, maxHeight, n)
+	}
+}
+
+func TestRandomOperationsAgainstMap(t *testing.T) {
+	var tr Tree[uint32, int]
+	ref := make(map[uint32]int)
+	r := xrand.New(42)
+	for op := 0; op < 20000; op++ {
+		k := uint32(r.Intn(2000))
+		switch r.Intn(3) {
+		case 0:
+			v := int(r.Uint32())
+			created := tr.Put(k, v)
+			_, existed := ref[k]
+			if created == existed {
+				t.Fatalf("op %d: Put created=%v but existed=%v", op, created, existed)
+			}
+			ref[k] = v
+		case 1:
+			deleted := tr.Delete(k)
+			_, existed := ref[k]
+			if deleted != existed {
+				t.Fatalf("op %d: Delete=%v existed=%v", op, deleted, existed)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := tr.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Errorf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	validate(t, &tr)
+}
+
+func TestStringKeys(t *testing.T) {
+	var tr Tree[string, int]
+	words := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for i, w := range words {
+		tr.Put(w, i)
+	}
+	k, _, _ := tr.Min()
+	if k != "alpha" {
+		t.Errorf("Min = %q", k)
+	}
+	var order []string
+	tr.Ascend(func(k string, _ int) bool {
+		order = append(order, k)
+		return true
+	})
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestInvariantProperty(t *testing.T) {
+	f := func(keys []uint16, dels []uint16) bool {
+		var tr Tree[uint16, bool]
+		for _, k := range keys {
+			tr.Put(k, true)
+		}
+		for _, k := range dels {
+			tr.Delete(k)
+		}
+		// Re-validate invariants without t.Fatal (quick runs its own loop).
+		ok := true
+		var walk func(n *node[uint16, bool]) int8
+		walk = func(n *node[uint16, bool]) int8 {
+			if n == nil || !ok {
+				return 0
+			}
+			lh, rh := walk(n.left), walk(n.right)
+			if n.left != nil && n.left.key >= n.key {
+				ok = false
+			}
+			if n.right != nil && n.right.key <= n.key {
+				ok = false
+			}
+			if bf := lh - rh; bf < -1 || bf > 1 {
+				ok = false
+			}
+			h := lh
+			if rh > h {
+				h = rh
+			}
+			return h + 1
+		}
+		walk(tr.root)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	var tr Tree[uint64, int]
+	r := xrand.New(1)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i&(1<<16-1)], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree[uint64, int]
+	r := xrand.New(1)
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		tr.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i&(1<<16-1)])
+	}
+}

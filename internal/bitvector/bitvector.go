@@ -1,0 +1,194 @@
+// Package bitvector implements the fixed-size bit vector that underlies both
+// the Bloom filter and the bitmap filter. Each vector is 2^n bits, stored as
+// a contiguous []uint64 so that the rotate operation of the bitmap filter —
+// "reset all bits in the last bit vector to zero" — is a single sequential
+// memory sweep, exactly the property §4.2 of the paper relies on for cheap
+// garbage collection.
+package bitvector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+const (
+	// MinOrder is the smallest supported vector order. 2^6 = 64 bits is
+	// one machine word; anything smaller has no practical use.
+	MinOrder = 6
+	// MaxOrder caps a vector at 2^32 bits (512 MiB), far above any
+	// configuration in the paper (which uses order 20, 128 KiB).
+	MaxOrder = 32
+)
+
+// ErrOrderRange is returned by New when the requested order is outside
+// [MinOrder, MaxOrder].
+var ErrOrderRange = errors.New("bitvector: order out of range")
+
+// Vector is a fixed-size bit vector of 2^order bits. The zero value is not
+// usable; construct vectors with New.
+type Vector struct {
+	words []uint64
+	order uint
+	mask  uint64 // 2^order - 1, applied to indexes by the Masked helpers
+}
+
+// New returns a zeroed Vector of 2^order bits.
+func New(order uint) (*Vector, error) {
+	if order < MinOrder || order > MaxOrder {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrOrderRange, order, MinOrder, MaxOrder)
+	}
+	return &Vector{
+		words: make([]uint64, 1<<(order-6)),
+		order: order,
+		mask:  1<<order - 1,
+	}, nil
+}
+
+// MustNew is New for statically known orders; it panics on error and exists
+// for tests and package-internal constants.
+func MustNew(order uint) *Vector {
+	v, err := New(order)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Order returns the order n of the vector (the vector holds 2^n bits).
+func (v *Vector) Order() uint { return v.order }
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() uint64 { return 1 << v.order }
+
+// Bytes returns the storage footprint of the vector's bit array in bytes.
+func (v *Vector) Bytes() uint64 { return v.Len() / 8 }
+
+// Mask reduces an arbitrary 64-bit hash output to a valid bit index. This is
+// the "output that exceeds n-bit should be truncated" rule from §3.3.
+func (v *Vector) Mask(h uint64) uint64 { return h & v.mask }
+
+// Set sets bit i. Indexes are reduced modulo the vector size so callers may
+// pass raw hash outputs directly.
+func (v *Vector) Set(i uint64) {
+	i &= v.mask
+	v.words[i>>6] |= 1 << (i & 63)
+}
+
+// Clear clears bit i (reduced modulo the vector size).
+func (v *Vector) Clear(i uint64) {
+	i &= v.mask
+	v.words[i>>6] &^= 1 << (i & 63)
+}
+
+// Test reports whether bit i is set (index reduced modulo the vector size).
+func (v *Vector) Test(i uint64) bool {
+	i &= v.mask
+	return v.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Reset zeroes every bit. This is the b.rotate clean-up; it touches a fixed,
+// contiguous region and is therefore O(2^n / 64) word writes.
+func (v *Vector) Reset() {
+	clear(v.words)
+}
+
+// PopCount returns the number of set bits. The bitmap filter uses this to
+// report utilization U = b / 2^n (§4.1).
+func (v *Vector) PopCount() uint64 {
+	var c int
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return uint64(c)
+}
+
+// Utilization returns the fraction of set bits, U in the paper's analysis.
+func (v *Vector) Utilization() float64 {
+	return float64(v.PopCount()) / float64(v.Len())
+}
+
+// Or sets v to the bitwise OR of v and other. It returns an error if the two
+// vectors have different orders.
+func (v *Vector) Or(other *Vector) error {
+	if other.order != v.order {
+		return fmt.Errorf("bitvector: or of order %d with order %d", v.order, other.order)
+	}
+	for i, w := range other.words {
+		v.words[i] |= w
+	}
+	return nil
+}
+
+// CopyFrom overwrites v with the contents of other. It returns an error if
+// the two vectors have different orders.
+func (v *Vector) CopyFrom(other *Vector) error {
+	if other.order != v.order {
+		return fmt.Errorf("bitvector: copy of order %d into order %d", other.order, v.order)
+	}
+	copy(v.words, other.words)
+	return nil
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{
+		words: make([]uint64, len(v.words)),
+		order: v.order,
+		mask:  v.mask,
+	}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and other have identical size and contents.
+func (v *Vector) Equal(other *Vector) bool {
+	if v.order != other.order {
+		return false
+	}
+	for i, w := range v.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the vector for debugging.
+func (v *Vector) String() string {
+	return fmt.Sprintf("bitvector{order=%d bits=%d set=%d}", v.order, v.Len(), v.PopCount())
+}
+
+// WriteTo serializes the raw bit array (little-endian words) to w. It
+// implements io.WriterTo; pair it with ReadFrom on a vector of the same
+// order.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 8*len(v.words))
+	for i, word := range v.words {
+		binary.LittleEndian.PutUint64(buf[i*8:], word)
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrom fills the vector from a stream produced by WriteTo on a vector
+// of the same order. It implements io.ReaderFrom.
+func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
+	buf := make([]byte, 8*len(v.words))
+	n, err := io.ReadFull(r, buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("bitvector: read words: %w", err)
+	}
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return int64(n), nil
+}
+
+// Interface compliance checks.
+var (
+	_ io.WriterTo   = (*Vector)(nil)
+	_ io.ReaderFrom = (*Vector)(nil)
+)

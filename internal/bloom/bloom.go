@@ -1,0 +1,128 @@
+// Package bloom implements the classic Bloom filter (Bloom, 1970) cited by
+// the paper as the building block of the bitmap filter: each column of the
+// {k×n}-bitmap "represents a bit-vector of a bloom filter" (§3.3, Figure 3).
+//
+// The filter is an approximate set: Add never produces false negatives and
+// Contains may produce false positives at a rate that, for c inserted keys,
+// m hash functions and 2^n bits, is approximately (1 - e^{-cm/2^n})^m, which
+// the paper simplifies to (cm/2^n)^m under low utilization (Equation 2).
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"bitmapfilter/internal/bitvector"
+	"bitmapfilter/internal/hashfam"
+)
+
+// Filter is a Bloom filter over byte-string keys. It is not safe for
+// concurrent use; wrap it with external synchronization if needed.
+type Filter struct {
+	vec     *bitvector.Vector
+	hashes  *hashfam.Family
+	scratch []uint64
+	added   uint64
+}
+
+// New returns an empty Bloom filter with 2^order bits and m hash functions
+// derived from seed.
+func New(order uint, m int, seed uint64) (*Filter, error) {
+	vec, err := bitvector.New(order)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: %w", err)
+	}
+	fam, err := hashfam.New(m, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: %w", err)
+	}
+	return &Filter{
+		vec:     vec,
+		hashes:  fam,
+		scratch: make([]uint64, 0, m),
+	}, nil
+}
+
+// MustNew is New for statically known arguments; it panics on error.
+func MustNew(order uint, m int, seed uint64) *Filter {
+	f, err := New(order, m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key []byte) {
+	f.scratch = f.hashes.Indexes(f.scratch[:0], key)
+	for _, h := range f.scratch {
+		f.vec.Set(h)
+	}
+	f.added++
+}
+
+// Contains reports whether key may be in the filter. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key []byte) bool {
+	f.scratch = f.hashes.Indexes(f.scratch[:0], key)
+	for _, h := range f.scratch {
+		if !f.vec.Test(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter back to empty.
+func (f *Filter) Reset() {
+	f.vec.Reset()
+	f.added = 0
+}
+
+// Added returns the number of Add calls since the last Reset.
+func (f *Filter) Added() uint64 { return f.added }
+
+// Utilization returns the fraction of set bits, U = b/2^n in the paper.
+func (f *Filter) Utilization() float64 { return f.vec.Utilization() }
+
+// Bits returns the size of the underlying bit vector in bits.
+func (f *Filter) Bits() uint64 { return f.vec.Len() }
+
+// Bytes returns the memory footprint of the bit array in bytes.
+func (f *Filter) Bytes() uint64 { return f.vec.Bytes() }
+
+// M returns the number of hash functions.
+func (f *Filter) M() int { return f.hashes.M() }
+
+// FalsePositiveRate estimates the current false-positive probability from
+// the exact utilization: p = U^m (Equation 1 of the paper).
+func (f *Filter) FalsePositiveRate() float64 {
+	return math.Pow(f.Utilization(), float64(f.M()))
+}
+
+// ExpectedFalsePositiveRate returns the textbook estimate
+// (1 - e^{-cm/2^n})^m for c inserted keys, m hashes and 2^n bits.
+func ExpectedFalsePositiveRate(c uint64, m int, order uint) float64 {
+	bits := float64(uint64(1) << order)
+	inner := 1 - math.Exp(-float64(c)*float64(m)/bits)
+	return math.Pow(inner, float64(m))
+}
+
+// OptimalM returns the m that minimizes the false-positive rate for an
+// expected c keys in a 2^order-bit vector: m* = ln 2 · 2^n / c for the exact
+// model. (The paper's simplified model yields m* = e⁻¹·2^n/c; see
+// internal/model for that form.) The result is clamped to at least 1.
+func OptimalM(c uint64, order uint) int {
+	if c == 0 {
+		return 1
+	}
+	bits := float64(uint64(1) << order)
+	m := int(math.Round(math.Ln2 * bits / float64(c)))
+	if m < 1 {
+		return 1
+	}
+	if m > hashfam.MaxFunctions {
+		return hashfam.MaxFunctions
+	}
+	return m
+}

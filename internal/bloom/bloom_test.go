@@ -1,0 +1,265 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bitmapfilter/internal/xrand"
+)
+
+func key(i uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, 3, 0); err == nil {
+		t.Error("order 3 accepted")
+	}
+	if _, err := New(10, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(10, 3, 0); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(1,0,0) did not panic")
+		}
+	}()
+	MustNew(1, 0, 0)
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := MustNew(16, 3, 1)
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		f.Add(key(i))
+	}
+	for i := uint64(0); i < n; i++ {
+		if !f.Contains(key(i)) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+	if f.Added() != n {
+		t.Errorf("Added = %d, want %d", f.Added(), n)
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	fn := func(keys [][]byte) bool {
+		f := MustNew(12, 4, 2)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateNearTheory(t *testing.T) {
+	// Insert c keys into a 2^16-bit filter with m=4 and measure the FP
+	// rate against the (1-e^{-cm/2^n})^m estimate.
+	const (
+		order = 16
+		m     = 4
+		c     = 8000
+	)
+	f := MustNew(order, m, 3)
+	for i := uint64(0); i < c; i++ {
+		f.Add(key(i))
+	}
+	const probes = 200000
+	fps := 0
+	for i := uint64(0); i < probes; i++ {
+		if f.Contains(key(1_000_000 + i)) {
+			fps++
+		}
+	}
+	got := float64(fps) / probes
+	want := ExpectedFalsePositiveRate(c, m, order)
+	if got > want*1.6 || got < want*0.4 {
+		t.Errorf("measured FP rate %v, theory %v", got, want)
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := MustNew(12, 3, 4)
+	for i := uint64(0); i < 1000; i++ {
+		if f.Contains(key(i)) {
+			t.Fatalf("empty filter contains key %d", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := MustNew(12, 3, 5)
+	f.Add([]byte("x"))
+	if !f.Contains([]byte("x")) {
+		t.Fatal("Add/Contains broken")
+	}
+	f.Reset()
+	if f.Contains([]byte("x")) {
+		t.Error("Reset filter still contains key")
+	}
+	if f.Added() != 0 {
+		t.Errorf("Added after Reset = %d", f.Added())
+	}
+	if f.Utilization() != 0 {
+		t.Errorf("Utilization after Reset = %v", f.Utilization())
+	}
+}
+
+func TestSizeAccessors(t *testing.T) {
+	f := MustNew(20, 3, 0)
+	if f.Bits() != 1<<20 {
+		t.Errorf("Bits = %d", f.Bits())
+	}
+	if f.Bytes() != (1<<20)/8 {
+		t.Errorf("Bytes = %d", f.Bytes())
+	}
+	if f.M() != 3 {
+		t.Errorf("M = %d", f.M())
+	}
+}
+
+func TestUtilizationGrowsWithKeys(t *testing.T) {
+	f := MustNew(14, 3, 6)
+	prev := f.Utilization()
+	for batch := 0; batch < 5; batch++ {
+		for i := uint64(0); i < 500; i++ {
+			f.Add(key(uint64(batch)*500 + i))
+		}
+		u := f.Utilization()
+		if u <= prev {
+			t.Fatalf("utilization did not grow: %v -> %v", prev, u)
+		}
+		prev = u
+	}
+	if prev >= 1 {
+		t.Errorf("utilization saturated unexpectedly: %v", prev)
+	}
+}
+
+func TestFalsePositiveRateFromUtilization(t *testing.T) {
+	f := MustNew(14, 2, 7)
+	for i := uint64(0); i < 2000; i++ {
+		f.Add(key(i))
+	}
+	want := math.Pow(f.Utilization(), 2)
+	if got := f.FalsePositiveRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("FalsePositiveRate = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedFalsePositiveRateMonotonic(t *testing.T) {
+	// More keys => higher FP rate; more bits => lower FP rate.
+	if ExpectedFalsePositiveRate(1000, 3, 16) >= ExpectedFalsePositiveRate(10000, 3, 16) {
+		t.Error("FP rate not increasing in c")
+	}
+	if ExpectedFalsePositiveRate(1000, 3, 20) >= ExpectedFalsePositiveRate(1000, 3, 14) {
+		t.Error("FP rate not decreasing in order")
+	}
+}
+
+func TestOptimalM(t *testing.T) {
+	tests := []struct {
+		c     uint64
+		order uint
+		want  int
+	}{
+		{c: 0, order: 16, want: 1},
+		// ln2 * 2^16 / 4543 ≈ 10.0
+		{c: 4543, order: 16, want: 10},
+		// Huge c clamps at 1.
+		{c: 1 << 30, order: 10, want: 1},
+		// Tiny c clamps at MaxFunctions.
+		{c: 1, order: 20, want: 64},
+	}
+	for _, tt := range tests {
+		if got := OptimalM(tt.c, tt.order); got != tt.want {
+			t.Errorf("OptimalM(%d, %d) = %d, want %d", tt.c, tt.order, got, tt.want)
+		}
+	}
+}
+
+func TestOptimalMMinimizesRate(t *testing.T) {
+	const (
+		c     = 15000
+		order = 18
+	)
+	best := OptimalM(c, order)
+	rateAt := func(m int) float64 { return ExpectedFalsePositiveRate(c, m, order) }
+	if rateAt(best) > rateAt(best-1) || rateAt(best) > rateAt(best+1) {
+		// Allow rounding to the neighbor: the minimum of the continuous
+		// curve may fall between integers.
+		lo := math.Min(rateAt(best-1), rateAt(best+1))
+		if rateAt(best) > lo*1.02 {
+			t.Errorf("OptimalM=%d rate %v not near minimum (neighbors %v, %v)",
+				best, rateAt(best), rateAt(best-1), rateAt(best+1))
+		}
+	}
+}
+
+func TestDifferentSeedsIndependent(t *testing.T) {
+	// The same keys inserted under different seeds should produce
+	// different bit patterns (utilization identical-ish but membership of
+	// un-inserted keys decorrelated).
+	a := MustNew(12, 3, 1)
+	b := MustNew(12, 3, 999)
+	for i := uint64(0); i < 800; i++ {
+		a.Add(key(i))
+		b.Add(key(i))
+	}
+	r := xrand.New(8)
+	bothPositive, total := 0, 0
+	for i := 0; i < 50000; i++ {
+		k := key(uint64(1_000_000) + r.Uint64()%1_000_000)
+		pa, pb := a.Contains(k), b.Contains(k)
+		if pa && pb {
+			bothPositive++
+		}
+		total++
+	}
+	// Independent filters: P(both FP) ≈ P(FP)^2, i.e. rare.
+	if float64(bothPositive)/float64(total) > 0.05 {
+		t.Errorf("filters with different seeds correlate: %d/%d joint FPs", bothPositive, total)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := MustNew(20, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add(key(uint64(i)))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := MustNew(20, 3, 1)
+	for i := uint64(0); i < 100000; i++ {
+		f.Add(key(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if f.Contains(key(uint64(i))) {
+			hits++
+		}
+	}
+	_ = hits
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+// Adaptive packet dropping (APD, §5.3). When the bitmap filter is deployed
+// purely against bandwidth attacks, unmatched incoming packets need not all
+// be dropped: an APD-enabled filter drops them with a probability derived
+// from an indicator of how stressed the link is. The paper gives two
+// indicator designs, both implemented here:
+//
+//  1. Bandwidth utilization: drop with probability U_b, the monitored
+//     utilization of the protected link.
+//  2. In/out packet ratio: with thresholds l < h and r = P_in / P_out, drop
+//     with probability 0 below l, (r−l)/(h−l) between, and 1 at or above h.
+
+// ErrPolicyConfig is returned for invalid APD policy parameters.
+var ErrPolicyConfig = errors.New("core: invalid APD policy configuration")
+
+// DropPolicy computes the probability with which a should-be-dropped
+// incoming packet is actually dropped.
+type DropPolicy interface {
+	// Observe feeds every packet the filter processes to the policy so
+	// it can maintain its indicator.
+	Observe(pkt packet.Packet)
+	// DropProbability returns the current drop probability in [0, 1].
+	DropProbability(now time.Duration) float64
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// slidingCounter accumulates values over a sliding time window using a ring
+// of sub-buckets, giving O(1) updates and queries on a virtual clock.
+type slidingCounter struct {
+	buckets []float64
+	width   time.Duration // width of one bucket
+	head    int           // bucket holding the newest samples
+	headEnd time.Duration // exclusive end time of the head bucket
+}
+
+func newSlidingCounter(window time.Duration, buckets int) slidingCounter {
+	return slidingCounter{
+		buckets: make([]float64, buckets),
+		width:   window / time.Duration(buckets),
+		headEnd: window / time.Duration(buckets),
+	}
+}
+
+// advance rolls the ring forward so that now falls inside the head bucket.
+func (s *slidingCounter) advance(now time.Duration) {
+	for s.headEnd <= now {
+		s.head = (s.head + 1) % len(s.buckets)
+		s.buckets[s.head] = 0
+		s.headEnd += s.width
+	}
+}
+
+func (s *slidingCounter) add(now time.Duration, v float64) {
+	s.advance(now)
+	s.buckets[s.head] += v
+}
+
+func (s *slidingCounter) sum(now time.Duration) float64 {
+	s.advance(now)
+	var total float64
+	for _, b := range s.buckets {
+		total += b
+	}
+	return total
+}
+
+// window returns the total time span covered by the counter.
+func (s *slidingCounter) window() time.Duration {
+	return s.width * time.Duration(len(s.buckets))
+}
+
+const apdBuckets = 10
+
+// BandwidthPolicy is APD design 1: the edge router monitors the bandwidth
+// utilization U_b of the protected link and drops unmatched packets with
+// probability U_b.
+type BandwidthPolicy struct {
+	capacityBits float64 // link capacity in bits/second
+	bytes        slidingCounter
+}
+
+var _ DropPolicy = (*BandwidthPolicy)(nil)
+
+// NewBandwidthPolicy returns a bandwidth-utilization policy for a link of
+// the given capacity in bits per second, averaged over the given window.
+func NewBandwidthPolicy(capacityBitsPerSec float64, window time.Duration) (*BandwidthPolicy, error) {
+	if capacityBitsPerSec <= 0 {
+		return nil, fmt.Errorf("%w: capacity %v", ErrPolicyConfig, capacityBitsPerSec)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: window %v", ErrPolicyConfig, window)
+	}
+	return &BandwidthPolicy{
+		capacityBits: capacityBitsPerSec,
+		bytes:        newSlidingCounter(window, apdBuckets),
+	}, nil
+}
+
+// Name implements DropPolicy.
+func (p *BandwidthPolicy) Name() string { return "apd-bandwidth" }
+
+// Observe implements DropPolicy: incoming bytes count against the link.
+func (p *BandwidthPolicy) Observe(pkt packet.Packet) {
+	if pkt.Dir == packet.Incoming {
+		p.bytes.add(pkt.Time, float64(pkt.Length))
+	}
+}
+
+// Utilization returns U_b, the observed fraction of link capacity in use.
+func (p *BandwidthPolicy) Utilization(now time.Duration) float64 {
+	bits := p.bytes.sum(now) * 8
+	u := bits / (p.capacityBits * p.bytes.window().Seconds())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DropProbability implements DropPolicy: probability U_b.
+func (p *BandwidthPolicy) DropProbability(now time.Duration) float64 {
+	return p.Utilization(now)
+}
+
+// RatioPolicy is APD design 2: the indicator is r = P_in / P_out over a
+// window, with drop probability 0 for r < l, (r−l)/(h−l) for l ≤ r < h and
+// 1 for r ≥ h.
+type RatioPolicy struct {
+	low, high float64
+	in, out   slidingCounter
+}
+
+var _ DropPolicy = (*RatioPolicy)(nil)
+
+// NewRatioPolicy returns an in/out-ratio policy with thresholds l < h over
+// the given window.
+func NewRatioPolicy(low, high float64, window time.Duration) (*RatioPolicy, error) {
+	if low < 0 || high <= low {
+		return nil, fmt.Errorf("%w: thresholds l=%v h=%v", ErrPolicyConfig, low, high)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: window %v", ErrPolicyConfig, window)
+	}
+	return &RatioPolicy{
+		low:  low,
+		high: high,
+		in:   newSlidingCounter(window, apdBuckets),
+		out:  newSlidingCounter(window, apdBuckets),
+	}, nil
+}
+
+// Name implements DropPolicy.
+func (p *RatioPolicy) Name() string { return "apd-ratio" }
+
+// Observe implements DropPolicy.
+func (p *RatioPolicy) Observe(pkt packet.Packet) {
+	if pkt.Dir == packet.Incoming {
+		p.in.add(pkt.Time, 1)
+	} else {
+		p.out.add(pkt.Time, 1)
+	}
+}
+
+// Ratio returns r = P_in / P_out over the window. With no outgoing traffic
+// the ratio is treated as +inf (mapped to the high threshold) as soon as
+// any incoming traffic exists.
+func (p *RatioPolicy) Ratio(now time.Duration) float64 {
+	in := p.in.sum(now)
+	out := p.out.sum(now)
+	if out == 0 {
+		if in == 0 {
+			return 0
+		}
+		return p.high
+	}
+	return in / out
+}
+
+// DropProbability implements DropPolicy.
+func (p *RatioPolicy) DropProbability(now time.Duration) float64 {
+	r := p.Ratio(now)
+	switch {
+	case r < p.low:
+		return 0
+	case r >= p.high:
+		return 1
+	default:
+		return (r - p.low) / (p.high - p.low)
+	}
+}

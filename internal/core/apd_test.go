@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func TestBandwidthPolicyValidation(t *testing.T) {
+	if _, err := NewBandwidthPolicy(0, time.Second); !errors.Is(err, ErrPolicyConfig) {
+		t.Errorf("capacity 0: %v", err)
+	}
+	if _, err := NewBandwidthPolicy(1e6, 0); !errors.Is(err, ErrPolicyConfig) {
+		t.Errorf("window 0: %v", err)
+	}
+	if _, err := NewBandwidthPolicy(1e6, time.Second); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestRatioPolicyValidation(t *testing.T) {
+	if _, err := NewRatioPolicy(2, 1, time.Second); !errors.Is(err, ErrPolicyConfig) {
+		t.Errorf("h <= l: %v", err)
+	}
+	if _, err := NewRatioPolicy(-1, 1, time.Second); !errors.Is(err, ErrPolicyConfig) {
+		t.Errorf("negative l: %v", err)
+	}
+	if _, err := NewRatioPolicy(1, 3, 0); !errors.Is(err, ErrPolicyConfig) {
+		t.Errorf("window 0: %v", err)
+	}
+	if _, err := NewRatioPolicy(1, 3, time.Second); err != nil {
+		t.Errorf("valid: %v", err)
+	}
+}
+
+func TestBandwidthUtilization(t *testing.T) {
+	// 1 Mbit/s link, 1 s window. 62500 incoming bytes/s = 0.5 Mbit/s.
+	p, err := NewBandwidthPolicy(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 125; i++ {
+		p.Observe(packet.Packet{
+			Time:   time.Duration(i) * 8 * time.Millisecond,
+			Dir:    packet.Incoming,
+			Length: 500,
+		})
+	}
+	got := p.Utilization(time.Second)
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("Utilization = %v, want ~0.5", got)
+	}
+	if p.DropProbability(time.Second) != got {
+		t.Error("DropProbability != Utilization")
+	}
+}
+
+func TestBandwidthUtilizationClamped(t *testing.T) {
+	p, err := NewBandwidthPolicy(1000, time.Second) // tiny link
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(packet.Packet{Time: time.Duration(i) * time.Millisecond, Dir: packet.Incoming, Length: 1500})
+	}
+	if got := p.Utilization(100 * time.Millisecond); got != 1 {
+		t.Errorf("Utilization = %v, want clamp at 1", got)
+	}
+}
+
+func TestBandwidthIgnoresOutgoing(t *testing.T) {
+	p, err := NewBandwidthPolicy(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(packet.Packet{Dir: packet.Outgoing, Length: 10000})
+	if got := p.Utilization(0); got != 0 {
+		t.Errorf("outgoing bytes counted: %v", got)
+	}
+}
+
+func TestBandwidthWindowSlides(t *testing.T) {
+	p, err := NewBandwidthPolicy(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(packet.Packet{Time: 0, Dir: packet.Incoming, Length: 50000})
+	if p.Utilization(100*time.Millisecond) == 0 {
+		t.Fatal("fresh bytes not visible")
+	}
+	// Two windows later the burst has aged out.
+	if got := p.Utilization(3 * time.Second); got != 0 {
+		t.Errorf("Utilization = %v after window slid past burst", got)
+	}
+}
+
+func TestRatioPolicyPiecewise(t *testing.T) {
+	mk := func(in, out int) *RatioPolicy {
+		p, err := NewRatioPolicy(1, 3, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < out; i++ {
+			p.Observe(packet.Packet{Dir: packet.Outgoing})
+		}
+		for i := 0; i < in; i++ {
+			p.Observe(packet.Packet{Dir: packet.Incoming})
+		}
+		return p
+	}
+	tests := []struct {
+		name    string
+		in, out int
+		want    float64
+	}{
+		{name: "below low", in: 5, out: 10, want: 0},    // r=0.5 < l=1
+		{name: "at low", in: 10, out: 10, want: 0},      // r=1: (1-1)/2=0
+		{name: "midpoint", in: 20, out: 10, want: 0.5},  // r=2
+		{name: "at high", in: 30, out: 10, want: 1},     // r=3
+		{name: "above high", in: 100, out: 10, want: 1}, // r=10
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := mk(tt.in, tt.out)
+			if got := p.DropProbability(0); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("DropProbability = %v, want %v (r=%v)", got, tt.want, p.Ratio(0))
+			}
+		})
+	}
+}
+
+func TestRatioPolicyNoOutgoing(t *testing.T) {
+	p, err := NewRatioPolicy(1, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No traffic at all: ratio 0, probability 0.
+	if got := p.DropProbability(0); got != 0 {
+		t.Errorf("idle DropProbability = %v", got)
+	}
+	// Incoming-only traffic: ratio saturates at the high threshold.
+	p.Observe(packet.Packet{Dir: packet.Incoming})
+	if got := p.DropProbability(0); got != 1 {
+		t.Errorf("incoming-only DropProbability = %v, want 1", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	bp, _ := NewBandwidthPolicy(1e6, time.Second)
+	rp, _ := NewRatioPolicy(1, 3, time.Second)
+	if bp.Name() != "apd-bandwidth" || rp.Name() != "apd-ratio" {
+		t.Error("policy names wrong")
+	}
+}
+
+// fixedPolicy is a test double with a constant drop probability.
+type fixedPolicy struct{ p float64 }
+
+func (f fixedPolicy) Observe(packet.Packet)                 {}
+func (f fixedPolicy) DropProbability(time.Duration) float64 { return f.p }
+func (f fixedPolicy) Name() string                          { return "fixed" }
+
+func TestAPDZeroProbabilityAdmitsEverything(t *testing.T) {
+	f := small(WithAPD(fixedPolicy{p: 0}))
+	dropped := 0
+	for i := 0; i < 500; i++ {
+		if f.Process(inPkt(0, server, client, 80, uint16(i+1))) == filtering.Drop {
+			dropped++
+		}
+	}
+	if dropped != 0 {
+		t.Errorf("p=0 APD dropped %d packets", dropped)
+	}
+	if f.APDSpared() != 500 {
+		t.Errorf("APDSpared = %d", f.APDSpared())
+	}
+}
+
+func TestAPDFullProbabilityDropsUnmatched(t *testing.T) {
+	f := small(WithAPD(fixedPolicy{p: 1}))
+	passed := 0
+	for i := 0; i < 500; i++ {
+		if f.Process(inPkt(0, server, client, 80, uint16(i+1))) == filtering.Pass {
+			passed++
+		}
+	}
+	if passed != 0 {
+		t.Errorf("p=1 APD passed %d unmatched packets", passed)
+	}
+}
+
+func TestAPDIntermediateProbability(t *testing.T) {
+	f := small(WithAPD(fixedPolicy{p: 0.3}), WithSeed(7))
+	const n = 20000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		pkt := inPkt(0, server, client, uint16(i%60000+1), uint16(i%60000+2))
+		pkt.Tuple.Src = packet.Addr(uint32(i) * 2654435761)
+		if f.Process(pkt) == filtering.Drop {
+			dropped++
+		}
+	}
+	got := float64(dropped) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("drop fraction = %v, want ~0.3", got)
+	}
+}
+
+func TestAPDMatchedPacketsUnaffected(t *testing.T) {
+	// APD only applies to packets the bitmap would drop; matched replies
+	// always pass even at p=1.
+	f := small(WithAPD(fixedPolicy{p: 1}))
+	f.Process(outPkt(0, client, server, 4000, 80))
+	if v := f.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("matched reply dropped under APD")
+	}
+}
+
+func TestAPDSignalPacketsDoNotMark(t *testing.T) {
+	// §5.3: outgoing SYN+ACK (the response a SYN scan elicits) must not
+	// mark the bitmap of an APD-enabled filter; otherwise the scanner's
+	// follow-up traffic would be admitted.
+	f := small(WithAPD(fixedPolicy{p: 1}))
+	synAck := outPkt(0, client, server, 80, 4000)
+	synAck.Flags = packet.SYN | packet.ACK
+	f.Process(synAck)
+	if f.Marks() != 0 {
+		t.Errorf("SYN+ACK marked the bitmap (%d marks)", f.Marks())
+	}
+	if v := f.Process(inPkt(time.Second, server, client, 4000, 80)); v != filtering.Drop {
+		t.Error("traffic admitted through SYN+ACK-induced mark")
+	}
+
+	// RST and FIN+ACK likewise.
+	rst := outPkt(2*time.Second, client, server, 81, 4000)
+	rst.Flags = packet.RST
+	f.Process(rst)
+	finAck := outPkt(2*time.Second, client, server, 82, 4000)
+	finAck.Flags = packet.FIN | packet.ACK
+	f.Process(finAck)
+	if f.Marks() != 0 {
+		t.Errorf("signal packets marked the bitmap (%d marks)", f.Marks())
+	}
+}
+
+func TestAPDBareSynAndFinStillMark(t *testing.T) {
+	// A bare SYN (client actively opening) and bare FIN must still mark.
+	f := small(WithAPD(fixedPolicy{p: 1}))
+	syn := outPkt(0, client, server, 4000, 80)
+	syn.Flags = packet.SYN
+	f.Process(syn)
+	if f.Marks() != 1 {
+		t.Fatalf("bare SYN did not mark (marks=%d)", f.Marks())
+	}
+	if v := f.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("reply to bare SYN dropped")
+	}
+
+	fin := outPkt(2*time.Second, client, server, 4001, 80)
+	fin.Flags = packet.FIN
+	f.Process(fin)
+	if f.Marks() != 2 {
+		t.Errorf("bare FIN did not mark (marks=%d)", f.Marks())
+	}
+}
+
+func TestNonAPDFilterMarksSignalPackets(t *testing.T) {
+	// Without APD the paper's base design marks ALL outgoing TCP/UDP
+	// packets, including signal packets.
+	f := small()
+	synAck := outPkt(0, client, server, 80, 4000)
+	synAck.Flags = packet.SYN | packet.ACK
+	f.Process(synAck)
+	if f.Marks() != 1 {
+		t.Errorf("non-APD filter skipped signal packet (marks=%d)", f.Marks())
+	}
+}
+
+func TestAPDObservesBothDirections(t *testing.T) {
+	rp, err := NewRatioPolicy(1, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := small(WithAPD(rp))
+	// Balanced traffic keeps the ratio at 1 → drop probability 0, so an
+	// unsolicited packet slips through.
+	for i := 0; i < 10; i++ {
+		f.Process(outPkt(0, client, server, uint16(5000+i), 80))
+	}
+	// 5 incoming (unmatched) → r = 5/10 < l=1 → p=0: all admitted.
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if f.Process(inPkt(0, server, client, 9, uint16(100+i))) == filtering.Pass {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Errorf("admitted %d/5 under ratio below low threshold", admitted)
+	}
+	// Now flood incoming until the ratio exceeds h=3: 10 out, need >30
+	// in. The flood itself is observed, pushing the ratio up; later
+	// packets must be dropped.
+	droppedLate := 0
+	for i := 0; i < 100; i++ {
+		if f.Process(inPkt(0, server, client, 9, uint16(200+i))) == filtering.Drop && i > 50 {
+			droppedLate++
+		}
+	}
+	if droppedLate < 40 {
+		t.Errorf("late flood packets dropped: %d, want >=40", droppedLate)
+	}
+}

@@ -1,0 +1,460 @@
+// Package core implements the bitmap filter, the paper's primary
+// contribution (§3): a composite of k Bloom-filter bit vectors of 2^n bits
+// ("a {k×n}-bitmap filter") installed at the entry point of a client
+// network.
+//
+// Operation (Algorithms 1 and 2 of the paper):
+//
+//   - Every outgoing packet hashes its partial address tuple
+//     {source-address, source-port, destination-address} with m shared hash
+//     functions and marks the resulting bits in ALL k bit vectors. Outgoing
+//     packets always pass.
+//   - Every incoming packet hashes {destination-address, destination-port,
+//     source-address} and is admitted only if all m bits are set in the
+//     CURRENT bit vector; otherwise it is dropped.
+//   - Every Δt seconds b.rotate advances the current index to the next
+//     vector and zeroes the previous one.
+//
+// Because marks land in all vectors and each vector is zeroed once per k
+// rotations, an admitted flow stays admitted for between (k−1)·Δt and
+// k·Δt = T_e seconds after its last outgoing packet — the bitmap realizes
+// the naive per-tuple expiry timer of §3.3 in O(1) time and fixed
+// (k·2^n)/8 bytes.
+//
+// The filter is driven by virtual time carried on packets; rotations fire
+// lazily as timestamps advance, so trace-driven simulation needs no wall
+// clock. Use Safe (safe.go) for a goroutine-safe wrapper.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/bitvector"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/hashfam"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// Paper defaults (§4.3): a {4×20}-bitmap with 3 hash functions rotated
+// every 5 seconds — 512 KiB of state handling out-in latencies up to
+// T_e = 20 s.
+const (
+	DefaultOrder       = 20
+	DefaultVectors     = 4
+	DefaultHashes      = 3
+	DefaultRotateEvery = 5 * time.Second
+)
+
+// ErrConfig is returned by New for invalid configurations.
+var ErrConfig = errors.New("core: invalid bitmap filter configuration")
+
+// MarkPolicy selects which vectors outgoing packets mark. The paper's
+// design marks all vectors; MarkCurrentOnly exists as an ablation that
+// demonstrates why (entries would vanish at every rotation).
+type MarkPolicy uint8
+
+// Mark policies.
+const (
+	MarkAllVectors MarkPolicy = iota + 1
+	MarkCurrentOnly
+)
+
+// TuplePolicy selects which tuple fields are hashed. The paper hashes the
+// partial tuple (remote port excluded, §3.3/§5.1); FullTuple is the
+// stricter ablation that breaks protocols whose replies come from a
+// different remote port.
+type TuplePolicy uint8
+
+// Tuple policies.
+const (
+	PartialTuple TuplePolicy = iota + 1
+	FullTuple
+)
+
+// Option configures a Filter.
+type Option interface {
+	apply(*config)
+}
+
+type config struct {
+	order       uint
+	vectors     int
+	hashes      int
+	rotateEvery time.Duration
+	seed        uint64
+	markPolicy  MarkPolicy
+	tuplePolicy TuplePolicy
+	apd         DropPolicy
+}
+
+func defaultConfig() config {
+	return config{
+		order:       DefaultOrder,
+		vectors:     DefaultVectors,
+		hashes:      DefaultHashes,
+		rotateEvery: DefaultRotateEvery,
+		markPolicy:  MarkAllVectors,
+		tuplePolicy: PartialTuple,
+	}
+}
+
+type orderOption uint
+
+func (o orderOption) apply(c *config) { c.order = uint(o) }
+
+// WithOrder sets n: each bit vector holds 2^n bits.
+func WithOrder(n uint) Option { return orderOption(n) }
+
+type vectorsOption int
+
+func (o vectorsOption) apply(c *config) { c.vectors = int(o) }
+
+// WithVectors sets k, the number of bit vectors.
+func WithVectors(k int) Option { return vectorsOption(k) }
+
+type hashesOption int
+
+func (o hashesOption) apply(c *config) { c.hashes = int(o) }
+
+// WithHashes sets m, the number of hash functions.
+func WithHashes(m int) Option { return hashesOption(m) }
+
+type rotateOption time.Duration
+
+func (o rotateOption) apply(c *config) { c.rotateEvery = time.Duration(o) }
+
+// WithRotateEvery sets Δt, the rotation period.
+func WithRotateEvery(dt time.Duration) Option { return rotateOption(dt) }
+
+type seedOption uint64
+
+func (o seedOption) apply(c *config) { c.seed = uint64(o) }
+
+// WithSeed sets the seed of the hash family (and of the APD coin flips).
+func WithSeed(seed uint64) Option { return seedOption(seed) }
+
+type markPolicyOption MarkPolicy
+
+func (o markPolicyOption) apply(c *config) { c.markPolicy = MarkPolicy(o) }
+
+// WithMarkPolicy overrides the marking policy (ablation only).
+func WithMarkPolicy(p MarkPolicy) Option { return markPolicyOption(p) }
+
+type tuplePolicyOption TuplePolicy
+
+func (o tuplePolicyOption) apply(c *config) { c.tuplePolicy = TuplePolicy(o) }
+
+// WithTuplePolicy overrides which tuple fields are hashed (ablation only).
+func WithTuplePolicy(p TuplePolicy) Option { return tuplePolicyOption(p) }
+
+type apdOption struct{ policy DropPolicy }
+
+func (o apdOption) apply(c *config) { c.apd = o.policy }
+
+// WithAPD enables adaptive packet dropping (§5.3) under the given policy.
+// An APD-enabled filter (a) drops unmatched incoming packets only with the
+// policy's probability, and (b) stops marking outgoing TCP signal packets
+// (SYN+ACK, FIN+ACK, RST±ACK) so scans cannot inflate the bitmap.
+func WithAPD(policy DropPolicy) Option { return apdOption{policy: policy} }
+
+// Filter is a {k×n}-bitmap filter. It is not safe for concurrent use; see
+// Safe.
+type Filter struct {
+	cfg     config
+	vectors []*bitvector.Vector
+	idx     int
+	hashes  *hashfam.Family
+	scratch []uint64
+	keyBuf  [13]byte // reused by keyFor to keep Process allocation-free
+	rng     *xrand.Rand
+
+	now        time.Duration
+	nextRotate time.Duration
+
+	counters  filtering.Counters
+	rotations uint64
+	marks     uint64
+	apdSpared uint64 // unmatched incoming packets admitted by APD
+}
+
+var _ filtering.PacketFilter = (*Filter)(nil)
+
+// New constructs a bitmap filter. With no options it is the paper's
+// {4×20}-bitmap with m=3 and Δt=5 s.
+func New(opts ...Option) (*Filter, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.vectors < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrConfig, cfg.vectors)
+	}
+	if cfg.rotateEvery <= 0 {
+		return nil, fmt.Errorf("%w: Δt=%v", ErrConfig, cfg.rotateEvery)
+	}
+	switch cfg.markPolicy {
+	case MarkAllVectors, MarkCurrentOnly:
+	default:
+		return nil, fmt.Errorf("%w: mark policy %d", ErrConfig, cfg.markPolicy)
+	}
+	switch cfg.tuplePolicy {
+	case PartialTuple, FullTuple:
+	default:
+		return nil, fmt.Errorf("%w: tuple policy %d", ErrConfig, cfg.tuplePolicy)
+	}
+	fam, err := hashfam.New(cfg.hashes, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	vectors := make([]*bitvector.Vector, cfg.vectors)
+	for i := range vectors {
+		v, err := bitvector.New(cfg.order)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		vectors[i] = v
+	}
+	return &Filter{
+		cfg:        cfg,
+		vectors:    vectors,
+		hashes:     fam,
+		scratch:    make([]uint64, 0, cfg.hashes),
+		rng:        xrand.New(cfg.seed ^ 0xb17a9f11ce5),
+		nextRotate: cfg.rotateEvery,
+	}, nil
+}
+
+// MustNew is New for statically known options; it panics on error.
+func MustNew(opts ...Option) *Filter {
+	f, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements filtering.PacketFilter.
+func (f *Filter) Name() string {
+	return fmt.Sprintf("bitmap{%dx%d,m=%d,dt=%v}",
+		f.cfg.vectors, f.cfg.order, f.cfg.hashes, f.cfg.rotateEvery)
+}
+
+// Order returns n.
+func (f *Filter) Order() uint { return f.cfg.order }
+
+// Vectors returns k.
+func (f *Filter) Vectors() int { return f.cfg.vectors }
+
+// Hashes returns m.
+func (f *Filter) Hashes() int { return f.cfg.hashes }
+
+// RotateEvery returns Δt.
+func (f *Filter) RotateEvery() time.Duration { return f.cfg.rotateEvery }
+
+// ExpiryTimer returns T_e = k·Δt, the maximum lifetime of a mark.
+func (f *Filter) ExpiryTimer() time.Duration {
+	return time.Duration(f.cfg.vectors) * f.cfg.rotateEvery
+}
+
+// MemoryBytes returns the fixed footprint of the bitmap: (k·2^n)/8 bytes.
+func (f *Filter) MemoryBytes() uint64 {
+	return uint64(f.cfg.vectors) * f.vectors[0].Bytes()
+}
+
+// Counters implements filtering.PacketFilter.
+func (f *Filter) Counters() filtering.Counters { return f.counters }
+
+// Rotations returns the number of b.rotate invocations so far.
+func (f *Filter) Rotations() uint64 { return f.rotations }
+
+// Marks returns the number of outgoing packets that marked the bitmap.
+func (f *Filter) Marks() uint64 { return f.marks }
+
+// APDSpared returns the number of unmatched incoming packets that adaptive
+// packet dropping chose to admit anyway.
+func (f *Filter) APDSpared() uint64 { return f.apdSpared }
+
+// Utilization returns U, the fraction of set bits in the current vector
+// (§4.1).
+func (f *Filter) Utilization() float64 { return f.vectors[f.idx].Utilization() }
+
+// PenetrationProbability returns the instantaneous probability p = U^m that
+// a random incoming tuple penetrates the filter (Equation 1).
+func (f *Filter) PenetrationProbability() float64 {
+	p := 1.0
+	u := f.Utilization()
+	for i := 0; i < f.cfg.hashes; i++ {
+		p *= u
+	}
+	return p
+}
+
+// AdvanceTo implements filtering.PacketFilter: it fires every rotation due
+// strictly before or at time now. Gaps spanning ≥ k rotations short-circuit
+// to a full reset.
+func (f *Filter) AdvanceTo(now time.Duration) {
+	if now <= f.now {
+		return
+	}
+	f.now = now
+	if f.now < f.nextRotate {
+		return
+	}
+	pending := uint64((f.now-f.nextRotate)/f.cfg.rotateEvery) + 1
+	if pending >= uint64(f.cfg.vectors) {
+		// Every vector would be cleared anyway: reset wholesale but
+		// keep the rotation accounting exact.
+		for _, v := range f.vectors {
+			v.Reset()
+		}
+		f.idx = (f.idx + int(pending%uint64(f.cfg.vectors))) % f.cfg.vectors
+		f.rotations += pending
+	} else {
+		for i := uint64(0); i < pending; i++ {
+			f.Rotate()
+		}
+	}
+	f.nextRotate += time.Duration(pending) * f.cfg.rotateEvery
+}
+
+// Reset clears every bit vector and all statistics, returning the filter
+// to its just-constructed state (the rotation schedule continues from the
+// current virtual time). Operators use this to flush state after an
+// incident without reallocating.
+func (f *Filter) Reset() {
+	for _, v := range f.vectors {
+		v.Reset()
+	}
+	f.idx = 0
+	f.counters = filtering.Counters{}
+	f.rotations = 0
+	f.marks = 0
+	f.apdSpared = 0
+}
+
+// Rotate performs one b.rotate step (Algorithm 1): the current index moves
+// to the next vector and the previous vector is zeroed.
+func (f *Filter) Rotate() {
+	last := f.idx
+	f.idx = (f.idx + 1) % f.cfg.vectors
+	f.vectors[last].Reset()
+	f.rotations++
+}
+
+// Process implements filtering.PacketFilter (Algorithm 2, b.filter).
+func (f *Filter) Process(pkt packet.Packet) filtering.Verdict {
+	f.AdvanceTo(pkt.Time)
+
+	if pkt.Dir == packet.Outgoing {
+		// Under APD the marking policy skips TCP signal packets so
+		// that SYN/FIN-scan responses cannot inflate the bitmap
+		// (§5.3).
+		if f.cfg.apd == nil || !pkt.IsSignal() {
+			f.mark(f.key(pkt))
+		}
+		if f.cfg.apd != nil {
+			f.cfg.apd.Observe(pkt)
+		}
+		f.counters.Count(pkt, filtering.Pass)
+		return filtering.Pass
+	}
+
+	if f.cfg.apd != nil {
+		f.cfg.apd.Observe(pkt)
+	}
+	v := filtering.Pass
+	if !f.lookup(f.key(pkt)) {
+		v = filtering.Drop
+		if f.cfg.apd != nil {
+			// APD drops unmatched packets only probabilistically.
+			p := f.cfg.apd.DropProbability(pkt.Time)
+			if !f.rng.Bool(p) {
+				v = filtering.Pass
+				f.apdSpared++
+			}
+		}
+	}
+	f.counters.Count(pkt, v)
+	return v
+}
+
+// PunchHole implements the hole-punching technique of §5.1: it marks the
+// bitmap exactly as an outgoing packet with tuple {local, localPort,
+// remote, x} would, allowing remote to initiate a connection to
+// local:localPort until the marks expire.
+func (f *Filter) PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto) {
+	tup := packet.Tuple{
+		Src:     local,
+		SrcPort: localPort,
+		Dst:     remote,
+		Proto:   proto,
+	}
+	f.mark(f.keyFor(tup, packet.Outgoing))
+}
+
+// WouldAdmit reports, without counting or APD, whether an incoming packet
+// with the given tuple would currently pass the bitmap lookup. Attack
+// verification in the Figure 5 experiment uses this to classify penetrating
+// packets.
+func (f *Filter) WouldAdmit(tup packet.Tuple) bool {
+	return f.lookup(f.keyFor(tup, packet.Incoming))
+}
+
+func (f *Filter) key(pkt packet.Packet) []byte {
+	return f.keyFor(pkt.Tuple, pkt.Dir)
+}
+
+// keyFor encodes the hashed key into the filter's reusable buffer; the
+// returned slice is only valid until the next keyFor call.
+func (f *Filter) keyFor(tup packet.Tuple, dir packet.Direction) []byte {
+	if f.cfg.tuplePolicy == FullTuple {
+		// Ablation: hash the complete 4-tuple, canonicalized to the
+		// outgoing orientation.
+		if dir == packet.Incoming {
+			tup = tup.Reverse()
+		}
+		f.keyBuf = tup.FullKey()
+		return f.keyBuf[:]
+	}
+	var k packet.Key
+	if dir == packet.Outgoing {
+		k = tup.OutgoingKey()
+	} else {
+		k = tup.IncomingKey()
+	}
+	n := copy(f.keyBuf[:], k[:])
+	return f.keyBuf[:n]
+}
+
+// mark sets the m hash bits of key. keyBytes escapes into the hash family
+// only; the scratch slice keeps the hot path allocation-free.
+func (f *Filter) mark(keyBytes []byte) {
+	f.scratch = f.hashes.Indexes(f.scratch[:0], keyBytes)
+	if f.cfg.markPolicy == MarkCurrentOnly {
+		for _, h := range f.scratch {
+			f.vectors[f.idx].Set(h)
+		}
+	} else {
+		for _, v := range f.vectors {
+			for _, h := range f.scratch {
+				v.Set(h)
+			}
+		}
+	}
+	f.marks++
+}
+
+// lookup tests the m hash bits of key in the current vector only.
+func (f *Filter) lookup(keyBytes []byte) bool {
+	f.scratch = f.hashes.Indexes(f.scratch[:0], keyBytes)
+	cur := f.vectors[f.idx]
+	for _, h := range f.scratch {
+		if !cur.Test(h) {
+			return false
+		}
+	}
+	return true
+}

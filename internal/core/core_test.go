@@ -1,0 +1,515 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/flowtable"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+var (
+	client = packet.AddrFrom4(10, 0, 0, 1)
+	server = packet.AddrFrom4(198, 51, 100, 7)
+)
+
+func outPkt(t time.Duration, src, dst packet.Addr, sp, dp uint16) packet.Packet {
+	return packet.Packet{
+		Time:  t,
+		Tuple: packet.Tuple{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: packet.TCP},
+		Dir:   packet.Outgoing,
+		Flags: packet.ACK,
+	}
+}
+
+func inPkt(t time.Duration, src, dst packet.Addr, sp, dp uint16) packet.Packet {
+	return packet.Packet{
+		Time:  t,
+		Tuple: packet.Tuple{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: packet.TCP},
+		Dir:   packet.Incoming,
+		Flags: packet.ACK,
+	}
+}
+
+// small returns a filter small and fast enough for tight loops:
+// {4×12}-bitmap, m=3, Δt=5s.
+func small(opts ...Option) *Filter {
+	base := []Option{WithOrder(12), WithVectors(4), WithHashes(3), WithRotateEvery(5 * time.Second)}
+	return MustNew(append(base, opts...)...)
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []Option
+	}{
+		{name: "zero vectors", opts: []Option{WithVectors(0)}},
+		{name: "negative vectors", opts: []Option{WithVectors(-1)}},
+		{name: "zero rotate", opts: []Option{WithRotateEvery(0)}},
+		{name: "negative rotate", opts: []Option{WithRotateEvery(-time.Second)}},
+		{name: "bad order", opts: []Option{WithOrder(2)}},
+		{name: "zero hashes", opts: []Option{WithHashes(0)}},
+		{name: "bad mark policy", opts: []Option{WithMarkPolicy(MarkPolicy(9))}},
+		{name: "bad tuple policy", opts: []Option{WithTuplePolicy(TuplePolicy(9))}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.opts...); !errors.Is(err, ErrConfig) {
+				t.Errorf("New() error = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(WithVectors(0))
+}
+
+func TestPaperDefaults(t *testing.T) {
+	f := MustNew()
+	if f.Order() != 20 || f.Vectors() != 4 || f.Hashes() != 3 {
+		t.Errorf("defaults = {%dx%d, m=%d}", f.Vectors(), f.Order(), f.Hashes())
+	}
+	if f.RotateEvery() != 5*time.Second {
+		t.Errorf("Δt = %v", f.RotateEvery())
+	}
+	// §4.1: "the memory space required by the bitmap filter is only
+	// (k·2^n)/8 = 512K bytes".
+	if got := f.MemoryBytes(); got != 512*1024 {
+		t.Errorf("MemoryBytes = %d, want 524288", got)
+	}
+	// T_e = k·Δt = 20 s.
+	if got := f.ExpiryTimer(); got != 20*time.Second {
+		t.Errorf("ExpiryTimer = %v, want 20s", got)
+	}
+	if f.Name() == "" {
+		t.Error("empty Name")
+	}
+}
+
+func TestOutgoingAlwaysPasses(t *testing.T) {
+	f := small()
+	for i := 0; i < 100; i++ {
+		if v := f.Process(outPkt(time.Duration(i)*time.Second, client, server, uint16(1000+i), 80)); v != filtering.Pass {
+			t.Fatal("outgoing packet dropped")
+		}
+	}
+}
+
+func TestReplyAdmitted(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	if v := f.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("reply dropped")
+	}
+}
+
+func TestReplyFromDifferentRemotePortAdmitted(t *testing.T) {
+	// §3.3/§5.1: the remote port is excluded from the hash, so a reply
+	// from any remote port is admitted. This is what an exact SPI filter
+	// cannot do (flowtable tests assert the opposite there).
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 21))
+	if v := f.Process(inPkt(time.Second, server, client, 20, 4000)); v != filtering.Pass {
+		t.Error("reply from different remote port dropped")
+	}
+}
+
+func TestUnsolicitedIncomingDropped(t *testing.T) {
+	f := small()
+	if v := f.Process(inPkt(0, server, client, 80, 4000)); v != filtering.Drop {
+		t.Error("unsolicited incoming packet passed")
+	}
+}
+
+func TestDifferentLocalPortDropped(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	if v := f.Process(inPkt(time.Second, server, client, 80, 4001)); v != filtering.Drop {
+		t.Error("packet to different local port passed")
+	}
+}
+
+func TestDifferentRemoteHostDropped(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	other := packet.AddrFrom4(203, 0, 113, 50)
+	if v := f.Process(inPkt(time.Second, other, client, 80, 4000)); v != filtering.Drop {
+		t.Error("packet from different remote host passed")
+	}
+}
+
+func TestExpirySemantics(t *testing.T) {
+	// k=4, Δt=5s: a mark made at t=0 survives until just before t=20s
+	// (= T_e) and is gone at t=20s.
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	for _, ts := range []time.Duration{
+		time.Second, 6 * time.Second, 11 * time.Second, 16 * time.Second,
+		19*time.Second + 999*time.Millisecond,
+	} {
+		// Use WouldAdmit so the probes themselves don't perturb state.
+		f.AdvanceTo(ts)
+		if !f.WouldAdmit(packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}) {
+			t.Fatalf("mark expired early at %v", ts)
+		}
+	}
+	f.AdvanceTo(20 * time.Second)
+	if f.WouldAdmit(packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}) {
+		t.Error("mark survived past T_e")
+	}
+}
+
+func TestExpiryLowerBound(t *testing.T) {
+	// A mark made just before a rotation lives at least (k−1)·Δt: made at
+	// t=4.9s, it must still be admitted at t=19.8s... no — it is cleared
+	// when its oldest surviving vector becomes current at t=20s. It must
+	// survive through t<20s and die at 20s.
+	f := small()
+	f.Process(outPkt(4900*time.Millisecond, client, server, 4000, 80))
+	f.AdvanceTo(19 * time.Second)
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+	if !f.WouldAdmit(tup) {
+		t.Error("mark expired before (k-1)·Δt")
+	}
+	f.AdvanceTo(20 * time.Second)
+	if f.WouldAdmit(tup) {
+		t.Error("mark from t=4.9s survived the rotation that clears it")
+	}
+}
+
+func TestRefreshKeepsFlowAlive(t *testing.T) {
+	f := small()
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+	for ts := time.Duration(0); ts <= 120*time.Second; ts += 10 * time.Second {
+		f.Process(outPkt(ts, client, server, 4000, 80))
+	}
+	f.AdvanceTo(125 * time.Second)
+	if !f.WouldAdmit(tup) {
+		t.Error("refreshed flow expired")
+	}
+}
+
+func TestLargeGapResets(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	// A gap of 10 minutes spans far more than k rotations: everything
+	// must be forgotten, and the rotation accounting must stay exact.
+	f.AdvanceTo(10 * time.Minute)
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+	if f.WouldAdmit(tup) {
+		t.Error("mark survived a 10-minute gap")
+	}
+	if got, want := f.Rotations(), uint64(120); got != want {
+		t.Errorf("Rotations = %d, want %d", got, want)
+	}
+	if f.Utilization() != 0 {
+		t.Errorf("Utilization after reset = %v", f.Utilization())
+	}
+}
+
+func TestRotationScheduleExactMultiples(t *testing.T) {
+	f := small()
+	f.AdvanceTo(5 * time.Second)
+	if f.Rotations() != 1 {
+		t.Errorf("rotations at t=5s: %d", f.Rotations())
+	}
+	f.AdvanceTo(14999 * time.Millisecond)
+	if f.Rotations() != 2 {
+		t.Errorf("rotations at t=14.999s: %d", f.Rotations())
+	}
+	f.AdvanceTo(15 * time.Second)
+	if f.Rotations() != 3 {
+		t.Errorf("rotations at t=15s: %d", f.Rotations())
+	}
+}
+
+func TestTimeNeverGoesBackwards(t *testing.T) {
+	f := small()
+	f.Process(outPkt(10*time.Second, client, server, 4000, 80))
+	r := f.Rotations()
+	// An out-of-order timestamp must not rewind the clock or re-rotate.
+	f.Process(outPkt(3*time.Second, client, server, 4001, 80))
+	if f.Rotations() != r {
+		t.Error("stale timestamp changed rotation state")
+	}
+	if v := f.Process(inPkt(11*time.Second, server, client, 80, 4001)); v != filtering.Pass {
+		t.Error("mark made with stale timestamp not usable")
+	}
+}
+
+func TestMarkCurrentOnlyAblation(t *testing.T) {
+	// Marking only the current vector breaks continuity: the flow dies at
+	// the first rotation even though T_e = 20s.
+	f := small(WithMarkPolicy(MarkCurrentOnly))
+	f.Process(outPkt(0, client, server, 4000, 80))
+	if v := f.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Fatal("reply dropped before any rotation")
+	}
+	f.AdvanceTo(6 * time.Second) // one rotation
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+	if f.WouldAdmit(tup) {
+		t.Error("MarkCurrentOnly flow survived a rotation; ablation should break it")
+	}
+}
+
+func TestFullTupleAblation(t *testing.T) {
+	f := small(WithTuplePolicy(FullTuple))
+	f.Process(outPkt(0, client, server, 4000, 80))
+	// Exact reply passes.
+	if v := f.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("exact reply dropped under FullTuple")
+	}
+	// Reply from a different remote port is dropped (unlike PartialTuple).
+	if v := f.Process(inPkt(2*time.Second, server, client, 8080, 4000)); v != filtering.Drop {
+		t.Error("different remote port admitted under FullTuple")
+	}
+}
+
+func TestPunchHole(t *testing.T) {
+	// §5.1 active-mode FTP: client c tells server s to connect back to
+	// port p. Punching {c, p, s, x} admits the server's active
+	// connection.
+	f := small()
+	const dataPort = 20000
+	if v := f.Process(inPkt(0, server, client, 20, dataPort)); v != filtering.Drop {
+		t.Fatal("active connection passed before hole punch")
+	}
+	f.PunchHole(client, dataPort, server, packet.TCP)
+	if v := f.Process(inPkt(time.Second, server, client, 20, dataPort)); v != filtering.Pass {
+		t.Error("active connection dropped after hole punch")
+	}
+	// The hole closes after T_e.
+	f.AdvanceTo(30 * time.Second)
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 20, DstPort: dataPort, Proto: packet.TCP}
+	if f.WouldAdmit(tup) {
+		t.Error("hole still open after T_e")
+	}
+}
+
+func TestWouldAdmitMatchesProcess(t *testing.T) {
+	f := small()
+	r := xrand.New(5)
+	now := time.Duration(0)
+	for i := 0; i < 5000; i++ {
+		now += time.Duration(r.Intn(50)) * time.Millisecond
+		remote := packet.AddrFrom4(198, 51, 100, byte(r.Intn(30)))
+		lport := uint16(1024 + r.Intn(100))
+		if r.Bool(0.5) {
+			f.Process(outPkt(now, client, remote, lport, 80))
+			continue
+		}
+		tup := packet.Tuple{Src: remote, Dst: client, SrcPort: 80, DstPort: lport, Proto: packet.TCP}
+		f.AdvanceTo(now)
+		want := filtering.Drop
+		if f.WouldAdmit(tup) {
+			want = filtering.Pass
+		}
+		if got := f.Process(inPkt(now, remote, client, 80, lport)); got != want {
+			t.Fatalf("packet %d: WouldAdmit predicted %v, Process returned %v", i, want, got)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	f.Process(inPkt(time.Second, server, client, 80, 4000))
+	f.Process(inPkt(2*time.Second, server, client, 80, 9))
+	c := f.Counters()
+	if c.OutPackets != 1 || c.InPackets != 2 || c.InPassed != 1 || c.InDropped != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+	if f.Marks() != 1 {
+		t.Errorf("Marks = %d", f.Marks())
+	}
+}
+
+func TestPenetrationProbabilityIsUtilizationToTheM(t *testing.T) {
+	f := small()
+	r := xrand.New(9)
+	for i := 0; i < 300; i++ {
+		f.Process(outPkt(0, client, packet.Addr(r.Uint32()), uint16(r.Intn(60000)+1024), 80))
+	}
+	u := f.Utilization()
+	want := math.Pow(u, 3)
+	if got := f.PenetrationProbability(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PenetrationProbability = %v, want %v", got, want)
+	}
+}
+
+func TestRandomPenetrationMatchesEquation1(t *testing.T) {
+	// Fill the filter to a known utilization and verify that random
+	// attack tuples penetrate at ≈ U^m (Equation 1).
+	f := MustNew(WithOrder(14), WithVectors(4), WithHashes(3), WithRotateEvery(5*time.Second), WithSeed(1))
+	r := xrand.New(10)
+	for i := 0; i < 2000; i++ {
+		f.Process(outPkt(0, client, packet.Addr(r.Uint32()), uint16(r.Intn(60000)+1024), uint16(r.Intn(60000)+1)))
+	}
+	u := f.Utilization()
+	want := math.Pow(u, 3)
+
+	const probes = 300000
+	hits := 0
+	for i := 0; i < probes; i++ {
+		tup := packet.Tuple{
+			Src:     packet.Addr(r.Uint32()),
+			Dst:     client,
+			SrcPort: uint16(r.Intn(65535) + 1),
+			DstPort: uint16(r.Intn(65535) + 1),
+			Proto:   packet.TCP,
+		}
+		if f.WouldAdmit(tup) {
+			hits++
+		}
+	}
+	got := float64(hits) / probes
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("penetration rate %v, Equation 1 predicts %v (U=%v)", got, want, u)
+	}
+}
+
+// Differential test against the exact SPI table: on benign bidirectional
+// traffic whose out-in delays stay below (k−1)·Δt, the bitmap filter must
+// admit (no false positives) every packet the SPI filter admits.
+func TestNoFalsePositivesVersusSPI(t *testing.T) {
+	f := MustNew(WithOrder(16), WithVectors(4), WithHashes(3), WithRotateEvery(5*time.Second))
+	spi := flowtable.NewMapTable(flowtable.WithIdleTimeout(15 * time.Second))
+	r := xrand.New(11)
+	now := time.Duration(0)
+
+	type flow struct {
+		remote packet.Addr
+		lport  uint16
+	}
+	var flows []flow
+	for i := 0; i < 20000; i++ {
+		now += time.Duration(r.Intn(30)) * time.Millisecond
+		if r.Bool(0.3) || len(flows) == 0 {
+			fl := flow{
+				remote: packet.AddrFrom4(198, 51, 100, byte(r.Intn(200))),
+				lport:  uint16(1024 + r.Intn(20000)),
+			}
+			flows = append(flows, fl)
+			p := outPkt(now, client, fl.remote, fl.lport, 80)
+			f.Process(p)
+			spi.Process(p)
+			continue
+		}
+		fl := flows[r.Intn(len(flows))]
+		// Reply within 2s of *some* outgoing packet of the flow; to keep
+		// the invariant simple, refresh the flow first.
+		pOut := outPkt(now, client, fl.remote, fl.lport, 80)
+		f.Process(pOut)
+		spi.Process(pOut)
+		now += time.Duration(r.Intn(2000)) * time.Millisecond
+		pIn := inPkt(now, fl.remote, client, 80, fl.lport)
+		vb, vs := f.Process(pIn), spi.Process(pIn)
+		if vs == filtering.Pass && vb == filtering.Drop {
+			t.Fatalf("false positive at %v: SPI passed, bitmap dropped %v", now, pIn)
+		}
+	}
+}
+
+func TestUtilizationDropsAfterRotations(t *testing.T) {
+	f := small()
+	r := xrand.New(12)
+	for i := 0; i < 1000; i++ {
+		f.Process(outPkt(0, client, packet.Addr(r.Uint32()), uint16(i+1024), 80))
+	}
+	if f.Utilization() == 0 {
+		t.Fatal("no utilization after marking")
+	}
+	// After k rotations with no traffic, everything is clear.
+	f.AdvanceTo(21 * time.Second)
+	if f.Utilization() != 0 {
+		t.Errorf("Utilization = %v after k rotations", f.Utilization())
+	}
+}
+
+func TestManualRotate(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	for i := 0; i < 4; i++ {
+		f.Rotate()
+	}
+	if f.Rotations() != 4 {
+		t.Errorf("Rotations = %d", f.Rotations())
+	}
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+	if f.WouldAdmit(tup) {
+		t.Error("mark survived k manual rotations")
+	}
+}
+
+// Property: for any benign request/reply pair within one rotation period,
+// the reply is admitted regardless of addresses and ports.
+func TestRequestReplyProperty(t *testing.T) {
+	fn := func(src, dst uint32, sp, dp uint16, delayMs uint16) bool {
+		f := small()
+		delay := time.Duration(delayMs%4000) * time.Millisecond
+		out := packet.Packet{
+			Tuple: packet.Tuple{Src: packet.Addr(src), Dst: packet.Addr(dst), SrcPort: sp, DstPort: dp, Proto: packet.UDP},
+			Dir:   packet.Outgoing,
+		}
+		f.Process(out)
+		in := packet.Packet{
+			Time:  delay,
+			Tuple: out.Tuple.Reverse(),
+			Dir:   packet.Incoming,
+		}
+		return f.Process(in) == filtering.Pass
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkProcessOutgoing(b *testing.B) {
+	f := MustNew()
+	pkts := make([]packet.Packet, 1<<12)
+	r := xrand.New(1)
+	for i := range pkts {
+		pkts[i] = outPkt(0, client, packet.Addr(r.Uint32()), uint16(r.Intn(60000)+1024), 80)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Process(pkts[i&(1<<12-1)])
+	}
+}
+
+func BenchmarkProcessIncoming(b *testing.B) {
+	f := MustNew()
+	r := xrand.New(1)
+	outs := make([]packet.Packet, 1<<12)
+	ins := make([]packet.Packet, 1<<12)
+	for i := range outs {
+		outs[i] = outPkt(0, client, packet.Addr(r.Uint32()), uint16(r.Intn(60000)+1024), 80)
+		ins[i] = packet.Packet{Tuple: outs[i].Tuple.Reverse(), Dir: packet.Incoming}
+		f.Process(outs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Process(ins[i&(1<<12-1)])
+	}
+}
+
+func BenchmarkRotate(b *testing.B) {
+	f := MustNew()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Rotate()
+	}
+}

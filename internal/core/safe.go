@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// Safe wraps a Filter with a mutex so multiple goroutines (e.g. per-uplink
+// packet pumps in a live deployment) can share one bitmap. All methods of
+// the wrapped filter that are part of filtering.PacketFilter are exposed.
+type Safe struct {
+	mu sync.Mutex
+	f  *Filter
+}
+
+var _ filtering.PacketFilter = (*Safe)(nil)
+
+// NewSafe wraps f. The wrapped filter must not be used directly afterwards.
+func NewSafe(f *Filter) *Safe {
+	return &Safe{f: f}
+}
+
+// Process implements filtering.PacketFilter.
+func (s *Safe) Process(pkt packet.Packet) filtering.Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Process(pkt)
+}
+
+// AdvanceTo implements filtering.PacketFilter.
+func (s *Safe) AdvanceTo(now time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.AdvanceTo(now)
+}
+
+// Name implements filtering.PacketFilter.
+func (s *Safe) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Name()
+}
+
+// MemoryBytes implements filtering.PacketFilter.
+func (s *Safe) MemoryBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.MemoryBytes()
+}
+
+// Counters implements filtering.PacketFilter.
+func (s *Safe) Counters() filtering.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Counters()
+}
+
+// Utilization returns the current-vector utilization.
+func (s *Safe) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Utilization()
+}
+
+// PunchHole forwards to Filter.PunchHole under the lock.
+func (s *Safe) PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.PunchHole(local, localPort, remote, proto)
+}
+
+// WouldAdmit forwards to Filter.WouldAdmit under the lock.
+func (s *Safe) WouldAdmit(tup packet.Tuple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.WouldAdmit(tup)
+}
+
+// Stats forwards to Filter.Stats under the lock.
+func (s *Safe) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Stats()
+}
+
+// Reset forwards to Filter.Reset under the lock.
+func (s *Safe) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Reset()
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func TestSafeBasicOperation(t *testing.T) {
+	s := NewSafe(small())
+	if v := s.Process(outPkt(0, client, server, 4000, 80)); v != filtering.Pass {
+		t.Fatal("outgoing dropped")
+	}
+	if v := s.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("reply dropped")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	if s.MemoryBytes() == 0 {
+		t.Error("zero memory")
+	}
+	c := s.Counters()
+	if c.OutPackets != 1 || c.InPassed != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+	if s.Utilization() == 0 {
+		t.Error("zero utilization after mark")
+	}
+}
+
+func TestSafePunchHole(t *testing.T) {
+	s := NewSafe(small())
+	s.PunchHole(client, 2000, server, packet.TCP)
+	if v := s.Process(inPkt(0, server, client, 20, 2000)); v != filtering.Pass {
+		t.Error("punched hole not honored")
+	}
+}
+
+// TestSafeConcurrentAccess hammers the wrapper from many goroutines; run
+// with -race to validate the locking.
+func TestSafeConcurrentAccess(t *testing.T) {
+	s := NewSafe(small())
+	const (
+		workers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint16(1000 * (w + 1))
+			for i := 0; i < perG; i++ {
+				ts := time.Duration(i) * time.Millisecond
+				s.Process(outPkt(ts, client, server, base+uint16(i%100), 80))
+				s.Process(inPkt(ts, server, client, 80, base+uint16(i%100)))
+				if i%100 == 0 {
+					s.AdvanceTo(ts)
+					_ = s.Utilization()
+					_ = s.Counters()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := s.Counters()
+	if got, want := c.OutPackets, uint64(workers*perG); got != want {
+		t.Errorf("OutPackets = %d, want %d", got, want)
+	}
+	if got, want := c.InPackets, uint64(workers*perG); got != want {
+		t.Errorf("InPackets = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+func TestNewShardedValidation(t *testing.T) {
+	if _, err := NewSharded(0); !errors.Is(err, ErrConfig) {
+		t.Errorf("0 shards: %v", err)
+	}
+	if _, err := NewSharded(4, WithVectors(0)); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad shard options: %v", err)
+	}
+	s, err := NewSharded(3, WithOrder(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 {
+		t.Errorf("shards = %d, want rounded to 4", s.Shards())
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestShardedBasicSemantics(t *testing.T) {
+	s, err := NewSharded(4, WithOrder(12), WithRotateEvery(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(outPkt(0, client, server, 4000, 80))
+	if v := s.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("reply dropped")
+	}
+	// Reply from another remote port still matches (same shard by key
+	// symmetry).
+	if v := s.Process(inPkt(time.Second, server, client, 9999, 4000)); v != filtering.Pass {
+		t.Error("alternate-port reply dropped: flow split across shards?")
+	}
+	if v := s.Process(inPkt(2*time.Second, server, client, 80, 4001)); v != filtering.Drop {
+		t.Error("unsolicited packet passed")
+	}
+	// Expiry still works through AdvanceTo.
+	s.AdvanceTo(30 * time.Second)
+	if v := s.Process(inPkt(30*time.Second, server, client, 80, 4000)); v != filtering.Drop {
+		t.Error("mark survived T_e across shards")
+	}
+	c := s.Counters()
+	if c.OutPackets != 1 || c.InPackets != 4 || c.InPassed != 2 || c.InDropped != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestShardedMemoryIsSumOfShards(t *testing.T) {
+	s, err := NewSharded(4, WithOrder(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := MustNew(WithOrder(12))
+	if got, want := s.MemoryBytes(), 4*single.MemoryBytes(); got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+// Differential: a sharded filter must agree with a single filter on every
+// verdict for benign request/reply traffic (the partial-tuple key routes
+// each flow wholly into one shard).
+func TestShardedMatchesSingleOnFlows(t *testing.T) {
+	single := MustNew(WithOrder(16), WithRotateEvery(5*time.Second), WithSeed(1))
+	sharded, err := NewSharded(8, WithOrder(16), WithRotateEvery(5*time.Second), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	now := time.Duration(0)
+	// Ground truth: last mark time per partial-tuple key. Packets whose
+	// mark is younger than (k−1)·Δt MUST pass in both filters; packets
+	// with no mark within k·Δt SHOULD drop in both, but hash-collision
+	// admits are legal and differ between the two (the single filter is
+	// fuller, and the shards use perturbed hash families), so those rare
+	// disagreements are only counted.
+	marks := make(map[packet.Key]time.Duration)
+	collisions := 0
+	for i := 0; i < 20000; i++ {
+		now += time.Duration(r.Intn(20)) * time.Millisecond
+		remote := packet.AddrFrom4(198, 51, 100, byte(r.Intn(100)))
+		lport := uint16(1024 + r.Intn(500))
+		var pkt packet.Packet
+		if r.Bool(0.5) {
+			pkt = outPkt(now, client, remote, lport, 80)
+			marks[pkt.Tuple.OutgoingKey()] = now
+		} else {
+			pkt = inPkt(now, remote, client, 80, lport)
+		}
+		v1 := single.Process(pkt)
+		v2 := sharded.Process(pkt)
+		if v1 == v2 {
+			continue
+		}
+		last, marked := marks[pkt.Tuple.IncomingKey()]
+		age := now - last
+		switch {
+		case marked && age < 15*time.Second:
+			t.Fatalf("packet %d (%v): fresh mark (age %v) but single=%v sharded=%v",
+				i, pkt, age, v1, v2)
+		case !marked || age >= 20*time.Second:
+			collisions++ // a collision admit in one of the two: legal
+		default:
+			// Between (k−1)·Δt and k·Δt admission depends on rotation
+			// phase, which is identical in both filters — they must
+			// agree.
+			t.Fatalf("packet %d (%v): phase-window divergence single=%v sharded=%v",
+				i, pkt, v1, v2)
+		}
+	}
+	if collisions > 10 {
+		t.Errorf("%d collision disagreements; expected a handful at most", collisions)
+	}
+}
+
+func TestShardedPunchHoleAndWouldAdmit(t *testing.T) {
+	s, err := NewSharded(4, WithOrder(12), WithRotateEvery(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hole := packet.Tuple{Src: server, Dst: client, SrcPort: 20, DstPort: 2000, Proto: packet.TCP}
+	if s.WouldAdmit(hole) {
+		t.Fatal("hole open before punch")
+	}
+	s.PunchHole(client, 2000, server, packet.TCP)
+	if !s.WouldAdmit(hole) {
+		t.Error("punched hole not visible via WouldAdmit")
+	}
+	if v := s.Process(packet.Packet{Tuple: hole, Dir: packet.Incoming, Flags: packet.SYN}); v != filtering.Pass {
+		t.Error("punched connection dropped")
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s, err := NewSharded(8, WithOrder(14), WithRotateEvery(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint16(1000 * (w + 1))
+			for i := 0; i < 2000; i++ {
+				ts := time.Duration(i) * time.Millisecond
+				s.Process(outPkt(ts, client, server, base+uint16(i%50), 80))
+				if v := s.Process(inPkt(ts, server, client, 80, base+uint16(i%50))); v != filtering.Pass {
+					t.Errorf("worker %d: reply dropped", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := s.Counters()
+	if c.OutPackets != 16000 || c.InPackets != 16000 || c.InDropped != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot serialization: an edge router restarting (or failing over to a
+// standby) would otherwise come up with an empty bitmap and drop every
+// in-flight connection's incoming packets for up to T_e. WriteSnapshot /
+// ReadSnapshot persist the full filter state — configuration, rotation
+// clock, counters and all k bit vectors — in a small binary format.
+//
+// APD policies hold live traffic windows and are deliberately not
+// serialized; re-attach one via options when reconstructing (the windowed
+// indicators refill within one window anyway).
+
+const (
+	snapshotMagic   = 0x424d4631 // "BMF1"
+	snapshotVersion = 1
+)
+
+// Snapshot format errors.
+var (
+	ErrSnapshotMagic   = errors.New("core: bad snapshot magic")
+	ErrSnapshotVersion = errors.New("core: unsupported snapshot version")
+	ErrSnapshotCorrupt = errors.New("core: corrupt snapshot")
+)
+
+type snapshotHeader struct {
+	Magic       uint32
+	Version     uint32
+	Order       uint32
+	Vectors     uint32
+	Hashes      uint32
+	MarkPolicy  uint32
+	TuplePolicy uint32
+	Idx         uint32
+	RotateNs    int64
+	Seed        uint64
+	NowNs       int64
+	NextRotNs   int64
+	Rotations   uint64
+	Marks       uint64
+	OutPackets  uint64
+	InPackets   uint64
+	InPassed    uint64
+	InDropped   uint64
+}
+
+// WriteSnapshot serializes the filter state to w.
+func (f *Filter) WriteSnapshot(w io.Writer) error {
+	hdr := snapshotHeader{
+		Magic:       snapshotMagic,
+		Version:     snapshotVersion,
+		Order:       uint32(f.cfg.order),
+		Vectors:     uint32(f.cfg.vectors),
+		Hashes:      uint32(f.cfg.hashes),
+		MarkPolicy:  uint32(f.cfg.markPolicy),
+		TuplePolicy: uint32(f.cfg.tuplePolicy),
+		Idx:         uint32(f.idx),
+		RotateNs:    int64(f.cfg.rotateEvery),
+		Seed:        f.cfg.seed,
+		NowNs:       int64(f.now),
+		NextRotNs:   int64(f.nextRotate),
+		Rotations:   f.rotations,
+		Marks:       f.marks,
+		OutPackets:  f.counters.OutPackets,
+		InPackets:   f.counters.InPackets,
+		InPassed:    f.counters.InPassed,
+		InDropped:   f.counters.InDropped,
+	}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("core: write snapshot header: %w", err)
+	}
+	for _, v := range f.vectors {
+		if _, err := v.WriteTo(w); err != nil {
+			return fmt.Errorf("core: write snapshot vector: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot reconstructs a filter from a stream produced by
+// WriteSnapshot. Additional options (e.g. WithAPD) are applied on top of
+// the serialized configuration.
+func ReadSnapshot(r io.Reader, opts ...Option) (*Filter, error) {
+	var hdr snapshotHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("core: read snapshot header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: %#08x", ErrSnapshotMagic, hdr.Magic)
+	}
+	if hdr.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: %d", ErrSnapshotVersion, hdr.Version)
+	}
+
+	base := []Option{
+		WithOrder(uint(hdr.Order)),
+		WithVectors(int(hdr.Vectors)),
+		WithHashes(int(hdr.Hashes)),
+		WithRotateEvery(time.Duration(hdr.RotateNs)),
+		WithSeed(hdr.Seed),
+		WithMarkPolicy(MarkPolicy(hdr.MarkPolicy)),
+		WithTuplePolicy(TuplePolicy(hdr.TuplePolicy)),
+	}
+	f, err := New(append(base, opts...)...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if int(hdr.Idx) >= f.cfg.vectors {
+		return nil, fmt.Errorf("%w: index %d of %d vectors", ErrSnapshotCorrupt, hdr.Idx, f.cfg.vectors)
+	}
+	f.idx = int(hdr.Idx)
+	f.now = time.Duration(hdr.NowNs)
+	f.nextRotate = time.Duration(hdr.NextRotNs)
+	if f.nextRotate <= f.now {
+		return nil, fmt.Errorf("%w: rotation clock %v not after %v",
+			ErrSnapshotCorrupt, f.nextRotate, f.now)
+	}
+	f.rotations = hdr.Rotations
+	f.marks = hdr.Marks
+	f.counters.OutPackets = hdr.OutPackets
+	f.counters.InPackets = hdr.InPackets
+	f.counters.InPassed = hdr.InPassed
+	f.counters.InDropped = hdr.InDropped
+	for _, v := range f.vectors {
+		if _, err := v.ReadFrom(r); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadSnapshot drives arbitrary bytes through the snapshot decoder:
+// inputs may be rejected but must never panic or build an inconsistent
+// filter.
+func FuzzReadSnapshot(f *testing.F) {
+	valid := MustNew(WithOrder(8), WithVectors(2), WithHashes(2),
+		WithRotateEvery(time.Second))
+	valid.Process(outPkt(0, client, server, 4000, 80))
+	var buf bytes.Buffer
+	if err := valid.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:40])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Any accepted snapshot must yield a usable filter.
+		if g.MemoryBytes() == 0 {
+			t.Fatal("restored filter has no memory")
+		}
+		if u := g.Utilization(); u < 0 || u > 1 {
+			t.Fatalf("utilization %v", u)
+		}
+		g.Process(outPkt(g.ExpiryTimer(), client, server, 1, 2))
+	})
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatsSnapshot(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	f.Process(inPkt(time.Second, server, client, 80, 4000))
+	f.AdvanceTo(6 * time.Second) // one rotation
+
+	s := f.Stats()
+	if s.Order != 12 || s.Vectors != 4 || s.Hashes != 3 {
+		t.Errorf("config: %+v", s)
+	}
+	if s.RotateEvery != 5*time.Second || s.ExpiryTimer != 20*time.Second {
+		t.Errorf("timers: %v / %v", s.RotateEvery, s.ExpiryTimer)
+	}
+	if s.MemoryBytes != f.MemoryBytes() {
+		t.Error("memory mismatch")
+	}
+	if s.Rotations != 1 || s.CurrentIndex != 1 {
+		t.Errorf("clock: rotations=%d idx=%d", s.Rotations, s.CurrentIndex)
+	}
+	if s.Now != 6*time.Second || s.NextRotation != 10*time.Second {
+		t.Errorf("now=%v next=%v", s.Now, s.NextRotation)
+	}
+	if s.Marks != 1 {
+		t.Errorf("marks = %d", s.Marks)
+	}
+	if len(s.VectorUtilization) != 4 {
+		t.Fatalf("vector utilizations: %v", s.VectorUtilization)
+	}
+	// Vector 0 was cleared by the rotation; the others still hold the
+	// mark's bits.
+	if s.VectorUtilization[0] != 0 {
+		t.Errorf("cleared vector utilization = %v", s.VectorUtilization[0])
+	}
+	if s.VectorUtilization[1] == 0 {
+		t.Error("current vector empty despite mark")
+	}
+	if s.Utilization != s.VectorUtilization[s.CurrentIndex] {
+		t.Error("Utilization != current vector's")
+	}
+	if s.Counters.OutPackets != 1 || s.Counters.InPassed != 1 {
+		t.Errorf("counters: %+v", s.Counters)
+	}
+
+	str := s.String()
+	for _, want := range []string{"bitmap{4x12", "rotations=1", "marks=1", "out=1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestStatsAPDSpared(t *testing.T) {
+	f := small(WithAPD(fixedPolicy{p: 0}))
+	f.Process(inPkt(0, server, client, 80, 1)) // unmatched, spared by APD
+	if s := f.Stats(); s.APDSpared != 1 {
+		t.Errorf("APDSpared = %d", s.APDSpared)
+	}
+}
+
+func TestStatsDoesNotAdvanceClock(t *testing.T) {
+	f := small()
+	f.Process(outPkt(0, client, server, 4000, 80))
+	before := f.Rotations()
+	_ = f.Stats()
+	if f.Rotations() != before {
+		t.Error("Stats advanced the rotation clock")
+	}
+}

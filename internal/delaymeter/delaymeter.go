@@ -1,0 +1,114 @@
+// Package delaymeter implements the out-in packet delay measurement
+// procedure of §3.2 of the paper:
+//
+//  1. On an outgoing packet with tuple τ_out, record (or refresh) the tuple
+//     with its timestamp t.
+//  2. On an incoming packet with tuple τ_in, if the inverse tuple τ_in⁻¹ is
+//     recorded with timestamp t₀, report the delay t − t₀ and refresh the
+//     record.
+//  3. Records older than an expiry timer T_e are deleted (the paper uses
+//     T_e = 600 s for the Figure 2-b measurement) to bound the port-reuse
+//     ambiguity.
+//
+// The meter feeds the Figure 2-b histogram and Figure 2-c CDF experiments.
+package delaymeter
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+// DefaultExpiry is the paper's measurement expiry timer ("we use a large
+// timer, T_e = 600 seconds, to handle expired address tuples").
+const DefaultExpiry = 600 * time.Second
+
+// ErrExpiry is returned by New for a non-positive expiry.
+var ErrExpiry = errors.New("delaymeter: expiry must be positive")
+
+// Meter measures out-in packet delays over a packet stream. It is not safe
+// for concurrent use.
+type Meter struct {
+	expiry  time.Duration
+	tuples  map[packet.Tuple]time.Duration
+	now     time.Duration
+	nextGC  time.Duration
+	matched uint64
+	missed  uint64
+}
+
+// New returns a meter with the given record expiry.
+func New(expiry time.Duration) (*Meter, error) {
+	if expiry <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrExpiry, expiry)
+	}
+	return &Meter{
+		expiry: expiry,
+		tuples: make(map[packet.Tuple]time.Duration, 1<<12),
+		nextGC: expiry,
+	}, nil
+}
+
+// MustNew is New for statically known arguments; it panics on error.
+func MustNew(expiry time.Duration) *Meter {
+	m, err := New(expiry)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Observe feeds one packet through the meter. For incoming packets whose
+// inverse tuple is known (and fresh), it returns the out-in delay and
+// ok=true.
+func (m *Meter) Observe(pkt packet.Packet) (delay time.Duration, ok bool) {
+	if pkt.Time > m.now {
+		m.now = pkt.Time
+	}
+	m.maybeGC()
+
+	if pkt.Dir == packet.Outgoing {
+		m.tuples[pkt.Tuple] = pkt.Time
+		return 0, false
+	}
+
+	inverse := pkt.Tuple.Reverse()
+	t0, found := m.tuples[inverse]
+	if !found || pkt.Time-t0 > m.expiry {
+		if found {
+			delete(m.tuples, inverse)
+		}
+		m.missed++
+		return 0, false
+	}
+	m.matched++
+	// Per the paper's procedure only outgoing packets update the record,
+	// so every reply in a burst measures against the same request.
+	return pkt.Time - t0, true
+}
+
+// Matched returns the number of incoming packets with a measured delay.
+func (m *Meter) Matched() uint64 { return m.matched }
+
+// Missed returns the number of incoming packets with no (fresh) record.
+func (m *Meter) Missed() uint64 { return m.missed }
+
+// Live returns the number of tuples currently tracked.
+func (m *Meter) Live() int { return len(m.tuples) }
+
+// maybeGC sweeps expired records once per expiry period so the map tracks
+// active tuples only (the paper's step 3).
+func (m *Meter) maybeGC() {
+	if m.now < m.nextGC {
+		return
+	}
+	cutoff := m.now - m.expiry
+	for tup, t0 := range m.tuples {
+		if t0 < cutoff {
+			delete(m.tuples, tup)
+		}
+	}
+	m.nextGC = m.now + m.expiry
+}

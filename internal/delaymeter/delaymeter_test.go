@@ -1,0 +1,153 @@
+package delaymeter
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+var (
+	client = packet.AddrFrom4(10, 0, 0, 1)
+	server = packet.AddrFrom4(198, 51, 100, 7)
+)
+
+func out(t time.Duration, sp, dp uint16) packet.Packet {
+	return packet.Packet{
+		Time:  t,
+		Tuple: packet.Tuple{Src: client, Dst: server, SrcPort: sp, DstPort: dp, Proto: packet.TCP},
+		Dir:   packet.Outgoing,
+	}
+}
+
+func in(t time.Duration, sp, dp uint16) packet.Packet {
+	return packet.Packet{
+		Time:  t,
+		Tuple: packet.Tuple{Src: server, Dst: client, SrcPort: sp, DstPort: dp, Proto: packet.TCP},
+		Dir:   packet.Incoming,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); !errors.Is(err, ErrExpiry) {
+		t.Errorf("New(0) error = %v", err)
+	}
+	if _, err := New(-time.Second); !errors.Is(err, ErrExpiry) {
+		t.Errorf("New(-1s) error = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestBasicDelay(t *testing.T) {
+	m := MustNew(DefaultExpiry)
+	if _, ok := m.Observe(out(time.Second, 4000, 80)); ok {
+		t.Error("outgoing packet reported a delay")
+	}
+	d, ok := m.Observe(in(1500*time.Millisecond, 80, 4000))
+	if !ok {
+		t.Fatal("matched reply not measured")
+	}
+	if d != 500*time.Millisecond {
+		t.Errorf("delay = %v", d)
+	}
+	if m.Matched() != 1 || m.Missed() != 0 {
+		t.Errorf("matched=%d missed=%d", m.Matched(), m.Missed())
+	}
+}
+
+func TestUnknownTupleMissed(t *testing.T) {
+	m := MustNew(DefaultExpiry)
+	if _, ok := m.Observe(in(time.Second, 80, 4000)); ok {
+		t.Error("unknown incoming tuple measured")
+	}
+	if m.Missed() != 1 {
+		t.Errorf("Missed = %d", m.Missed())
+	}
+}
+
+func TestOutgoingRefreshesTimestamp(t *testing.T) {
+	m := MustNew(DefaultExpiry)
+	m.Observe(out(0, 4000, 80))
+	m.Observe(out(10*time.Second, 4000, 80))
+	d, ok := m.Observe(in(11*time.Second, 80, 4000))
+	if !ok || d != time.Second {
+		t.Errorf("delay = %v, ok = %v; want 1s from refreshed record", d, ok)
+	}
+}
+
+func TestIncomingDoesNotRefresh(t *testing.T) {
+	// §3.2 step 1 updates only on outgoing packets: a reply burst all
+	// measures against the same request.
+	m := MustNew(DefaultExpiry)
+	m.Observe(out(0, 4000, 80))
+	d1, _ := m.Observe(in(time.Second, 80, 4000))
+	d2, ok := m.Observe(in(3*time.Second, 80, 4000))
+	if !ok {
+		t.Fatal("second reply unmatched")
+	}
+	if d1 != time.Second || d2 != 3*time.Second {
+		t.Errorf("delays = %v, %v", d1, d2)
+	}
+}
+
+func TestExpiryDropsStaleRecords(t *testing.T) {
+	m := MustNew(30 * time.Second)
+	m.Observe(out(0, 4000, 80))
+	if _, ok := m.Observe(in(31*time.Second, 80, 4000)); ok {
+		t.Error("stale record matched past expiry")
+	}
+	if m.Missed() != 1 {
+		t.Errorf("Missed = %d", m.Missed())
+	}
+	// The stale record was evicted: a subsequent incoming is also a miss.
+	if _, ok := m.Observe(in(32*time.Second, 80, 4000)); ok {
+		t.Error("evicted record matched")
+	}
+}
+
+func TestGCShrinksLiveSet(t *testing.T) {
+	m := MustNew(10 * time.Second)
+	for i := 0; i < 500; i++ {
+		m.Observe(out(0, uint16(1000+i), 80))
+	}
+	if m.Live() != 500 {
+		t.Fatalf("Live = %d", m.Live())
+	}
+	// Advance far beyond the expiry: the sweep runs and clears all.
+	m.Observe(out(25*time.Second, 9999, 80))
+	if m.Live() > 1 {
+		t.Errorf("Live = %d after GC", m.Live())
+	}
+}
+
+func TestPortReuseScenario(t *testing.T) {
+	// A recycled local port 60 s later measures a 60 s delay against the
+	// old record if the new connection has not yet sent outgoing
+	// traffic; this is the Figure 2-b peak mechanism.
+	m := MustNew(DefaultExpiry)
+	m.Observe(out(0, 4000, 80))
+	d, ok := m.Observe(in(60*time.Second, 80, 4000))
+	if !ok || d != 60*time.Second {
+		t.Errorf("port-reuse delay = %v, ok = %v", d, ok)
+	}
+}
+
+func TestDistinctTuplesIndependent(t *testing.T) {
+	m := MustNew(DefaultExpiry)
+	m.Observe(out(0, 4000, 80))
+	m.Observe(out(time.Second, 4001, 80))
+	d, ok := m.Observe(in(2*time.Second, 80, 4001))
+	if !ok || d != time.Second {
+		t.Errorf("tuple 4001 delay = %v", d)
+	}
+	d, ok = m.Observe(in(3*time.Second, 80, 4000))
+	if !ok || d != 3*time.Second {
+		t.Errorf("tuple 4000 delay = %v", d)
+	}
+}

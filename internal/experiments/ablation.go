@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/model"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/trafficgen"
+	"bitmapfilter/internal/xrand"
+)
+
+// Ablations measure the design choices DESIGN.md §5 calls out, by
+// simulation (the bench harness measures their costs; this measures their
+// *behavior*):
+//
+//   - hash count m: random-packet penetration at a fixed connection load,
+//     empirically vs Equation 2;
+//   - k×Δt split of the same T_e: benign drop rate and memory;
+//   - partial vs full tuple hashing: alternate-remote-port admission;
+//   - mark-all vs mark-current-only: benign drop rate (the paper's design
+//     vs the broken simplification).
+
+// AblationConfig parameterizes the sweeps.
+type AblationConfig struct {
+	Scale Scale
+	// Order is the bit-vector order used by the sweeps (small enough
+	// that utilization, and therefore penetration, is measurable).
+	Order uint
+	// ActiveConns is the steady connection load for the hash-count
+	// sweep.
+	ActiveConns int
+	// Probes is the number of random tuples probed per measurement.
+	Probes int
+}
+
+// DefaultAblationConfig measures at an order where effects are visible.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{
+		Scale:       QuickScale(),
+		Order:       14,
+		ActiveConns: 2000,
+		Probes:      200000,
+	}
+}
+
+// HashCountRow is one m in the hash-count sweep.
+type HashCountRow struct {
+	M           int
+	Utilization float64
+	Measured    float64 // empirical random-packet penetration
+	Model       float64 // Equation 2 prediction (low-utilization approx)
+	Exact       float64 // exact Bloom form (1 − e^{−cm/2^n})^m
+}
+
+// RotationRow is one k×Δt split.
+type RotationRow struct {
+	K           int
+	Dt          time.Duration
+	DropRate    float64
+	MemoryBytes uint64
+}
+
+// PolicyRow compares admission behaviour of one policy variant.
+type PolicyRow struct {
+	Name string
+	// AltPortAdmit is the fraction of replies from a different remote
+	// port that are admitted (tuple-policy sweep).
+	AltPortAdmit float64
+	// BenignDropRate is the incoming drop rate on the calibrated trace
+	// (mark-policy sweep).
+	BenignDropRate float64
+}
+
+// AblationResult aggregates the sweeps.
+type AblationResult struct {
+	HashCount   []HashCountRow
+	Rotation    []RotationRow
+	TuplePolicy []PolicyRow
+	MarkPolicy  []PolicyRow
+}
+
+// RunAblations executes all four sweeps.
+func RunAblations(cfg AblationConfig) (AblationResult, error) {
+	var res AblationResult
+	var err error
+	if res.HashCount, err = ablateHashCount(cfg); err != nil {
+		return res, fmt.Errorf("ablation: %w", err)
+	}
+	if res.Rotation, err = ablateRotation(cfg); err != nil {
+		return res, fmt.Errorf("ablation: %w", err)
+	}
+	if res.TuplePolicy, err = ablateTuplePolicy(cfg); err != nil {
+		return res, fmt.Errorf("ablation: %w", err)
+	}
+	if res.MarkPolicy, err = ablateMarkPolicy(cfg); err != nil {
+		return res, fmt.Errorf("ablation: %w", err)
+	}
+	return res, nil
+}
+
+// ablateHashCount fills a filter with ActiveConns marked connections and
+// probes random tuples for each m.
+func ablateHashCount(cfg AblationConfig) ([]HashCountRow, error) {
+	var rows []HashCountRow
+	for _, m := range []int{1, 2, 3, 4, 6} {
+		f, err := core.New(
+			core.WithOrder(cfg.Order), core.WithVectors(4), core.WithHashes(m),
+			core.WithRotateEvery(5*time.Second), core.WithSeed(cfg.Scale.Seed),
+		)
+		if err != nil {
+			return nil, err
+		}
+		r := xrand.New(cfg.Scale.Seed + uint64(m))
+		client := packet.AddrFrom4(10, 10, 0, 1)
+		for i := 0; i < cfg.ActiveConns; i++ {
+			f.Process(packet.Packet{
+				Tuple: packet.Tuple{
+					Src: client, Dst: packet.Addr(r.Uint32() | 1),
+					SrcPort: uint16(1024 + i%60000), DstPort: 80, Proto: packet.TCP,
+				},
+				Dir: packet.Outgoing, Flags: packet.ACK,
+			})
+		}
+		hits := 0
+		for i := 0; i < cfg.Probes; i++ {
+			tup := packet.Tuple{
+				Src: packet.Addr(r.Uint32() | 1), Dst: client,
+				SrcPort: uint16(1 + r.Intn(65535)), DstPort: uint16(1 + r.Intn(65535)),
+				Proto: packet.TCP,
+			}
+			if f.WouldAdmit(tup) {
+				hits++
+			}
+		}
+		rows = append(rows, HashCountRow{
+			M:           m,
+			Utilization: f.Utilization(),
+			Measured:    float64(hits) / float64(cfg.Probes),
+			Model:       model.Penetration(float64(cfg.ActiveConns), m, cfg.Order),
+			Exact:       model.PenetrationExact(float64(cfg.ActiveConns), m, cfg.Order),
+		})
+	}
+	return rows, nil
+}
+
+// ablateRotation replays the same trace under different k×Δt splits of
+// T_e = 20 s.
+func ablateRotation(cfg AblationConfig) ([]RotationRow, error) {
+	splits := []struct {
+		k  int
+		dt time.Duration
+	}{
+		{k: 2, dt: 10 * time.Second},
+		{k: 4, dt: 5 * time.Second},
+		{k: 10, dt: 2 * time.Second},
+	}
+	var rows []RotationRow
+	for _, s := range splits {
+		f, err := core.New(
+			core.WithOrder(cfg.Order), core.WithVectors(s.k), core.WithHashes(3),
+			core.WithRotateEvery(s.dt), core.WithSeed(cfg.Scale.Seed),
+		)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := trafficgen.NewGenerator(cfg.Scale.TraceConfig())
+		if err != nil {
+			return nil, err
+		}
+		gen.Drain(func(pkt packet.Packet) { f.Process(pkt) })
+		rows = append(rows, RotationRow{
+			K: s.k, Dt: s.dt,
+			DropRate:    f.Counters().DropRate(),
+			MemoryBytes: f.MemoryBytes(),
+		})
+	}
+	return rows, nil
+}
+
+// ablateTuplePolicy measures alternate-remote-port admission under both
+// tuple policies.
+func ablateTuplePolicy(cfg AblationConfig) ([]PolicyRow, error) {
+	var rows []PolicyRow
+	for _, p := range []struct {
+		name   string
+		policy core.TuplePolicy
+	}{
+		{name: "partial-tuple (paper)", policy: core.PartialTuple},
+		{name: "full-tuple", policy: core.FullTuple},
+	} {
+		// A large vector keeps hash-collision admissions negligible so
+		// the sweep isolates the tuple-policy effect.
+		f, err := core.New(
+			core.WithOrder(20), core.WithVectors(4), core.WithHashes(3),
+			core.WithRotateEvery(5*time.Second), core.WithSeed(cfg.Scale.Seed),
+			core.WithTuplePolicy(p.policy),
+		)
+		if err != nil {
+			return nil, err
+		}
+		r := xrand.New(cfg.Scale.Seed)
+		client := packet.AddrFrom4(10, 10, 0, 1)
+		admitted, trials := 0, 5000
+		for i := 0; i < trials; i++ {
+			remote := packet.Addr(r.Uint32() | 1)
+			lport := uint16(1024 + i%60000)
+			f.Process(packet.Packet{
+				Tuple: packet.Tuple{Src: client, Dst: remote, SrcPort: lport, DstPort: 21, Proto: packet.TCP},
+				Dir:   packet.Outgoing, Flags: packet.ACK,
+			})
+			// Reply from a different remote port (e.g. FTP data from
+			// port 20).
+			reply := packet.Packet{
+				Tuple: packet.Tuple{Src: remote, Dst: client, SrcPort: 20, DstPort: lport, Proto: packet.TCP},
+				Dir:   packet.Incoming, Flags: packet.ACK,
+			}
+			if f.Process(reply) == filtering.Pass {
+				admitted++
+			}
+		}
+		rows = append(rows, PolicyRow{
+			Name:         p.name,
+			AltPortAdmit: float64(admitted) / float64(trials),
+		})
+	}
+	return rows, nil
+}
+
+// ablateMarkPolicy replays the calibrated trace under both marking
+// policies: marking only the current vector breaks flows at every rotation
+// and the benign drop rate explodes.
+func ablateMarkPolicy(cfg AblationConfig) ([]PolicyRow, error) {
+	var rows []PolicyRow
+	for _, p := range []struct {
+		name   string
+		policy core.MarkPolicy
+	}{
+		{name: "mark-all (paper)", policy: core.MarkAllVectors},
+		{name: "mark-current-only", policy: core.MarkCurrentOnly},
+	} {
+		f, err := core.New(
+			core.WithOrder(16), core.WithVectors(4), core.WithHashes(3),
+			core.WithRotateEvery(5*time.Second), core.WithSeed(cfg.Scale.Seed),
+			core.WithMarkPolicy(p.policy),
+		)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := trafficgen.NewGenerator(cfg.Scale.TraceConfig())
+		if err != nil {
+			return nil, err
+		}
+		gen.Drain(func(pkt packet.Packet) { f.Process(pkt) })
+		rows = append(rows, PolicyRow{
+			Name:           p.name,
+			BenignDropRate: f.Counters().DropRate(),
+		})
+	}
+	return rows, nil
+}
+
+// Format renders all four sweeps.
+func (r AblationResult) Format() string {
+	t := newTable(24, 12, 12, 12, 12)
+	t.row("hash count m", "utilization", "measured p", "Eq.2 p", "exact p")
+	t.line()
+	for _, row := range r.HashCount {
+		t.row(fmt.Sprintf("m=%d", row.M),
+			fmt.Sprintf("%.4f", row.Utilization),
+			fmt.Sprintf("%.2e", row.Measured),
+			fmt.Sprintf("%.2e", row.Model),
+			fmt.Sprintf("%.2e", row.Exact))
+	}
+	t.line()
+	t.row("k x Δt (T_e=20s)", "drop rate", "memory B", "")
+	t.line()
+	for _, row := range r.Rotation {
+		t.row(fmt.Sprintf("k=%d Δt=%v", row.K, row.Dt),
+			pct(row.DropRate),
+			fmt.Sprintf("%d", row.MemoryBytes), "")
+	}
+	t.line()
+	t.row("tuple policy", "alt-port admit", "", "")
+	t.line()
+	for _, row := range r.TuplePolicy {
+		t.row(row.Name, pct(row.AltPortAdmit), "", "")
+	}
+	t.line()
+	t.row("mark policy", "benign drop", "", "")
+	t.line()
+	for _, row := range r.MarkPolicy {
+		t.row(row.Name, pct(row.BenignDropRate), "", "")
+	}
+	return t.String()
+}

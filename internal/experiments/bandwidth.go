@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/netsim"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// BandwidthConfig parameterizes the end-to-end bandwidth-attack experiment
+// (§1 + §5.3): a client network behind a bottleneck access link is flooded
+// while benign flows run, under three edge configurations — no filter, the
+// plain bitmap filter, and an APD(bandwidth-utilization) bitmap filter.
+//
+// The experiment separates three traffic classes the configurations treat
+// differently:
+//
+//   - benign replies (matched marks): everyone should deliver these;
+//   - benign-but-unmatched packets (server pushes on expired marks):
+//     the plain bitmap drops them always, APD admits them while the link
+//     is idle (the whole point of §5.3's "adaptive" dropping);
+//   - flood packets: the unprotected link collapses under them, both
+//     filters shed them before the bottleneck.
+type BandwidthConfig struct {
+	Seed uint64
+	// LinkBps is the bottleneck capacity in bits/second.
+	LinkBps float64
+	// Phase is the length of each of the two phases (calm, then flood).
+	Phase time.Duration
+	// FloodBps is the offered flood rate during phase 2, in bits/second.
+	FloodBps float64
+}
+
+// DefaultBandwidthConfig floods a 2 Mbit/s access link at 5× capacity.
+func DefaultBandwidthConfig() BandwidthConfig {
+	return BandwidthConfig{
+		Seed:     1,
+		LinkBps:  2e6,
+		Phase:    30 * time.Second,
+		FloodBps: 1e7,
+	}
+}
+
+// BandwidthOutcome is the result for one edge configuration.
+type BandwidthOutcome struct {
+	Config string
+	// BenignDelivered counts matched benign replies that reached the
+	// client.
+	BenignDelivered uint64
+	BenignSent      uint64
+	// UnmatchedDelivered counts benign-but-unmatched deliveries (server
+	// pushes) — only APD can admit these.
+	UnmatchedDelivered uint64
+	UnmatchedSent      uint64
+	// FloodDelivered counts attack packets that reached a host.
+	FloodDelivered uint64
+	FloodSent      uint64
+	// TailDropped counts packets lost to bottleneck congestion.
+	TailDropped uint64
+}
+
+// BandwidthResult compares the three configurations.
+type BandwidthResult struct {
+	Unfiltered BandwidthOutcome
+	Plain      BandwidthOutcome
+	APD        BandwidthOutcome
+}
+
+// RunBandwidth executes the three runs with identical traffic.
+func RunBandwidth(cfg BandwidthConfig) (BandwidthResult, error) {
+	type mode struct {
+		name string
+		mk   func() (filtering.PacketFilter, error)
+	}
+	modes := []mode{
+		{name: "unfiltered", mk: func() (filtering.PacketFilter, error) { return nil, nil }},
+		{name: "bitmap", mk: func() (filtering.PacketFilter, error) {
+			return core.New(
+				core.WithOrder(16), core.WithVectors(4), core.WithHashes(3),
+				core.WithRotateEvery(5*time.Second), core.WithSeed(cfg.Seed))
+		}},
+		{name: "bitmap+apd", mk: func() (filtering.PacketFilter, error) {
+			policy, err := core.NewBandwidthPolicy(cfg.LinkBps, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return core.New(
+				core.WithOrder(16), core.WithVectors(4), core.WithHashes(3),
+				core.WithRotateEvery(5*time.Second), core.WithSeed(cfg.Seed),
+				core.WithAPD(policy))
+		}},
+	}
+
+	var outs []BandwidthOutcome
+	for _, m := range modes {
+		filter, err := m.mk()
+		if err != nil {
+			return BandwidthResult{}, fmt.Errorf("bandwidth: %w", err)
+		}
+		out, err := runBandwidthMode(cfg, m.name, filter)
+		if err != nil {
+			return BandwidthResult{}, fmt.Errorf("bandwidth: %w", err)
+		}
+		outs = append(outs, out)
+	}
+	return BandwidthResult{Unfiltered: outs[0], Plain: outs[1], APD: outs[2]}, nil
+}
+
+func runBandwidthMode(cfg BandwidthConfig, name string, filter filtering.PacketFilter) (BandwidthOutcome, error) {
+	sim := netsim.NewSimulator()
+	subnet := packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 24)
+	net, err := netsim.NewNetwork(sim, []packet.Prefix{subnet}, filter)
+	if err != nil {
+		return BandwidthOutcome{}, err
+	}
+	if err := net.SetInboundLink(cfg.LinkBps, 50*time.Millisecond); err != nil {
+		return BandwidthOutcome{}, err
+	}
+
+	client, err := net.AddHost("client", subnet.Nth(5))
+	if err != nil {
+		return BandwidthOutcome{}, err
+	}
+	webServer, err := net.AddInternetHost("web", packet.AddrFrom4(198, 51, 100, 7))
+	if err != nil {
+		return BandwidthOutcome{}, err
+	}
+	pushServer := packet.AddrFrom4(198, 51, 100, 99) // never contacted
+
+	out := BandwidthOutcome{Config: name}
+	const (
+		benignPort = 443
+		pushPort   = 30000
+	)
+	client.OnPacket = func(_ *netsim.Simulator, _ *netsim.Host, pkt packet.Packet) {
+		switch {
+		case pkt.Tuple.Src == pushServer:
+			out.UnmatchedDelivered++
+		case pkt.Tuple.SrcPort == benignPort:
+			out.BenignDelivered++
+		default:
+			out.FloodDelivered++
+		}
+	}
+	webServer.OnPacket = func(_ *netsim.Simulator, self *netsim.Host, pkt packet.Packet) {
+		self.Send(pkt.Tuple.Src, benignPort, pkt.Tuple.SrcPort, packet.TCP, packet.ACK, 1200)
+	}
+
+	r := xrand.New(cfg.Seed)
+	total := 2 * cfg.Phase
+
+	// Benign requests every 200 ms for the whole run.
+	for at := time.Duration(0); at < total; at += 200 * time.Millisecond {
+		at := at
+		port := uint16(40000 + (at/(200*time.Millisecond))%1000)
+		out.BenignSent++
+		if err := sim.Schedule(at, func() {
+			client.Send(webServer.Addr(), port, benignPort, packet.TCP, packet.ACK, 120)
+		}); err != nil {
+			return BandwidthOutcome{}, err
+		}
+	}
+	// Server pushes (benign but unmatched) every second for the whole
+	// run.
+	for at := 500 * time.Millisecond; at < total; at += time.Second {
+		at := at
+		out.UnmatchedSent++
+		if err := sim.Schedule(at, func() {
+			net.InjectIncoming(packet.Packet{
+				Tuple: packet.Tuple{
+					Src: pushServer, Dst: client.Addr(),
+					SrcPort: 80, DstPort: pushPort, Proto: packet.TCP,
+				},
+				Flags: packet.PSH | packet.ACK, Length: 800,
+			})
+		}); err != nil {
+			return BandwidthOutcome{}, err
+		}
+	}
+	// Flood during phase 2.
+	const floodPkt = 1400
+	floodInterval := time.Duration(float64(floodPkt*8) / cfg.FloodBps * float64(time.Second))
+	for at := cfg.Phase; at < total; at += floodInterval {
+		at := at
+		out.FloodSent++
+		if err := sim.Schedule(at, func() {
+			net.InjectIncoming(packet.Packet{
+				Tuple: packet.Tuple{
+					Src:     packet.Addr(r.Uint32() | 1),
+					Dst:     subnet.Nth(uint64(r.Intn(int(subnet.Size())))),
+					SrcPort: uint16(1 + r.Intn(65000)),
+					DstPort: uint16(1 + r.Intn(65000)),
+					Proto:   packet.UDP,
+				},
+				Length: floodPkt,
+			})
+		}); err != nil {
+			return BandwidthOutcome{}, err
+		}
+	}
+
+	sim.RunAll()
+	out.TailDropped = net.LinkStats().TailDropped
+	return out, nil
+}
+
+// Format renders the comparison.
+func (r BandwidthResult) Format() string {
+	t := newTable(26, 13, 13, 13)
+	t.row("bandwidth attack (E10b)", "unfiltered", "bitmap", "bitmap+apd")
+	t.line()
+	row := func(label string, f func(BandwidthOutcome) string) {
+		t.row(label, f(r.Unfiltered), f(r.Plain), f(r.APD))
+	}
+	row("benign delivered", func(o BandwidthOutcome) string {
+		return fmt.Sprintf("%d/%d", o.BenignDelivered, o.BenignSent)
+	})
+	row("server pushes delivered", func(o BandwidthOutcome) string {
+		return fmt.Sprintf("%d/%d", o.UnmatchedDelivered, o.UnmatchedSent)
+	})
+	row("flood delivered", func(o BandwidthOutcome) string {
+		return fmt.Sprintf("%d/%d", o.FloodDelivered, o.FloodSent)
+	})
+	row("bottleneck tail drops", func(o BandwidthOutcome) string {
+		return fmt.Sprintf("%d", o.TailDropped)
+	})
+	return t.String()
+}

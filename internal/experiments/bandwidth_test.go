@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBandwidthAttackMitigation(t *testing.T) {
+	cfg := DefaultBandwidthConfig()
+	cfg.Phase = 15 * time.Second
+	res, err := RunBandwidth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	un, plain, apd := res.Unfiltered, res.Plain, res.APD
+
+	// Identical offered traffic in all three runs.
+	if un.BenignSent != plain.BenignSent || plain.BenignSent != apd.BenignSent {
+		t.Fatalf("benign offered load differs: %d/%d/%d",
+			un.BenignSent, plain.BenignSent, apd.BenignSent)
+	}
+	if un.FloodSent == 0 {
+		t.Fatal("no flood traffic")
+	}
+
+	// Unfiltered: the flood congests the bottleneck and benign goodput
+	// suffers.
+	if un.TailDropped == 0 {
+		t.Error("unfiltered link did not congest")
+	}
+	if un.BenignDelivered >= un.BenignSent {
+		t.Errorf("unfiltered delivered all %d benign replies despite flood", un.BenignDelivered)
+	}
+	if un.FloodDelivered == 0 {
+		t.Error("unfiltered delivered no flood packets (flood ineffective)")
+	}
+
+	// Plain bitmap: full benign goodput, zero flood, zero pushes (the
+	// strict positive-listing cost §5.3 motivates APD with).
+	if plain.BenignDelivered != plain.BenignSent {
+		t.Errorf("plain bitmap benign %d/%d", plain.BenignDelivered, plain.BenignSent)
+	}
+	if plain.FloodDelivered != 0 {
+		t.Errorf("plain bitmap delivered %d flood packets", plain.FloodDelivered)
+	}
+	if plain.UnmatchedDelivered != 0 {
+		t.Errorf("plain bitmap delivered %d unmatched pushes", plain.UnmatchedDelivered)
+	}
+	if plain.TailDropped != 0 {
+		t.Errorf("plain bitmap link congested: %d tail drops", plain.TailDropped)
+	}
+
+	// APD: near-full benign goodput (the indicator needs a window to
+	// saturate, so a little flood slips through at onset and may cost a
+	// packet or two), AND server pushes get through during the calm
+	// phase, while the flood is still mostly shed once utilization
+	// rises.
+	if float64(apd.BenignDelivered) < 0.97*float64(apd.BenignSent) {
+		t.Errorf("APD benign %d/%d", apd.BenignDelivered, apd.BenignSent)
+	}
+	if apd.UnmatchedDelivered == 0 {
+		t.Error("APD delivered no server pushes; adaptive admission broken")
+	}
+	if apd.UnmatchedDelivered <= plain.UnmatchedDelivered {
+		t.Error("APD not more permissive than plain bitmap for unmatched benign traffic")
+	}
+	// During the flood the bandwidth indicator saturates: the vast
+	// majority of flood packets must be dropped.
+	floodThrough := float64(apd.FloodDelivered) / float64(apd.FloodSent)
+	if floodThrough > 0.10 {
+		t.Errorf("APD passed %.1f%% of the flood", floodThrough*100)
+	}
+	// And benign goodput must beat the unfiltered run.
+	if apd.BenignDelivered <= un.BenignDelivered {
+		t.Errorf("APD benign %d not better than unfiltered %d",
+			apd.BenignDelivered, un.BenignDelivered)
+	}
+
+	if !strings.Contains(res.Format(), "bandwidth attack") {
+		t.Error("Format missing header")
+	}
+}

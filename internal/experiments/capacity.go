@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/model"
+)
+
+// CapacityResult is the §4.1 worked example (E4): Equation 5 capacity
+// bounds, the optimal hash count and the memory footprint for the paper's
+// {4×20} configuration.
+type CapacityResult struct {
+	Order   uint
+	Vectors int
+	Dt      time.Duration
+	Rows    []model.CapacityRow
+	// OptimalM is Equation 4 evaluated at the p=5% capacity bound (the
+	// paper derives m=3 for its setup).
+	OptimalM int
+	// MemoryBytes is (k·2^n)/8.
+	MemoryBytes uint64
+}
+
+// RunCapacity evaluates the closed-form analysis for the paper's
+// parameters.
+func RunCapacity() (CapacityResult, error) {
+	const (
+		order   = 20
+		vectors = 4
+		dt      = 5 * time.Second
+	)
+	rows, err := model.CapacityTable(order, []float64{0.10, 0.05, 0.01})
+	if err != nil {
+		return CapacityResult{}, fmt.Errorf("capacity: %w", err)
+	}
+	m, err := model.OptimalHashesInt(rows[1].MaxConnections, order)
+	if err != nil {
+		return CapacityResult{}, fmt.Errorf("capacity: %w", err)
+	}
+	return CapacityResult{
+		Order:       order,
+		Vectors:     vectors,
+		Dt:          dt,
+		Rows:        rows,
+		OptimalM:    m,
+		MemoryBytes: model.MemoryBytes(order, vectors),
+	}, nil
+}
+
+// Format renders the capacity table next to the paper's numbers.
+func (r CapacityResult) Format() string {
+	t := newTable(26, 14, 14)
+	t.row("§4.1 capacity (Eq. 5)", "paper", "computed")
+	t.line()
+	paper := []string{"167K", "125K", "83K"}
+	for i, row := range r.Rows {
+		t.row(fmt.Sprintf("max conns @ p=%.0f%%", row.P*100),
+			paper[i], fmt.Sprintf("%.0f", row.MaxConnections))
+	}
+	t.row("optimal m (Eq. 4)", "3", fmt.Sprintf("%d", r.OptimalM))
+	t.row("memory (k·2^n)/8", "512K bytes", fmt.Sprintf("%d", r.MemoryBytes))
+	t.row("T_e = k·Δt", "20s",
+		fmt.Sprintf("%v", time.Duration(r.Vectors)*r.Dt))
+	return t.String()
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/trafficgen"
+	"bitmapfilter/internal/xrand"
+)
+
+// CollusionConfig parameterizes the §5.4 colluding-attacker analysis: a
+// sniffer inside (or peered with) the client network reports a fraction of
+// live connection tuples to an attacker, who then sends spoofed packets
+// matching those tuples after a reporting lag. The paper argues this is an
+// unattractive strategy because "short connections will be deleted quickly
+// from a bitmap filter with a short expiry timer" — the sniffer must
+// report fresh state constantly, raising its exposure.
+type CollusionConfig struct {
+	Scale Scale
+	// SnoopFraction is the share of outgoing tuples the sniffer
+	// captures.
+	SnoopFraction float64
+	// Lags are the sniffer-report-to-attack delays to sweep.
+	Lags []time.Duration
+	// Order..RotateEvery configure the bitmap under attack.
+	Order       uint
+	Vectors     int
+	Hashes      int
+	RotateEvery time.Duration
+}
+
+// DefaultCollusionConfig sweeps lags around the default T_e = 20 s.
+func DefaultCollusionConfig() CollusionConfig {
+	return CollusionConfig{
+		Scale:         QuickScale(),
+		SnoopFraction: 0.05,
+		Lags: []time.Duration{
+			time.Second, 5 * time.Second, 10 * time.Second,
+			30 * time.Second, 60 * time.Second,
+		},
+		Order:       20,
+		Vectors:     4,
+		Hashes:      3,
+		RotateEvery: 5 * time.Second,
+	}
+}
+
+// CollusionRow is the outcome for one reporting lag.
+type CollusionRow struct {
+	Lag      time.Duration
+	Spoofed  uint64
+	Admitted uint64
+	// SuccessRate is Admitted/Spoofed.
+	SuccessRate float64
+}
+
+// CollusionResult is the sweep outcome.
+type CollusionResult struct {
+	Te            time.Duration
+	SnoopFraction float64
+	Rows          []CollusionRow
+}
+
+// RunCollusion replays the benign trace once per lag. The sniffer samples
+// outgoing packets; for each sample the attacker injects a spoofed packet
+// matching the sniffed tuple `lag` later. Because marks live between
+// (k−1)·Δt and k·Δt, lags below (k−1)·Δt mostly succeed (if the flow sent
+// nothing since, the spoofed packet matches the stale mark), and lags
+// beyond T_e always fail.
+func RunCollusion(cfg CollusionConfig) (CollusionResult, error) {
+	res := CollusionResult{
+		Te:            time.Duration(cfg.Vectors) * cfg.RotateEvery,
+		SnoopFraction: cfg.SnoopFraction,
+	}
+	for _, lag := range cfg.Lags {
+		row, err := runCollusionLag(cfg, lag)
+		if err != nil {
+			return CollusionResult{}, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runCollusionLag(cfg CollusionConfig, lag time.Duration) (CollusionRow, error) {
+	gen, err := trafficgen.NewGenerator(cfg.Scale.TraceConfig())
+	if err != nil {
+		return CollusionRow{}, fmt.Errorf("collusion: %w", err)
+	}
+	f, err := core.New(
+		core.WithOrder(cfg.Order),
+		core.WithVectors(cfg.Vectors),
+		core.WithHashes(cfg.Hashes),
+		core.WithRotateEvery(cfg.RotateEvery),
+		core.WithSeed(cfg.Scale.Seed),
+	)
+	if err != nil {
+		return CollusionRow{}, fmt.Errorf("collusion: %w", err)
+	}
+	r := xrand.New(cfg.Scale.Seed ^ 0xc0111c0de)
+
+	row := CollusionRow{Lag: lag}
+	// Pending spoofed packets, time-ordered because sniff events are.
+	type spoof struct {
+		at  time.Duration
+		pkt packet.Packet
+	}
+	var queue []spoof
+	head := 0
+
+	gen.Drain(func(pkt packet.Packet) {
+		// Release due spoofed packets first.
+		for head < len(queue) && queue[head].at <= pkt.Time {
+			sp := queue[head]
+			head++
+			sp.pkt.Time = sp.at
+			row.Spoofed++
+			if f.Process(sp.pkt) == filtering.Pass {
+				row.Admitted++
+			}
+		}
+		f.Process(pkt)
+		// The sniffer samples outgoing data packets.
+		if pkt.Dir == packet.Outgoing && r.Bool(cfg.SnoopFraction) {
+			spoofPkt := packet.Packet{
+				Tuple:  pkt.Tuple.Reverse(),
+				Dir:    packet.Incoming,
+				Flags:  packet.ACK,
+				Length: 512,
+			}
+			// The attacker spoofs the remote peer; any source port
+			// works against the bitmap, which is part of the threat.
+			spoofPkt.Tuple.SrcPort = uint16(1 + r.Intn(65535))
+			queue = append(queue, spoof{at: pkt.Time + lag, pkt: spoofPkt})
+		}
+	})
+	// Flush stragglers past the end of the trace.
+	for ; head < len(queue); head++ {
+		sp := queue[head]
+		sp.pkt.Time = sp.at
+		row.Spoofed++
+		if f.Process(sp.pkt) == filtering.Pass {
+			row.Admitted++
+		}
+	}
+	if row.Spoofed > 0 {
+		row.SuccessRate = float64(row.Admitted) / float64(row.Spoofed)
+	}
+	return row, nil
+}
+
+// Format renders the sweep.
+func (r CollusionResult) Format() string {
+	t := newTable(16, 12, 12, 14)
+	t.row("sniffer lag", "spoofed", "admitted", "success")
+	t.line()
+	for _, row := range r.Rows {
+		t.row(row.Lag.String(),
+			fmt.Sprintf("%d", row.Spoofed),
+			fmt.Sprintf("%d", row.Admitted),
+			pct(row.SuccessRate))
+	}
+	t.line()
+	t.row(fmt.Sprintf("§5.4 collusion, T_e=%v, snoop=%.0f%%", r.Te, r.SnoopFraction*100))
+	return t.String()
+}

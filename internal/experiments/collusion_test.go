@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollusionLagSweep(t *testing.T) {
+	cfg := DefaultCollusionConfig()
+	cfg.Scale = Scale{Duration: 2 * time.Minute, ConnRate: 20, Seed: 1}
+	cfg.Lags = []time.Duration{
+		time.Second, 10 * time.Second, 25 * time.Second, 60 * time.Second,
+	}
+	res, err := RunCollusion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Spoofed < 100 {
+			t.Fatalf("lag %v: only %d spoofed packets", row.Lag, row.Spoofed)
+		}
+	}
+
+	// Fresh knowledge (1s lag, well under (k−1)·Δt = 15s) mostly works:
+	// this is why the paper says identifying connections CAN admit
+	// packets...
+	if res.Rows[0].SuccessRate < 0.8 {
+		t.Errorf("1s lag success = %v, want high", res.Rows[0].SuccessRate)
+	}
+	// ...but success decays with lag...
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SuccessRate > res.Rows[i-1].SuccessRate+0.02 {
+			t.Errorf("success rate not decaying: lag %v %v -> lag %v %v",
+				res.Rows[i-1].Lag, res.Rows[i-1].SuccessRate,
+				res.Rows[i].Lag, res.Rows[i].SuccessRate)
+		}
+	}
+	// ...and knowledge older than T_e only helps if the flow itself
+	// stayed active (refreshing the mark). At 60s lag only long-lived
+	// flows survive: success must be far below the fresh case.
+	last := res.Rows[len(res.Rows)-1]
+	if last.SuccessRate > res.Rows[0].SuccessRate*0.7 {
+		t.Errorf("stale-knowledge success %v not well below fresh %v",
+			last.SuccessRate, res.Rows[0].SuccessRate)
+	}
+	if !strings.Contains(res.Format(), "collusion") {
+		t.Error("Format missing header")
+	}
+}
+
+// Shortening T_e (the paper's countermeasure: "short connections will be
+// deleted quickly from a bitmap filter with a short expiry timer")
+// suppresses stale-knowledge attacks further.
+func TestCollusionShorterTeHelps(t *testing.T) {
+	base := DefaultCollusionConfig()
+	base.Scale = Scale{Duration: 2 * time.Minute, ConnRate: 20, Seed: 1}
+	base.Lags = []time.Duration{8 * time.Second}
+
+	long := base // T_e = 20s
+	short := base
+	short.RotateEvery = time.Second // T_e = 4s ("3 or 5 seconds", §5.2)
+
+	longRes, err := RunCollusion(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortRes, err := RunCollusion(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shortRes.Rows[0].SuccessRate >= longRes.Rows[0].SuccessRate {
+		t.Errorf("short T_e success %v >= long T_e success %v",
+			shortRes.Rows[0].SuccessRate, longRes.Rows[0].SuccessRate)
+	}
+}

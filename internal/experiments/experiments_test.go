@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Fig2/Fig4/Fig5 share the QuickScale trace; cache results across tests.
+var (
+	fig2Once sync.Once
+	fig2Res  Fig2Result
+	fig2Err  error
+
+	fig4Once sync.Once
+	fig4Res  Fig4Result
+	fig4Err  error
+
+	fig5Once sync.Once
+	fig5Res  Fig5Result
+	fig5Err  error
+)
+
+func getFig2(t *testing.T) Fig2Result {
+	t.Helper()
+	fig2Once.Do(func() { fig2Res, fig2Err = RunFig2(DefaultScale()) })
+	if fig2Err != nil {
+		t.Fatal(fig2Err)
+	}
+	return fig2Res
+}
+
+func getFig4(t *testing.T) Fig4Result {
+	t.Helper()
+	fig4Once.Do(func() {
+		cfg := DefaultFig4Config()
+		fig4Res, fig4Err = RunFig4(cfg)
+	})
+	if fig4Err != nil {
+		t.Fatal(fig4Err)
+	}
+	return fig4Res
+}
+
+func getFig5(t *testing.T) Fig5Result {
+	t.Helper()
+	fig5Once.Do(func() {
+		cfg := DefaultFig5Config()
+		cfg.Scale = QuickScale()
+		fig5Res, fig5Err = RunFig5(cfg)
+	})
+	if fig5Err != nil {
+		t.Fatal(fig5Err)
+	}
+	return fig5Res
+}
+
+func TestFig2MatchesPaperShape(t *testing.T) {
+	r := getFig2(t)
+	if r.Connections < 1000 {
+		t.Fatalf("only %d connections measured", r.Connections)
+	}
+	// Figure 2-a percentiles.
+	if r.LifetimeQ90 < 55 || r.LifetimeQ90 > 100 {
+		t.Errorf("lifetime q90 = %v, paper 76", r.LifetimeQ90)
+	}
+	if r.LifetimeQ95 < 250 || r.LifetimeQ95 > 480 {
+		t.Errorf("lifetime q95 = %v, paper 360", r.LifetimeQ95)
+	}
+	if r.LifetimeOver515s > 0.02 {
+		t.Errorf("P(lifetime>515) = %v, paper <1%%", r.LifetimeOver515s)
+	}
+	// Figure 2-c percentiles.
+	if r.DelayQ95 < 0.4 || r.DelayQ95 > 1.4 {
+		t.Errorf("delay q95 = %v, paper 0.8", r.DelayQ95)
+	}
+	if r.DelayQ99 < 1.5 || r.DelayQ99 > 4.5 {
+		t.Errorf("delay q99 = %v, paper 2.8", r.DelayQ99)
+	}
+	// §3.2 aggregates.
+	if r.TCPFraction < 0.92 || r.TCPFraction > 0.99 {
+		t.Errorf("TCP fraction = %v, paper 0.9625", r.TCPFraction)
+	}
+	if r.AvgPktBytes < 400 || r.AvgPktBytes > 1000 {
+		t.Errorf("avg packet size = %v, paper 720", r.AvgPktBytes)
+	}
+	// Figure 2-b: at least one delay peak beyond 20s at a ~30s multiple.
+	found := false
+	for _, p := range r.DelayPeaks {
+		for _, m := range []int{30, 60, 90, 120, 150, 180, 240} {
+			if p >= m-2 && p <= m+2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no 30/60s-multiple delay peaks found: %v", r.DelayPeaks)
+	}
+	if !strings.Contains(r.Format(), "Figure 2") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFig4MatchesPaperShape(t *testing.T) {
+	r := getFig4(t)
+	// Paper: SPI 1.56%, bitmap 1.51%. Shape requirements: both in the
+	// ~1-2.5% band, SPI ≥ bitmap (close tracking), both close together.
+	if r.BitmapDropRate < 0.005 || r.BitmapDropRate > 0.035 {
+		t.Errorf("bitmap drop rate = %v, paper 0.0151", r.BitmapDropRate)
+	}
+	if r.SPIDropRate < 0.005 || r.SPIDropRate > 0.035 {
+		t.Errorf("SPI drop rate = %v, paper 0.0156", r.SPIDropRate)
+	}
+	if r.SPIDropRate <= r.BitmapDropRate {
+		t.Errorf("SPI (%v) should drop slightly more than bitmap (%v)",
+			r.SPIDropRate, r.BitmapDropRate)
+	}
+	if diff := math.Abs(r.SPIDropRate - r.BitmapDropRate); diff > 0.005 {
+		t.Errorf("drop rates differ by %v, paper by 0.0005", diff)
+	}
+	// The per-interval scatter follows the identity line.
+	if r.Slope < 0.6 || r.Slope > 1.4 {
+		t.Errorf("scatter slope = %v, paper 1.0", r.Slope)
+	}
+	if r.Correlation < 0.7 {
+		t.Errorf("scatter correlation = %v", r.Correlation)
+	}
+	if r.Intervals < 10 {
+		t.Errorf("only %d intervals", r.Intervals)
+	}
+	if !strings.Contains(r.Format(), "Figure 4") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestFig5MatchesPaperShape(t *testing.T) {
+	r := getFig5(t)
+	if r.AttackPackets < 100000 {
+		t.Fatalf("only %d attack packets", r.AttackPackets)
+	}
+	// Paper: 99.983% filtered. At our scale utilization is lower, so the
+	// rate should be at least 99.9%.
+	if r.FilterRate < 0.999 {
+		t.Errorf("attack filtering rate = %v, paper 0.99983", r.FilterRate)
+	}
+	// Benign traffic keeps flowing at roughly the Figure 4 drop rate.
+	if r.NormalInDropped > 0.035 {
+		t.Errorf("benign drop rate during attack = %v", r.NormalInDropped)
+	}
+	// Figure 5-a shape: after the attack starts, passed ≈ normal per
+	// interval (penetrated attack traffic is negligible next to benign).
+	startIdx := int(r.AttackStart.Seconds() / 10)
+	checked := 0
+	for i := startIdx + 1; i < r.Normal.Len()-1; i++ {
+		n, p := r.Normal.At(i), r.Passed.At(i)
+		if n < 100 {
+			continue
+		}
+		checked++
+		if p > n*1.10 {
+			t.Errorf("interval %d: passed %v far above normal %v", i, p, n)
+		}
+		if p < n*0.90 {
+			t.Errorf("interval %d: passed %v far below normal %v", i, p, n)
+		}
+	}
+	if checked == 0 {
+		t.Error("no attack intervals checked")
+	}
+	// The attack series must dwarf the normal series (20×).
+	if idx := startIdx + 2; idx < r.Attack.Len() {
+		if r.Attack.At(idx) < 5*r.Normal.At(idx) {
+			t.Errorf("attack rate %v not >> normal %v", r.Attack.At(idx), r.Normal.At(idx))
+		}
+	}
+	if !strings.Contains(r.Format(), "Figure 5") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	// Reduced scale: 200K connections still exposes the memory ratio.
+	const conns = 200000
+	r, err := RunTable1(conns, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	hash := byName["hash+link-list (Linux)"]
+	avl := byName["AVL-tree"]
+	bitmap := byName["bitmap filter"]
+
+	// SPI tables scale with flows: 30 B/flow.
+	wantSPI := uint64(conns * 30)
+	if hash.MeasuredBytes < wantSPI || hash.MeasuredBytes > wantSPI*2 {
+		t.Errorf("hashlist bytes = %d, want ≥ %d", hash.MeasuredBytes, wantSPI)
+	}
+	if avl.MeasuredBytes != wantSPI {
+		t.Errorf("avl bytes = %d, want %d", avl.MeasuredBytes, wantSPI)
+	}
+	// Bitmap is fixed at 8 MiB regardless of flows.
+	if bitmap.MeasuredBytes != 8*1024*1024 {
+		t.Errorf("bitmap bytes = %d, want 8 MiB", bitmap.MeasuredBytes)
+	}
+	// Shape at paper scale (2.56 M) would be 76.8 MB vs 8 MB; verify the
+	// ratio direction already holds here (6 MB vs 8 MB is close, so just
+	// require bitmap is constant and SPI grows linearly).
+	if bitmap.PaperBytes != 8*1024*1024 || hash.PaperBytes != 76_800_000 {
+		t.Error("paper reference bytes wrong")
+	}
+	if r.Format() == "" {
+		t.Error("empty Format")
+	}
+	if _, err := RunTable1(0, 1); err == nil {
+		t.Error("RunTable1(0) accepted")
+	}
+}
+
+func TestCapacityMatchesPaper(t *testing.T) {
+	r, err := RunCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{167e3, 125e3, 83e3}
+	for i, row := range r.Rows {
+		if math.Abs(row.MaxConnections-wants[i])/wants[i] > 0.05 {
+			t.Errorf("p=%v: %v, paper ~%v", row.P, row.MaxConnections, wants[i])
+		}
+	}
+	if r.OptimalM != 3 {
+		t.Errorf("optimal m = %d, paper 3", r.OptimalM)
+	}
+	if r.MemoryBytes != 512*1024 {
+		t.Errorf("memory = %d, paper 512K", r.MemoryBytes)
+	}
+	if !strings.Contains(r.Format(), "Eq. 5") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestInsiderMatchesModel(t *testing.T) {
+	cfg := DefaultInsiderConfig()
+	cfg.Order = 16 // smaller vector so the sweep is fast and utilization visible
+	cfg.Rates = []float64{100, 1000, 5000}
+	r, err := RunInsider(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	prev := 0.0
+	for _, row := range r.Rows {
+		// Measured utilization must track the collision-aware model
+		// within 20%.
+		if row.ExactU > 0.001 {
+			rel := math.Abs(row.MeasuredU-row.ExactU) / row.ExactU
+			if rel > 0.20 {
+				t.Errorf("rate %v: measured U %v vs exact %v (rel %v)",
+					row.RatePerSec, row.MeasuredU, row.ExactU, rel)
+			}
+		}
+		// Utilization grows with the attack rate (§5.2).
+		if row.MeasuredU <= prev {
+			t.Errorf("utilization not increasing: %v after %v", row.MeasuredU, prev)
+		}
+		prev = row.MeasuredU
+		// The linear estimate upper-bounds the measurement.
+		if row.MeasuredU > row.LinearU*1.05 {
+			t.Errorf("measured %v above linear bound %v", row.MeasuredU, row.LinearU)
+		}
+	}
+	if !strings.Contains(r.Format(), "insider") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestAPDPolicyBlocksScanPollution(t *testing.T) {
+	cfg := DefaultAPDConfig()
+	r, err := RunAPD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Probes != 256 {
+		t.Fatalf("probes = %d", r.Probes)
+	}
+	// Plain marking lets every victim SYN+ACK mark the bitmap and every
+	// attacker follow-up through.
+	if r.PlainMarks < r.Probes {
+		t.Errorf("plain marks = %d, want >= %d", r.PlainMarks, r.Probes)
+	}
+	if r.PlainFollowupAdmitted < r.Probes*9/10 {
+		t.Errorf("plain follow-ups admitted = %d / %d", r.PlainFollowupAdmitted, r.Probes)
+	}
+	// APD's marking policy keeps signal packets out of the bitmap.
+	if r.APDMarks != 0 {
+		t.Errorf("APD marks = %d, want 0", r.APDMarks)
+	}
+	if r.APDFollowupAdmitted != 0 {
+		t.Errorf("APD follow-ups admitted = %d, want 0", r.APDFollowupAdmitted)
+	}
+	// Ratio policy: no drops when balanced, full drops when flooded.
+	if r.RatioDropEarly != 0 {
+		t.Errorf("balanced drop probability = %v", r.RatioDropEarly)
+	}
+	if r.RatioDropLate < 0.99 {
+		t.Errorf("flooded drop probability = %v", r.RatioDropLate)
+	}
+	if !strings.Contains(r.Format(), "APD") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestAPDPolicyBlocksFINScanPollution(t *testing.T) {
+	// Same §5.3 property for the FIN-scan variant: victims answer with
+	// RST (a signal packet); APD must not let those RSTs mark the
+	// bitmap.
+	cfg := DefaultAPDConfig()
+	cfg.FINScan = true
+	r, err := RunAPD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PlainMarks < r.Probes {
+		t.Errorf("plain marks = %d (RST replies should mark without APD)", r.PlainMarks)
+	}
+	if r.APDMarks != 0 {
+		t.Errorf("APD marks from FIN-scan RSTs = %d, want 0", r.APDMarks)
+	}
+	if r.APDFollowupAdmitted != 0 {
+		t.Errorf("APD follow-ups admitted = %d", r.APDFollowupAdmitted)
+	}
+}
+
+func TestWormContainment(t *testing.T) {
+	cfg := DefaultWormConfig()
+	cfg.Duration = 4 * time.Minute
+	r, err := RunWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both networks see comparable probe arrivals (same epidemic).
+	if r.Unprotected.ProbesArrived == 0 {
+		t.Fatal("no probes arrived")
+	}
+	// The unprotected network delivers everything and gets infected.
+	if r.Unprotected.ProbesDelivered != r.Unprotected.ProbesArrived {
+		t.Errorf("unprotected delivered %d of %d probes",
+			r.Unprotected.ProbesDelivered, r.Unprotected.ProbesArrived)
+	}
+	if r.Unprotected.InsideInfected == 0 {
+		t.Error("unprotected network stayed clean; epidemic too weak for the test")
+	}
+	// The protected network blocks the probes and stays clean.
+	if r.Protected.InsideInfected != 0 {
+		t.Errorf("protected network infected: %d hosts", r.Protected.InsideInfected)
+	}
+	if r.Protected.ProbesDelivered > r.Protected.ProbesArrived/100 {
+		t.Errorf("protected network delivered %d of %d probes",
+			r.Protected.ProbesDelivered, r.Protected.ProbesArrived)
+	}
+	// Infected insiders generate outbound scans only in the unprotected
+	// case.
+	if r.Unprotected.OutboundScans == 0 {
+		t.Error("no outbound scans from infected insiders")
+	}
+	if r.Protected.OutboundScans != 0 {
+		t.Errorf("protected network emitted %d outbound scans", r.Protected.OutboundScans)
+	}
+	if !strings.Contains(r.Format(), "containment") {
+		t.Error("Format missing header")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/attack"
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/model"
+	"bitmapfilter/internal/packet"
+)
+
+// InsiderConfig parameterizes the §5.2 insider-attack experiment: an
+// infected inside host floods random outgoing tuples and we measure how
+// much the bitmap utilization (and hence the random-penetration
+// probability) rises, against the paper's ΔU ≈ m·r·T_e/2^n estimate.
+type InsiderConfig struct {
+	Seed  uint64
+	Rates []float64 // outgoing flood rates to sweep, packets/second
+	// Order..RotateEvery configure the bitmap (paper defaults).
+	Order       uint
+	Vectors     int
+	Hashes      int
+	RotateEvery time.Duration
+}
+
+// DefaultInsiderConfig sweeps four decades of flood rate against the
+// paper's filter.
+func DefaultInsiderConfig() InsiderConfig {
+	return InsiderConfig{
+		Seed:        1,
+		Rates:       []float64{100, 1000, 5000, 10000, 50000},
+		Order:       20,
+		Vectors:     4,
+		Hashes:      3,
+		RotateEvery: 5 * time.Second,
+	}
+}
+
+// InsiderRow is one swept rate.
+type InsiderRow struct {
+	RatePerSec float64
+	// MeasuredU is the simulated steady-state utilization.
+	MeasuredU float64
+	// LinearU is the paper's m·r·T_e/2^n estimate.
+	LinearU float64
+	// ExactU is the collision-aware 1−e^{−m·r·T_e/2^n} form.
+	ExactU float64
+	// Penetration is the resulting random-packet penetration
+	// probability U^m.
+	Penetration float64
+}
+
+// InsiderResult is the sweep outcome.
+type InsiderResult struct {
+	Rows []InsiderRow
+	Te   time.Duration
+}
+
+// RunInsider executes the sweep. For each rate, the flood runs for 3·T_e
+// of virtual time so the bitmap reaches steady state, then the current
+// vector's utilization is read just before a rotation (the maximum-history
+// point).
+func RunInsider(cfg InsiderConfig) (InsiderResult, error) {
+	res := InsiderResult{
+		Te: time.Duration(cfg.Vectors) * cfg.RotateEvery,
+	}
+	for _, rate := range cfg.Rates {
+		f, err := core.New(
+			core.WithOrder(cfg.Order),
+			core.WithVectors(cfg.Vectors),
+			core.WithHashes(cfg.Hashes),
+			core.WithRotateEvery(cfg.RotateEvery),
+			core.WithSeed(cfg.Seed),
+		)
+		if err != nil {
+			return InsiderResult{}, fmt.Errorf("insider: %w", err)
+		}
+		duration := 3 * res.Te
+		flood, err := attack.NewInsiderFlood(attack.InsiderFloodConfig{
+			Seed:     cfg.Seed,
+			Host:     packet.AddrFrom4(10, 10, 0, 66),
+			Rate:     rate,
+			Duration: duration,
+		})
+		if err != nil {
+			return InsiderResult{}, fmt.Errorf("insider: %w", err)
+		}
+		for {
+			pkt, ok := flood.Next()
+			if !ok {
+				break
+			}
+			f.Process(pkt)
+		}
+		u := f.Utilization()
+		res.Rows = append(res.Rows, InsiderRow{
+			RatePerSec:  rate,
+			MeasuredU:   u,
+			LinearU:     model.InsiderUtilization(cfg.Hashes, rate, res.Te, cfg.Order),
+			ExactU:      model.InsiderUtilizationExact(cfg.Hashes, rate, res.Te, cfg.Order),
+			Penetration: model.PenetrationFromUtilization(u, cfg.Hashes),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r InsiderResult) Format() string {
+	t := newTable(14, 12, 12, 12, 14)
+	t.row("rate (pps)", "measured U", "m·r·Te/2^n", "exact U", "penetration")
+	t.line()
+	for _, row := range r.Rows {
+		t.row(
+			fmt.Sprintf("%.0f", row.RatePerSec),
+			fmt.Sprintf("%.4f", row.MeasuredU),
+			fmt.Sprintf("%.4f", row.LinearU),
+			fmt.Sprintf("%.4f", row.ExactU),
+			fmt.Sprintf("%.2e", row.Penetration),
+		)
+	}
+	t.line()
+	t.row(fmt.Sprintf("§5.2 insider attack, T_e=%v", r.Te))
+	return t.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The headline conclusions must not depend on the lucky seed: re-run the
+// Figure 4 and Figure 5 pipelines under several seeds and require the same
+// orderings every time.
+func TestHeadlineResultsStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{2, 7, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			scale := Scale{Duration: 2 * time.Minute, ConnRate: 20, Seed: seed}
+
+			fig4cfg := DefaultFig4Config()
+			fig4cfg.Scale = scale
+			f4, err := RunFig4(fig4cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Figure 4 shape: both ~1-3%, SPI ≥ bitmap.
+			if f4.BitmapDropRate < 0.004 || f4.BitmapDropRate > 0.04 {
+				t.Errorf("bitmap drop rate = %v", f4.BitmapDropRate)
+			}
+			if f4.SPIDropRate < f4.BitmapDropRate {
+				t.Errorf("SPI %v < bitmap %v", f4.SPIDropRate, f4.BitmapDropRate)
+			}
+
+			fig5cfg := DefaultFig5Config()
+			fig5cfg.Scale = scale
+			f5, err := RunFig5(fig5cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f5.FilterRate < 0.999 {
+				t.Errorf("filter rate = %v", f5.FilterRate)
+			}
+			if f5.AttackPackets < 50000 {
+				t.Errorf("attack packets = %d", f5.AttackPackets)
+			}
+		})
+	}
+}

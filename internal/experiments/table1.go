@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/flowtable"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// Table1Connections is the paper's sizing scenario: "handle maxima 2.56M
+// concurrent connections".
+const Table1Connections = 2_560_000
+
+// Table1Row is one column of the paper's Table 1 (we transpose: one row
+// per implementation).
+type Table1Row struct {
+	Name string
+	// PaperBytes is the storage the paper reports for 2.56 M
+	// connections.
+	PaperBytes uint64
+	// MeasuredBytes is the accounted state footprint after inserting
+	// Connections flows.
+	MeasuredBytes uint64
+	// InsertNs / LookupNs are measured per-op costs at full load.
+	InsertNs float64
+	LookupNs float64
+	// GCNs is the cost of one full garbage-collection sweep (bitmap:
+	// one vector reset).
+	GCNs float64
+	// Complexity columns, straight from the paper.
+	InsertComplexity string
+	LookupComplexity string
+	GCComplexity     string
+}
+
+// Table1Result is the performance comparison of the three filters.
+type Table1Result struct {
+	Connections int
+	Rows        []Table1Row
+}
+
+// table1Filter abstracts the pieces Table 1 measures.
+type table1Filter interface {
+	filtering.PacketFilter
+}
+
+// RunTable1 inserts `connections` flows into each implementation and
+// measures memory plus per-operation latencies. Use a reduced connection
+// count for quick runs; the bench harness uses Table1Connections.
+func RunTable1(connections int, seed uint64) (Table1Result, error) {
+	if connections <= 0 {
+		return Table1Result{}, fmt.Errorf("table1: connections %d", connections)
+	}
+	// The paper's bitmap column handles 2.56 M connections at ~10%
+	// penetration with an 8 MB bitmap: {4×24} (4·2^24/8 = 8 MiB).
+	bitmap, err := core.New(
+		core.WithOrder(24), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second), core.WithSeed(seed),
+	)
+	if err != nil {
+		return Table1Result{}, fmt.Errorf("table1: %w", err)
+	}
+
+	specs := []struct {
+		name       string
+		filter     table1Filter
+		paperBytes uint64
+		insertC    string
+		lookupC    string
+		gcC        string
+		gc         func()
+	}{
+		{
+			name: "hash+link-list (Linux)",
+			// Bucket count sized at conns/4, the usual conntrack
+			// hashsize ratio.
+			filter:     flowtable.NewHashList(flowtable.WithBuckets(connections / 4)),
+			paperBytes: 76_800_000,
+			insertC:    "O(1)", lookupC: "O(n) worst", gcC: "O(n)",
+		},
+		{
+			name:       "AVL-tree",
+			filter:     flowtable.NewAVLTable(),
+			paperBytes: 76_800_000,
+			insertC:    "O(log n)", lookupC: "O(log n)", gcC: "O(n)",
+		},
+		{
+			name:       "bitmap filter",
+			filter:     bitmap,
+			paperBytes: 8 * 1024 * 1024,
+			insertC:    "O(1)", lookupC: "O(1)", gcC: "O(n) reset",
+			gc: bitmap.Rotate,
+		},
+	}
+
+	res := Table1Result{Connections: connections}
+	for _, spec := range specs {
+		r := xrand.New(seed)
+		outs := make([]packet.Packet, connections)
+		ins := make([]packet.Packet, connections)
+		for i := range outs {
+			tup := packet.Tuple{
+				Src:     packet.AddrFrom4(10, 10, byte(i>>16), byte(i>>8)),
+				Dst:     packet.Addr(r.Uint32() | 1),
+				SrcPort: uint16(1024 + i%60000),
+				DstPort: 80,
+				Proto:   packet.TCP,
+			}
+			outs[i] = packet.Packet{Tuple: tup, Dir: packet.Outgoing, Flags: packet.ACK, Length: 60}
+			ins[i] = packet.Packet{Tuple: tup.Reverse(), Dir: packet.Incoming, Flags: packet.ACK, Length: 60}
+		}
+
+		startInsert := nowNs()
+		for i := range outs {
+			spec.filter.Process(outs[i])
+		}
+		insertNs := float64(nowNs()-startInsert) / float64(connections)
+
+		startLookup := nowNs()
+		for i := range ins {
+			spec.filter.Process(ins[i])
+		}
+		lookupNs := float64(nowNs()-startLookup) / float64(connections)
+
+		startGC := nowNs()
+		if spec.gc != nil {
+			spec.gc()
+		} else {
+			// Force one full sweep by advancing past a GC interval
+			// (entries stay, the traversal cost is what we time).
+			spec.filter.AdvanceTo(flowtable.DefaultGCInterval + time.Nanosecond)
+			spec.filter.AdvanceTo(2*flowtable.DefaultGCInterval + time.Nanosecond)
+		}
+		gcNs := float64(nowNs() - startGC)
+
+		res.Rows = append(res.Rows, Table1Row{
+			Name:             spec.name,
+			PaperBytes:       spec.paperBytes,
+			MeasuredBytes:    spec.filter.MemoryBytes(),
+			InsertNs:         insertNs,
+			LookupNs:         lookupNs,
+			GCNs:             gcNs,
+			InsertComplexity: spec.insertC,
+			LookupComplexity: spec.lookupC,
+			GCComplexity:     spec.gcC,
+		})
+	}
+	return res, nil
+}
+
+// nowNs is a monotonic nanosecond clock for coarse CLI-side timing (the
+// bench harness uses testing.B for precise numbers).
+func nowNs() int64 { return time.Now().UnixNano() }
+
+// Format renders the comparison.
+func (r Table1Result) Format() string {
+	t := newTable(24, 14, 14, 10, 10, 12)
+	t.row("Table 1", "paper bytes", "measured B", "ins ns/op", "look ns/op", "gc ns")
+	t.line()
+	for _, row := range r.Rows {
+		t.row(row.Name,
+			fmt.Sprintf("%d", row.PaperBytes),
+			fmt.Sprintf("%d", row.MeasuredBytes),
+			fmt.Sprintf("%.0f", row.InsertNs),
+			fmt.Sprintf("%.0f", row.LookupNs),
+			fmt.Sprintf("%.0f", row.GCNs),
+		)
+	}
+	t.line()
+	t.row(fmt.Sprintf("(%d connections)", r.Connections))
+	return t.String()
+}

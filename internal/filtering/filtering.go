@@ -1,0 +1,85 @@
+// Package filtering defines the small contract every packet filter in this
+// repository implements — the bitmap filter of internal/core and the three
+// SPI baselines of internal/flowtable — so that simulations and benchmarks
+// can drive them interchangeably.
+//
+// Filters are driven by virtual time: each packet carries its observation
+// timestamp, and filters advance their timers (bitmap rotation, flow-table
+// garbage collection) lazily from those timestamps. AdvanceTo exists for
+// callers that need to move time forward without traffic.
+package filtering
+
+import (
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+// Verdict is a filter's decision for one packet.
+type Verdict uint8
+
+// Filter decisions.
+const (
+	Pass Verdict = iota + 1
+	Drop
+)
+
+// String returns "pass" or "drop".
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// PacketFilter is the common interface of all filters under test.
+type PacketFilter interface {
+	// Process inspects one packet and returns the verdict. Packet
+	// timestamps must be non-decreasing; filters use them to drive
+	// expiry.
+	Process(pkt packet.Packet) Verdict
+	// AdvanceTo moves the filter's clock to now, firing any pending
+	// rotation or garbage-collection work, without observing a packet.
+	AdvanceTo(now time.Duration)
+	// Name identifies the filter in reports.
+	Name() string
+	// MemoryBytes estimates the filter's current state footprint.
+	MemoryBytes() uint64
+	// Counters returns cumulative packet counters.
+	Counters() Counters
+}
+
+// Counters accumulates per-filter packet statistics.
+type Counters struct {
+	OutPackets uint64 // outgoing packets observed
+	InPackets  uint64 // incoming packets observed
+	InPassed   uint64 // incoming packets admitted
+	InDropped  uint64 // incoming packets dropped
+}
+
+// DropRate returns the fraction of incoming packets that were dropped, or 0
+// if none were observed.
+func (c Counters) DropRate() float64 {
+	if c.InPackets == 0 {
+		return 0
+	}
+	return float64(c.InDropped) / float64(c.InPackets)
+}
+
+// Count records a verdict for a packet in the counters.
+func (c *Counters) Count(pkt packet.Packet, v Verdict) {
+	if pkt.Dir == packet.Outgoing {
+		c.OutPackets++
+		return
+	}
+	c.InPackets++
+	if v == Pass {
+		c.InPassed++
+	} else {
+		c.InDropped++
+	}
+}

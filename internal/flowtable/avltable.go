@@ -1,0 +1,67 @@
+package flowtable
+
+import (
+	"time"
+
+	"bitmapfilter/internal/avl"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// AVLTable is the balanced-tree SPI table of Table 1: O(log n) insert and
+// lookup, O(n) garbage collection by full traversal. Flow keys are compared
+// as byte strings.
+type AVLTable struct {
+	opts     options
+	tree     avl.Tree[string, flowEntry]
+	clk      clock
+	counters filtering.Counters
+}
+
+var _ filtering.PacketFilter = (*AVLTable)(nil)
+
+// NewAVLTable returns an empty AVL-tree flow table.
+func NewAVLTable(opts ...Option) *AVLTable {
+	return &AVLTable{opts: buildOptions(opts)}
+}
+
+// Name implements filtering.PacketFilter.
+func (a *AVLTable) Name() string { return "spi-avl" }
+
+// Len returns the number of live flow entries.
+func (a *AVLTable) Len() int { return a.tree.Len() }
+
+// MemoryBytes reports the nominal footprint at 30 bytes per flow state
+// (Table 1 accounting; the tree nodes hold key, timestamp and two child
+// pointers).
+func (a *AVLTable) MemoryBytes() uint64 {
+	return uint64(a.tree.Len()) * FlowStateBytes
+}
+
+// Counters implements filtering.PacketFilter.
+func (a *AVLTable) Counters() filtering.Counters { return a.counters }
+
+// AdvanceTo implements filtering.PacketFilter.
+func (a *AVLTable) AdvanceTo(now time.Duration) {
+	if a.clk.due(now, a.opts.gcInterval) {
+		cutoff := a.clk.now - a.opts.idleTimeout
+		a.tree.DeleteWhere(func(_ string, e flowEntry) bool {
+			return e.lastSeen < cutoff
+		})
+	}
+}
+
+// Process implements filtering.PacketFilter.
+func (a *AVLTable) Process(pkt packet.Packet) filtering.Verdict {
+	a.AdvanceTo(pkt.Time)
+	key := canonicalKey(pkt)
+	skey := string(key[:])
+
+	e, found := a.tree.Get(skey)
+	v, act, updated := decide(e, found, pkt, a.opts.idleTimeout)
+	if act == actCreate || act == actUpdate {
+		a.tree.Put(skey, updated)
+	}
+	a.counters.Count(pkt, v)
+	return v
+}

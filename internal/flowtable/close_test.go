@@ -1,0 +1,169 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func flagged(p packet.Packet, f packet.Flags) packet.Packet {
+	p.Flags = f
+	return p
+}
+
+// closeTables builds one of each implementation for close-tracking tests.
+func closeTables() []filtering.PacketFilter {
+	return []filtering.PacketFilter{NewHashList(), NewAVLTable(), NewMapTable()}
+}
+
+func TestFullCloseDropsLatePackets(t *testing.T) {
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			// Handshake + data.
+			ft.Process(flagged(outPkt(0, client, server, 4000, 80), packet.SYN))
+			ft.Process(flagged(inPkt(100*time.Millisecond, server, client, 80, 4000), packet.SYN|packet.ACK))
+			ft.Process(flagged(outPkt(200*time.Millisecond, client, server, 4000, 80), packet.ACK))
+			// Orderly close: client FIN, server FIN, client ACK.
+			ft.Process(flagged(outPkt(1*time.Second, client, server, 4000, 80), packet.FIN|packet.ACK))
+			if v := ft.Process(flagged(inPkt(1100*time.Millisecond, server, client, 80, 4000), packet.FIN|packet.ACK)); v != filtering.Pass {
+				t.Fatal("server FIN dropped mid-close")
+			}
+			ft.Process(flagged(outPkt(1200*time.Millisecond, client, server, 4000, 80), packet.ACK))
+
+			// A post-close straggler within the idle timeout must be
+			// dropped: the SPI filter knows the connection closed.
+			if v := ft.Process(flagged(inPkt(5*time.Second, server, client, 80, 4000), packet.ACK)); v != filtering.Drop {
+				t.Error("post-close packet admitted")
+			}
+		})
+	}
+}
+
+func TestRSTClosesImmediately(t *testing.T) {
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			ft.Process(flagged(outPkt(0, client, server, 4000, 80), packet.SYN))
+			if v := ft.Process(flagged(inPkt(100*time.Millisecond, server, client, 80, 4000), packet.RST)); v != filtering.Pass {
+				t.Fatal("RST belonging to the flow dropped")
+			}
+			if v := ft.Process(flagged(inPkt(200*time.Millisecond, server, client, 80, 4000), packet.ACK)); v != filtering.Drop {
+				t.Error("packet after RST admitted")
+			}
+		})
+	}
+}
+
+func TestOutgoingRSTClosesToo(t *testing.T) {
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			ft.Process(flagged(outPkt(0, client, server, 4000, 80), packet.SYN))
+			ft.Process(flagged(outPkt(time.Second, client, server, 4000, 80), packet.RST))
+			if v := ft.Process(flagged(inPkt(2*time.Second, server, client, 80, 4000), packet.ACK)); v != filtering.Drop {
+				t.Error("packet after outgoing RST admitted")
+			}
+		})
+	}
+}
+
+func TestHalfCloseStillPasses(t *testing.T) {
+	// After only one side FINs, the other direction is still live.
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			ft.Process(flagged(outPkt(0, client, server, 4000, 80), packet.SYN))
+			ft.Process(flagged(outPkt(time.Second, client, server, 4000, 80), packet.FIN|packet.ACK))
+			// Server still sending data: must pass (half-open).
+			if v := ft.Process(flagged(inPkt(2*time.Second, server, client, 80, 4000), packet.ACK)); v != filtering.Pass {
+				t.Error("half-closed flow dropped server data")
+			}
+		})
+	}
+}
+
+func TestNewSynReopensClosedTuple(t *testing.T) {
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			// Open and close a connection.
+			ft.Process(flagged(outPkt(0, client, server, 4000, 80), packet.SYN))
+			ft.Process(flagged(outPkt(1*time.Second, client, server, 4000, 80), packet.FIN|packet.ACK))
+			ft.Process(flagged(inPkt(1100*time.Millisecond, server, client, 80, 4000), packet.FIN|packet.ACK))
+			ft.Process(flagged(outPkt(1200*time.Millisecond, client, server, 4000, 80), packet.ACK))
+			// Port reuse: a brand-new SYN on the same tuple.
+			ft.Process(flagged(outPkt(30*time.Second, client, server, 4000, 80), packet.SYN))
+			if v := ft.Process(flagged(inPkt(31*time.Second, server, client, 80, 4000), packet.SYN|packet.ACK)); v != filtering.Pass {
+				t.Error("reopened connection's SYN-ACK dropped")
+			}
+		})
+	}
+}
+
+func TestLateAckDoesNotReviveClosedFlow(t *testing.T) {
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			ft.Process(flagged(outPkt(0, client, server, 4000, 80), packet.SYN))
+			ft.Process(flagged(outPkt(1*time.Second, client, server, 4000, 80), packet.FIN|packet.ACK))
+			ft.Process(flagged(inPkt(1100*time.Millisecond, server, client, 80, 4000), packet.FIN|packet.ACK))
+			// Client's final ACK of the close handshake: outgoing, but
+			// must NOT revive the closed flow.
+			ft.Process(flagged(outPkt(1200*time.Millisecond, client, server, 4000, 80), packet.ACK))
+			if v := ft.Process(flagged(inPkt(2*time.Second, server, client, 80, 4000), packet.ACK)); v != filtering.Drop {
+				t.Error("final ACK revived closed flow")
+			}
+		})
+	}
+}
+
+func TestUDPUnaffectedByFlags(t *testing.T) {
+	for _, ft := range closeTables() {
+		t.Run(ft.Name(), func(t *testing.T) {
+			q := outPkt(0, client, server, 5353, 53)
+			q.Tuple.Proto = packet.UDP
+			ft.Process(q)
+			r := inPkt(time.Second, server, client, 53, 5353)
+			r.Tuple.Proto = packet.UDP
+			if v := ft.Process(r); v != filtering.Pass {
+				t.Error("UDP reply dropped")
+			}
+		})
+	}
+}
+
+func TestCloseTrackingImplementationsAgree(t *testing.T) {
+	// Replay a scripted mixed sequence through all three tables.
+	type step struct {
+		out   bool
+		t     time.Duration
+		flags packet.Flags
+		lport uint16
+	}
+	script := []step{
+		{out: true, t: 0, flags: packet.SYN, lport: 1000},
+		{out: false, t: 100 * time.Millisecond, flags: packet.SYN | packet.ACK, lport: 1000},
+		{out: true, t: 200 * time.Millisecond, flags: packet.ACK, lport: 1000},
+		{out: true, t: 1 * time.Second, flags: packet.SYN, lport: 1001},
+		{out: false, t: 2 * time.Second, flags: packet.RST, lport: 1001},
+		{out: false, t: 3 * time.Second, flags: packet.ACK, lport: 1001},
+		{out: true, t: 4 * time.Second, flags: packet.FIN | packet.ACK, lport: 1000},
+		{out: false, t: 5 * time.Second, flags: packet.FIN | packet.ACK, lport: 1000},
+		{out: true, t: 6 * time.Second, flags: packet.ACK, lport: 1000},
+		{out: false, t: 7 * time.Second, flags: packet.ACK, lport: 1000},
+		{out: true, t: 8 * time.Second, flags: packet.SYN, lport: 1000},
+		{out: false, t: 9 * time.Second, flags: packet.SYN | packet.ACK, lport: 1000},
+	}
+	tables := closeTables()
+	for i, s := range script {
+		var pkt packet.Packet
+		if s.out {
+			pkt = flagged(outPkt(s.t, client, server, s.lport, 80), s.flags)
+		} else {
+			pkt = flagged(inPkt(s.t, server, client, 80, s.lport), s.flags)
+		}
+		v0 := tables[0].Process(pkt)
+		for _, ft := range tables[1:] {
+			if v := ft.Process(pkt); v != v0 {
+				t.Fatalf("step %d: %s says %v, %s says %v", i, tables[0].Name(), v0, ft.Name(), v)
+			}
+		}
+	}
+}

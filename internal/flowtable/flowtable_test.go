@@ -1,0 +1,349 @@
+package flowtable
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+type tableFactory struct {
+	name string
+	make func(opts ...Option) filtering.PacketFilter
+}
+
+func factories() []tableFactory {
+	return []tableFactory{
+		{name: "hashlist", make: func(opts ...Option) filtering.PacketFilter { return NewHashList(opts...) }},
+		{name: "avl", make: func(opts ...Option) filtering.PacketFilter { return NewAVLTable(opts...) }},
+		{name: "map", make: func(opts ...Option) filtering.PacketFilter { return NewMapTable(opts...) }},
+	}
+}
+
+func outPkt(t time.Duration, src, dst packet.Addr, sp, dp uint16) packet.Packet {
+	return packet.Packet{
+		Time:  t,
+		Tuple: packet.Tuple{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: packet.TCP},
+		Dir:   packet.Outgoing,
+	}
+}
+
+func inPkt(t time.Duration, src, dst packet.Addr, sp, dp uint16) packet.Packet {
+	return packet.Packet{
+		Time:  t,
+		Tuple: packet.Tuple{Src: src, Dst: dst, SrcPort: sp, DstPort: dp, Proto: packet.TCP},
+		Dir:   packet.Incoming,
+	}
+}
+
+var (
+	client = packet.AddrFrom4(10, 0, 0, 1)
+	server = packet.AddrFrom4(198, 51, 100, 7)
+)
+
+func TestReplyAdmittedAfterRequest(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ft := f.make()
+			if v := ft.Process(outPkt(0, client, server, 4000, 80)); v != filtering.Pass {
+				t.Fatal("outgoing packet dropped")
+			}
+			if v := ft.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+				t.Error("reply dropped")
+			}
+		})
+	}
+}
+
+func TestUnsolicitedIncomingDropped(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ft := f.make()
+			if v := ft.Process(inPkt(0, server, client, 80, 4000)); v != filtering.Drop {
+				t.Error("unsolicited incoming packet passed")
+			}
+		})
+	}
+}
+
+func TestReplyFromDifferentRemotePortDropped(t *testing.T) {
+	// SPI tables are exact: unlike the bitmap filter, a reply from a
+	// different remote port does not match.
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ft := f.make()
+			ft.Process(outPkt(0, client, server, 4000, 80))
+			if v := ft.Process(inPkt(time.Second, server, client, 8080, 4000)); v != filtering.Drop {
+				t.Error("reply from different remote port passed exact-match SPI")
+			}
+		})
+	}
+}
+
+func TestIdleTimeoutExpiresFlow(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ft := f.make(WithIdleTimeout(240*time.Second), WithGCInterval(10*time.Second))
+			ft.Process(outPkt(0, client, server, 4000, 80))
+			// Within the timeout: admitted.
+			if v := ft.Process(inPkt(239*time.Second, server, client, 80, 4000)); v != filtering.Pass {
+				t.Fatal("reply within timeout dropped")
+			}
+			// 239s + 241s idle: the entry must be stale now.
+			if v := ft.Process(inPkt(480*time.Second, server, client, 80, 4000)); v != filtering.Drop {
+				t.Error("reply after idle timeout passed")
+			}
+		})
+	}
+}
+
+func TestActivityRefreshesFlow(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ft := f.make(WithIdleTimeout(100 * time.Second))
+			ft.Process(outPkt(0, client, server, 4000, 80))
+			// Keep the flow alive with outgoing packets every 50s.
+			for ts := 50 * time.Second; ts <= 500*time.Second; ts += 50 * time.Second {
+				ft.Process(outPkt(ts, client, server, 4000, 80))
+			}
+			if v := ft.Process(inPkt(540*time.Second, server, client, 80, 4000)); v != filtering.Pass {
+				t.Error("refreshed flow expired")
+			}
+		})
+	}
+}
+
+func TestIncomingActivityAlsoRefreshes(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ft := f.make(WithIdleTimeout(100 * time.Second))
+			ft.Process(outPkt(0, client, server, 4000, 80))
+			if v := ft.Process(inPkt(90*time.Second, server, client, 80, 4000)); v != filtering.Pass {
+				t.Fatal("first reply dropped")
+			}
+			// 90s+95s = 185s from the outgoing packet, but only 95s from
+			// the last incoming packet: must still pass.
+			if v := ft.Process(inPkt(185*time.Second, server, client, 80, 4000)); v != filtering.Pass {
+				t.Error("incoming activity did not refresh flow")
+			}
+		})
+	}
+}
+
+func TestGarbageCollectionShrinksTable(t *testing.T) {
+	tests := []struct {
+		name string
+		mk   func(opts ...Option) interface {
+			filtering.PacketFilter
+			Len() int
+		}
+	}{
+		{name: "hashlist", mk: func(opts ...Option) interface {
+			filtering.PacketFilter
+			Len() int
+		} {
+			return NewHashList(opts...)
+		}},
+		{name: "avl", mk: func(opts ...Option) interface {
+			filtering.PacketFilter
+			Len() int
+		} {
+			return NewAVLTable(opts...)
+		}},
+		{name: "map", mk: func(opts ...Option) interface {
+			filtering.PacketFilter
+			Len() int
+		} {
+			return NewMapTable(opts...)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ft := tt.mk(WithIdleTimeout(60*time.Second), WithGCInterval(5*time.Second))
+			for i := 0; i < 1000; i++ {
+				ft.Process(outPkt(0, client, server, uint16(1000+i), 80))
+			}
+			if ft.Len() != 1000 {
+				t.Fatalf("Len = %d after inserts", ft.Len())
+			}
+			before := ft.MemoryBytes()
+			// Advance far past the timeout; GC must fire and drain.
+			ft.AdvanceTo(300 * time.Second)
+			ft.AdvanceTo(310 * time.Second)
+			if ft.Len() != 0 {
+				t.Errorf("Len = %d after GC", ft.Len())
+			}
+			if ft.MemoryBytes() >= before {
+				t.Errorf("memory did not shrink: %d -> %d", before, ft.MemoryBytes())
+			}
+		})
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	ft := NewMapTable()
+	ft.Process(outPkt(0, client, server, 4000, 80))
+	ft.Process(inPkt(time.Second, server, client, 80, 4000))
+	ft.Process(inPkt(2*time.Second, server, client, 80, 9999)) // unsolicited
+	c := ft.Counters()
+	if c.OutPackets != 1 || c.InPackets != 2 || c.InPassed != 1 || c.InDropped != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+	if got := c.DropRate(); got != 0.5 {
+		t.Errorf("DropRate = %v", got)
+	}
+}
+
+func TestDropRateNoTraffic(t *testing.T) {
+	var c filtering.Counters
+	if c.DropRate() != 0 {
+		t.Error("DropRate on empty counters nonzero")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if filtering.Pass.String() != "pass" || filtering.Drop.String() != "drop" {
+		t.Error("verdict strings wrong")
+	}
+	if filtering.Verdict(0).String() != "verdict(?)" {
+		t.Error("unknown verdict string wrong")
+	}
+}
+
+// Differential property: all three SPI implementations return identical
+// verdicts on any packet sequence (they implement the same abstract table).
+func TestImplementationsAgree(t *testing.T) {
+	type step struct {
+		Out   bool
+		Host  uint8
+		Rport uint8
+		Lport uint8
+		Gap   uint16
+	}
+	f := func(steps []step) bool {
+		hl := NewHashList(WithIdleTimeout(80*time.Second), WithGCInterval(7*time.Second))
+		av := NewAVLTable(WithIdleTimeout(80*time.Second), WithGCInterval(7*time.Second))
+		mp := NewMapTable(WithIdleTimeout(80*time.Second), WithGCInterval(7*time.Second))
+		now := time.Duration(0)
+		for _, s := range steps {
+			now += time.Duration(s.Gap) * time.Millisecond * 40
+			remote := packet.AddrFrom4(198, 51, 100, s.Host)
+			lport := 1000 + uint16(s.Lport)
+			rport := 1 + uint16(s.Rport)
+			var pkt packet.Packet
+			if s.Out {
+				pkt = outPkt(now, client, remote, lport, rport)
+			} else {
+				pkt = inPkt(now, remote, client, rport, lport)
+			}
+			v1, v2, v3 := hl.Process(pkt), av.Process(pkt), mp.Process(pkt)
+			if v1 != v2 || v2 != v3 {
+				return false
+			}
+		}
+		return hl.Len() == mp.Len() && av.Len() == mp.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Large randomized differential test with realistic request/reply mixes.
+func TestImplementationsAgreeUnderLoad(t *testing.T) {
+	hl := NewHashList(WithIdleTimeout(60 * time.Second))
+	av := NewAVLTable(WithIdleTimeout(60 * time.Second))
+	mp := NewMapTable(WithIdleTimeout(60 * time.Second))
+	r := xrand.New(77)
+	now := time.Duration(0)
+	for i := 0; i < 50000; i++ {
+		now += time.Duration(r.Intn(200)) * time.Millisecond
+		remote := packet.AddrFrom4(198, 51, 100, byte(r.Intn(50)))
+		lport := uint16(1024 + r.Intn(200))
+		rport := uint16(1 + r.Intn(5))
+		var pkt packet.Packet
+		if r.Bool(0.6) {
+			pkt = outPkt(now, client, remote, lport, rport)
+		} else {
+			pkt = inPkt(now, remote, client, rport, lport)
+		}
+		v1, v2, v3 := hl.Process(pkt), av.Process(pkt), mp.Process(pkt)
+		if v1 != v2 || v2 != v3 {
+			t.Fatalf("packet %d (%v): verdicts %v/%v/%v", i, pkt, v1, v2, v3)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	// Non-positive options fall back to defaults rather than breaking.
+	ft := NewHashList(WithIdleTimeout(-1), WithGCInterval(0), WithBuckets(-5))
+	if ft.opts.idleTimeout != DefaultIdleTimeout {
+		t.Errorf("idleTimeout = %v", ft.opts.idleTimeout)
+	}
+	if ft.opts.gcInterval != DefaultGCInterval {
+		t.Errorf("gcInterval = %v", ft.opts.gcInterval)
+	}
+	if ft.opts.buckets <= 0 {
+		t.Errorf("buckets = %d", ft.opts.buckets)
+	}
+}
+
+func TestBucketsRoundedToPowerOfTwo(t *testing.T) {
+	ft := NewHashList(WithBuckets(1000))
+	if b := ft.opts.buckets; b != 1024 {
+		t.Errorf("buckets = %d, want 1024", b)
+	}
+}
+
+func TestHashListCollisionChains(t *testing.T) {
+	// Force every flow into very few buckets and verify chained lookups.
+	ft := NewHashList(WithBuckets(2))
+	const n = 500
+	for i := 0; i < n; i++ {
+		ft.Process(outPkt(0, client, server, uint16(1000+i), 80))
+	}
+	if ft.Len() != n {
+		t.Fatalf("Len = %d", ft.Len())
+	}
+	for i := 0; i < n; i++ {
+		if v := ft.Process(inPkt(time.Second, server, client, 80, uint16(1000+i))); v != filtering.Pass {
+			t.Fatalf("chained lookup failed for flow %d", i)
+		}
+	}
+}
+
+func TestUDPAndTCPFlowsDistinct(t *testing.T) {
+	ft := NewMapTable()
+	tcp := outPkt(0, client, server, 4000, 53)
+	ft.Process(tcp)
+	udpReply := inPkt(time.Second, server, client, 53, 4000)
+	udpReply.Tuple.Proto = packet.UDP
+	if v := ft.Process(udpReply); v != filtering.Drop {
+		t.Error("UDP reply matched TCP flow")
+	}
+}
+
+func benchTable(b *testing.B, ft filtering.PacketFilter) {
+	r := xrand.New(1)
+	pkts := make([]packet.Packet, 1<<14)
+	for i := range pkts {
+		remote := packet.AddrFrom4(198, 51, 100, byte(r.Intn(256)))
+		lport := uint16(1024 + r.Intn(4000))
+		if r.Bool(0.6) {
+			pkts[i] = outPkt(time.Duration(i)*time.Millisecond, client, remote, lport, 80)
+		} else {
+			pkts[i] = inPkt(time.Duration(i)*time.Millisecond, remote, client, 80, lport)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Process(pkts[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkHashListProcess(b *testing.B) { benchTable(b, NewHashList()) }
+func BenchmarkAVLProcess(b *testing.B)      { benchTable(b, NewAVLTable()) }
+func BenchmarkMapProcess(b *testing.B)      { benchTable(b, NewMapTable()) }

@@ -1,0 +1,123 @@
+package flowtable
+
+import (
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/hashfam"
+	"bitmapfilter/internal/packet"
+)
+
+// HashList is the Linux-conntrack-style SPI table of Table 1: a fixed array
+// of hash buckets, each a singly-linked list of flow entries. Expected O(1)
+// insert and lookup, O(n) garbage collection that "has to traverse all
+// states kept in the memory".
+type HashList struct {
+	opts     options
+	buckets  []*listEntry
+	mask     uint64
+	size     int
+	clk      clock
+	counters filtering.Counters
+}
+
+type listEntry struct {
+	key   flowKey
+	entry flowEntry
+	next  *listEntry
+}
+
+var _ filtering.PacketFilter = (*HashList)(nil)
+
+// NewHashList returns an empty conntrack-style table.
+func NewHashList(opts ...Option) *HashList {
+	o := buildOptions(opts)
+	return &HashList{
+		opts:    o,
+		buckets: make([]*listEntry, o.buckets),
+		mask:    uint64(o.buckets - 1),
+	}
+}
+
+// Name implements filtering.PacketFilter.
+func (h *HashList) Name() string { return "spi-hashlist" }
+
+// Len returns the number of live flow entries.
+func (h *HashList) Len() int { return h.size }
+
+// MemoryBytes reports the nominal state footprint: 30 bytes per flow (the
+// Table 1 accounting) plus the bucket-pointer array.
+func (h *HashList) MemoryBytes() uint64 {
+	return uint64(h.size)*FlowStateBytes + uint64(len(h.buckets))*8
+}
+
+// Counters implements filtering.PacketFilter.
+func (h *HashList) Counters() filtering.Counters { return h.counters }
+
+// AdvanceTo implements filtering.PacketFilter.
+func (h *HashList) AdvanceTo(now time.Duration) {
+	if h.clk.due(now, h.opts.gcInterval) {
+		h.gc()
+	}
+}
+
+// Process implements filtering.PacketFilter: outgoing packets create or
+// refresh their flow entry and pass; incoming packets pass only if the
+// reverse flow is live (fresh and not closed).
+func (h *HashList) Process(pkt packet.Packet) filtering.Verdict {
+	h.AdvanceTo(pkt.Time)
+	key := canonicalKey(pkt)
+	idx := h.index(key)
+
+	e := h.find(idx, key)
+	var cur flowEntry
+	if e != nil {
+		cur = e.entry
+	}
+	v, act, updated := decide(cur, e != nil, pkt, h.opts.idleTimeout)
+	switch act {
+	case actCreate:
+		h.buckets[idx] = &listEntry{key: key, entry: updated, next: h.buckets[idx]}
+		h.size++
+	case actUpdate:
+		e.entry = updated
+	}
+	h.counters.Count(pkt, v)
+	return v
+}
+
+func (h *HashList) index(key flowKey) uint64 {
+	return hashfam.Murmur64(key[:], 0) & h.mask
+}
+
+func (h *HashList) find(idx uint64, key flowKey) *listEntry {
+	for e := h.buckets[idx]; e != nil; e = e.next {
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// gc removes every entry idle longer than the timeout. As in the real
+// conntrack design this walks the entire table.
+func (h *HashList) gc() {
+	cutoff := h.clk.now - h.opts.idleTimeout
+	for i, head := range h.buckets {
+		var prev *listEntry
+		for e := head; e != nil; {
+			next := e.next
+			if e.entry.lastSeen < cutoff {
+				if prev == nil {
+					h.buckets[i] = next
+				} else {
+					prev.next = next
+				}
+				h.size--
+			} else {
+				prev = e
+			}
+			e = next
+		}
+	}
+}

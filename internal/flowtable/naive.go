@@ -1,0 +1,101 @@
+package flowtable
+
+import (
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// Naive is the exact filter the bitmap approximates — §3.3's "naïve
+// solution": associate a timer of initial value T with the (partial)
+// address tuple of each outgoing packet, reset it on every outgoing
+// packet, delete the tuple on expiry, and admit an incoming packet iff its
+// inverse tuple is currently recorded.
+//
+// Because it keys on the same partial tuple as the bitmap (remote port
+// excluded), Naive is the bitmap filter's ground truth: with
+// T = (k−1)·Δt, everything Naive admits the bitmap is guaranteed to admit
+// (no false positives relative to the exact filter), and everything extra
+// the bitmap admits is either a hash collision or a mark still inside the
+// [(k−1)·Δt, k·Δt) rotation-phase window. The paper rejects deploying it
+// directly — "the complexity of storage and computation make it
+// infeasible to deploy in an ISP network" — which is exactly what makes it
+// the right oracle for tests.
+type Naive struct {
+	expiry   time.Duration
+	tuples   map[packet.Key]time.Duration
+	now      time.Duration
+	nextGC   time.Duration
+	counters filtering.Counters
+}
+
+var _ filtering.PacketFilter = (*Naive)(nil)
+
+// NewNaive returns the exact filter with the given timer T. Non-positive
+// expiry falls back to the paper's 20 s.
+func NewNaive(expiry time.Duration) *Naive {
+	if expiry <= 0 {
+		expiry = 20 * time.Second
+	}
+	return &Naive{
+		expiry: expiry,
+		tuples: make(map[packet.Key]time.Duration, 1<<12),
+		nextGC: expiry,
+	}
+}
+
+// Name implements filtering.PacketFilter.
+func (n *Naive) Name() string { return "naive-exact" }
+
+// Len returns the number of live tuples.
+func (n *Naive) Len() int { return len(n.tuples) }
+
+// MemoryBytes accounts the per-tuple state at the Table 1 convention of 30
+// bytes per entry — the O(flows) footprint the bitmap avoids.
+func (n *Naive) MemoryBytes() uint64 {
+	return uint64(len(n.tuples)) * FlowStateBytes
+}
+
+// Counters implements filtering.PacketFilter.
+func (n *Naive) Counters() filtering.Counters { return n.counters }
+
+// AdvanceTo implements filtering.PacketFilter.
+func (n *Naive) AdvanceTo(now time.Duration) {
+	if now > n.now {
+		n.now = now
+	}
+	if n.now < n.nextGC {
+		return
+	}
+	cutoff := n.now - n.expiry
+	for k, t0 := range n.tuples {
+		if t0 < cutoff {
+			delete(n.tuples, k)
+		}
+	}
+	n.nextGC = n.now + n.expiry
+}
+
+// Process implements filtering.PacketFilter with the §3.3 semantics.
+func (n *Naive) Process(pkt packet.Packet) filtering.Verdict {
+	n.AdvanceTo(pkt.Time)
+	if pkt.Dir == packet.Outgoing {
+		n.tuples[pkt.Tuple.OutgoingKey()] = pkt.Time
+		n.counters.Count(pkt, filtering.Pass)
+		return filtering.Pass
+	}
+	v := filtering.Drop
+	if t0, ok := n.tuples[pkt.Tuple.IncomingKey()]; ok && pkt.Time-t0 <= n.expiry {
+		v = filtering.Pass
+	}
+	n.counters.Count(pkt, v)
+	return v
+}
+
+// WouldAdmit reports, without counting, whether an incoming packet with
+// the given tuple would pass right now.
+func (n *Naive) WouldAdmit(tup packet.Tuple) bool {
+	t0, ok := n.tuples[tup.IncomingKey()]
+	return ok && n.now-t0 <= n.expiry
+}

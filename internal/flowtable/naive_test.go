@@ -1,0 +1,162 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/trafficgen"
+)
+
+func TestNaiveBasicSemantics(t *testing.T) {
+	n := NewNaive(20 * time.Second)
+	if n.Name() == "" {
+		t.Error("empty name")
+	}
+	n.Process(outPkt(0, client, server, 4000, 80))
+	if n.Len() != 1 {
+		t.Fatalf("Len = %d", n.Len())
+	}
+	// Reply admitted, including from another remote port (partial key).
+	if v := n.Process(inPkt(time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("reply dropped")
+	}
+	if v := n.Process(inPkt(time.Second, server, client, 9999, 4000)); v != filtering.Pass {
+		t.Error("alternate-remote-port reply dropped")
+	}
+	// Unsolicited dropped.
+	if v := n.Process(inPkt(time.Second, server, client, 80, 4001)); v != filtering.Drop {
+		t.Error("unsolicited admitted")
+	}
+	// Exact expiry at T.
+	if v := n.Process(inPkt(20*time.Second, server, client, 80, 4000)); v != filtering.Pass {
+		t.Error("reply at exactly T dropped")
+	}
+	if v := n.Process(inPkt(20*time.Second+time.Nanosecond, server, client, 80, 4000)); v != filtering.Drop {
+		t.Error("reply after T admitted")
+	}
+	if n.Counters().InDropped != 2 {
+		t.Errorf("counters = %+v", n.Counters())
+	}
+}
+
+func TestNaiveDefaultExpiry(t *testing.T) {
+	n := NewNaive(0)
+	n.Process(outPkt(0, client, server, 1, 2))
+	if v := n.Process(inPkt(19*time.Second, server, client, 2, 1)); v != filtering.Pass {
+		t.Error("default 20s expiry not applied")
+	}
+}
+
+func TestNaiveGC(t *testing.T) {
+	n := NewNaive(10 * time.Second)
+	for i := 0; i < 500; i++ {
+		n.Process(outPkt(0, client, server, uint16(1000+i), 80))
+	}
+	before := n.MemoryBytes()
+	n.AdvanceTo(25 * time.Second)
+	if n.Len() != 0 {
+		t.Errorf("Len after GC = %d", n.Len())
+	}
+	if n.MemoryBytes() >= before {
+		t.Error("memory did not shrink")
+	}
+}
+
+func TestNaiveWouldAdmit(t *testing.T) {
+	n := NewNaive(20 * time.Second)
+	n.Process(outPkt(0, client, server, 4000, 80))
+	tup := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+	if !n.WouldAdmit(tup) {
+		t.Error("WouldAdmit false for fresh tuple")
+	}
+	n.AdvanceTo(21 * time.Second)
+	if n.WouldAdmit(tup) {
+		t.Error("WouldAdmit true past expiry")
+	}
+}
+
+// The approximation theorem the bitmap's design rests on: on any stream,
+// the {k×n} bitmap's admissions are sandwiched between the exact naive
+// filter with T = (k−1)·Δt (everything it admits, the bitmap must admit)
+// and the exact naive filter with T = k·Δt plus hash collisions
+// (everything the bitmap admits beyond naive-k·Δt must be a collision).
+func TestBitmapSandwichedByNaiveFilters(t *testing.T) {
+	const (
+		kVectors = 4
+		dt       = 5 * time.Second
+	)
+	bitmap := core.MustNew(
+		core.WithOrder(16), core.WithVectors(kVectors), core.WithHashes(3),
+		core.WithRotateEvery(dt), core.WithSeed(1))
+	lower := NewNaive((kVectors - 1) * dt) // 15 s
+	upper := NewNaive(kVectors * dt)       // 20 s
+
+	cfg := trafficgen.DefaultConfig()
+	cfg.Duration = 3 * time.Minute
+	cfg.ConnRate = 20
+	gen, err := trafficgen.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var incoming, lowerViolations, upperExtras uint64
+	gen.Drain(func(pkt packet.Packet) {
+		vb := bitmap.Process(pkt)
+		vl := lower.Process(pkt)
+		vu := upper.Process(pkt)
+		if pkt.Dir != packet.Incoming {
+			return
+		}
+		incoming++
+		if vl == filtering.Pass && vb == filtering.Drop {
+			lowerViolations++
+		}
+		if vb == filtering.Pass && vu == filtering.Drop {
+			upperExtras++
+		}
+	})
+	if incoming < 10000 {
+		t.Fatalf("only %d incoming packets", incoming)
+	}
+	// Lower bound is a hard guarantee of Algorithm 1/2.
+	if lowerViolations != 0 {
+		t.Errorf("%d admissions of naive-(k-1)Δt dropped by the bitmap", lowerViolations)
+	}
+	// Upper-bound extras are hash collisions only: at order 16 with this
+	// load they must be a tiny fraction of incoming traffic.
+	if frac := float64(upperExtras) / float64(incoming); frac > 0.002 {
+		t.Errorf("bitmap admitted %v beyond naive-kΔt (collisions too frequent)", frac)
+	}
+}
+
+// With the same T the naive filter and the bitmap agree except for
+// rotation-phase effects: compare drop rates on the calibrated trace.
+func TestNaiveDropRateBracketsBitmap(t *testing.T) {
+	bitmap := core.MustNew(
+		core.WithOrder(18), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second), core.WithSeed(1))
+	lower := NewNaive(15 * time.Second)
+	upper := NewNaive(20 * time.Second)
+
+	cfg := trafficgen.DefaultConfig()
+	cfg.Duration = 3 * time.Minute
+	cfg.ConnRate = 20
+	gen, err := trafficgen.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Drain(func(pkt packet.Packet) {
+		bitmap.Process(pkt)
+		lower.Process(pkt)
+		upper.Process(pkt)
+	})
+	b := bitmap.Counters().DropRate()
+	lo := upper.Counters().DropRate() // longer T → fewer drops → lower rate
+	hi := lower.Counters().DropRate()
+	if b < lo-1e-9 || b > hi+1e-9 {
+		t.Errorf("bitmap drop rate %v outside naive bracket [%v, %v]", b, lo, hi)
+	}
+}

@@ -1,0 +1,200 @@
+// Package httpapi exposes a monitoring and control plane for a live
+// bitmap filter over HTTP, the surface an operator integration would
+// scrape and script against:
+//
+//	GET  /healthz  liveness probe
+//	GET  /stats    full filter introspection as JSON
+//	GET  /metrics  Prometheus text exposition of the key gauges/counters
+//	POST /punch    §5.1 hole punching: ?local=10.0.0.5&port=20000
+//	               &remote=198.51.100.7&proto=tcp
+//
+// Everything is stdlib net/http; construct the handler with New and mount
+// it on any server.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/packet"
+)
+
+// ErrNilFilter is returned by New when no filter is supplied.
+var ErrNilFilter = errors.New("httpapi: nil filter")
+
+// API serves the endpoints for one live filter.
+type API struct {
+	filter *live.Filter
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+var _ http.Handler = (*API)(nil)
+
+// New builds the handler around f.
+func New(f *live.Filter) (*API, error) {
+	if f == nil {
+		return nil, ErrNilFilter
+	}
+	a := &API{
+		filter: f,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	a.mux.HandleFunc("GET /healthz", a.handleHealthz)
+	a.mux.HandleFunc("GET /stats", a.handleStats)
+	a.mux.HandleFunc("GET /metrics", a.handleMetrics)
+	a.mux.HandleFunc("POST /punch", a.handlePunch)
+	return a, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statsPayload is the JSON shape of /stats.
+type statsPayload struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+
+	Order       uint   `json:"order"`
+	Vectors     int    `json:"vectors"`
+	Hashes      int    `json:"hashes"`
+	RotateNs    int64  `json:"rotateEveryNs"`
+	ExpiryNs    int64  `json:"expiryTimerNs"`
+	MemoryBytes uint64 `json:"memoryBytes"`
+
+	Rotations    uint64 `json:"rotations"`
+	CurrentIndex int    `json:"currentIndex"`
+	Marks        uint64 `json:"marks"`
+
+	Utilization       float64   `json:"utilization"`
+	VectorUtilization []float64 `json:"vectorUtilization"`
+	Penetration       float64   `json:"penetrationProbability"`
+
+	OutPackets uint64 `json:"outPackets"`
+	InPackets  uint64 `json:"inPackets"`
+	InPassed   uint64 `json:"inPassed"`
+	InDropped  uint64 `json:"inDropped"`
+	APDSpared  uint64 `json:"apdSpared"`
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s := a.filter.Stats()
+	payload := statsPayload{
+		UptimeSeconds:     time.Since(a.start).Seconds(),
+		Order:             s.Order,
+		Vectors:           s.Vectors,
+		Hashes:            s.Hashes,
+		RotateNs:          int64(s.RotateEvery),
+		ExpiryNs:          int64(s.ExpiryTimer),
+		MemoryBytes:       s.MemoryBytes,
+		Rotations:         s.Rotations,
+		CurrentIndex:      s.CurrentIndex,
+		Marks:             s.Marks,
+		Utilization:       s.Utilization,
+		VectorUtilization: s.VectorUtilization,
+		Penetration:       s.PenetrationProbability,
+		OutPackets:        s.Counters.OutPackets,
+		InPackets:         s.Counters.InPackets,
+		InPassed:          s.Counters.InPassed,
+		InDropped:         s.Counters.InDropped,
+		APDSpared:         s.APDSpared,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		// Too late for a status change; the connection likely broke.
+		return
+	}
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := a.filter.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	gauge := func(name string, v float64, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("bitmapfilter_utilization", s.Utilization,
+		"Fill fraction of the current bit vector (U)")
+	gauge("bitmapfilter_penetration_probability", s.PenetrationProbability,
+		"Random-packet penetration probability U^m (Equation 1)")
+	gauge("bitmapfilter_memory_bytes", float64(s.MemoryBytes),
+		"Fixed bitmap footprint (k*2^n)/8")
+	counter("bitmapfilter_rotations_total", s.Rotations,
+		"b.rotate invocations")
+	counter("bitmapfilter_marks_total", s.Marks,
+		"Outgoing packets that marked the bitmap")
+	counter("bitmapfilter_out_packets_total", s.Counters.OutPackets,
+		"Outgoing packets observed")
+	counter("bitmapfilter_in_packets_total", s.Counters.InPackets,
+		"Incoming packets observed")
+	counter("bitmapfilter_in_dropped_total", s.Counters.InDropped,
+		"Incoming packets dropped")
+	counter("bitmapfilter_apd_spared_total", s.APDSpared,
+		"Unmatched incoming packets admitted by APD")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handlePunch implements operator-driven §5.1 hole punching.
+func (a *API) handlePunch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	local, err := parseAddr(q.Get("local"))
+	if err != nil {
+		http.Error(w, "local: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	remote, err := parseAddr(q.Get("remote"))
+	if err != nil {
+		http.Error(w, "remote: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	port, err := strconv.ParseUint(q.Get("port"), 10, 16)
+	if err != nil || port == 0 {
+		http.Error(w, "port: must be 1..65535", http.StatusBadRequest)
+		return
+	}
+	proto := packet.TCP
+	switch strings.ToLower(q.Get("proto")) {
+	case "", "tcp":
+	case "udp":
+		proto = packet.UDP
+	default:
+		http.Error(w, "proto: must be tcp or udp", http.StatusBadRequest)
+		return
+	}
+	a.filter.PunchHole(local, uint16(port), remote, proto)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "punched %s:%d <- %s/%s\n", local, port, remote, proto)
+}
+
+// parseAddr parses a dotted-quad IPv4 address.
+func parseAddr(s string) (packet.Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("%q is not a dotted-quad IPv4 address", s)
+	}
+	var quad [4]byte
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("bad octet %q", p)
+		}
+		quad[i] = byte(v)
+	}
+	return packet.AddrFrom4(quad[0], quad[1], quad[2], quad[3]), nil
+}

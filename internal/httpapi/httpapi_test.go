@@ -1,0 +1,202 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/packet"
+)
+
+func newAPI(t *testing.T) (*API, *live.Filter) {
+	t.Helper()
+	inner := core.MustNew(
+		core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second))
+	lf, err := live.New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := New(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return api, lf
+}
+
+func TestNewNilFilter(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNilFilter) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	api, lf := newAPI(t)
+	tup := packet.Tuple{
+		Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(198, 51, 100, 7),
+		SrcPort: 4000, DstPort: 80, Proto: packet.TCP,
+	}
+	lf.Observe(tup, packet.Outgoing, packet.SYN, 60)
+	lf.Observe(tup.Reverse(), packet.Incoming, packet.ACK, 60)
+	lf.Observe(packet.Tuple{
+		Src: packet.AddrFrom4(203, 0, 113, 9), Dst: packet.AddrFrom4(10, 0, 0, 1),
+		SrcPort: 1, DstPort: 2, Proto: packet.TCP,
+	}, packet.Incoming, packet.SYN, 60)
+
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var got statsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Order != 12 || got.Vectors != 4 || got.Hashes != 3 {
+		t.Errorf("config: %+v", got)
+	}
+	if got.OutPackets != 1 || got.InPackets != 2 || got.InPassed != 1 || got.InDropped != 1 {
+		t.Errorf("counters: %+v", got)
+	}
+	if got.Marks != 1 || got.Utilization == 0 {
+		t.Errorf("bitmap state: marks=%d U=%v", got.Marks, got.Utilization)
+	}
+	if len(got.VectorUtilization) != 4 {
+		t.Errorf("vector utilizations: %v", got.VectorUtilization)
+	}
+	if got.MemoryBytes != 4*(1<<12)/8 {
+		t.Errorf("memory = %d", got.MemoryBytes)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	api, lf := newAPI(t)
+	lf.Observe(packet.Tuple{
+		Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(198, 51, 100, 7),
+		SrcPort: 4000, DstPort: 80, Proto: packet.TCP,
+	}, packet.Outgoing, packet.ACK, 60)
+
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, metric := range []string{
+		"bitmapfilter_utilization",
+		"bitmapfilter_marks_total 1",
+		"bitmapfilter_out_packets_total 1",
+		"bitmapfilter_rotations_total",
+		"# TYPE bitmapfilter_utilization gauge",
+		"# TYPE bitmapfilter_marks_total counter",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics missing %q\n%s", metric, body)
+		}
+	}
+}
+
+func TestPunch(t *testing.T) {
+	api, lf := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/punch?local=10.0.0.5&port=20000&remote=198.51.100.7&proto=tcp", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// The punched connection is now admitted.
+	v := lf.Observe(packet.Tuple{
+		Src: packet.AddrFrom4(198, 51, 100, 7), Dst: packet.AddrFrom4(10, 0, 0, 5),
+		SrcPort: 20, DstPort: 20000, Proto: packet.TCP,
+	}, packet.Incoming, packet.SYN, 60)
+	if v != filtering.Pass {
+		t.Error("punched connection dropped")
+	}
+}
+
+func TestPunchValidation(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	bad := []string{
+		"/punch?local=nonsense&port=1&remote=1.2.3.4",
+		"/punch?local=1.2.3.4&port=0&remote=1.2.3.4",
+		"/punch?local=1.2.3.4&port=99999&remote=1.2.3.4",
+		"/punch?local=1.2.3.4&port=80&remote=1.2.3",
+		"/punch?local=1.2.3.4&port=80&remote=1.2.3.4&proto=icmp",
+		"/punch?local=1.2.3.999&port=80&remote=1.2.3.4",
+	}
+	for _, path := range bad {
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// GET on /punch is not allowed.
+	resp, err := http.Get(srv.URL + "/punch?local=1.2.3.4&port=80&remote=1.2.3.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /punch status = %d", resp.StatusCode)
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

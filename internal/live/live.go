@@ -1,0 +1,173 @@
+// Package live adapts the virtual-time bitmap filter to wall-clock packet
+// sources: it stamps each observed tuple with the elapsed monotonic time
+// since construction, serializes access for concurrent capture threads,
+// and (optionally) runs a background ticker so rotations fire even while
+// the link is quiet.
+//
+// This is the deployment-facing shim: everything under internal/core is
+// timestamp-driven and deterministic for simulation; a router integration
+// simply calls Observe for every packet it forwards.
+package live
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// ErrNilFilter is returned by New when no filter is supplied.
+var ErrNilFilter = errors.New("live: nil filter")
+
+// Clock abstracts wall time so tests can drive the adapter
+// deterministically.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// realClock is the default Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Option configures the adapter.
+type Option interface {
+	apply(*Filter)
+}
+
+type clockOption struct{ c Clock }
+
+func (o clockOption) apply(f *Filter) { f.clock = o.c }
+
+// WithClock substitutes the time source (tests, replay).
+func WithClock(c Clock) Option { return clockOption{c: c} }
+
+// Filter is a goroutine-safe, wall-clock-driven bitmap filter.
+type Filter struct {
+	mu     sync.Mutex
+	inner  *core.Filter
+	clock  Clock
+	start  time.Time
+	ticker struct {
+		stop chan struct{}
+		done chan struct{}
+	}
+}
+
+// New wraps a core filter. The wrapped filter must not be used directly
+// afterwards.
+func New(f *core.Filter, opts ...Option) (*Filter, error) {
+	if f == nil {
+		return nil, ErrNilFilter
+	}
+	l := &Filter{inner: f, clock: realClock{}}
+	for _, o := range opts {
+		o.apply(l)
+	}
+	l.start = l.clock.Now()
+	return l, nil
+}
+
+// elapsed returns the filter-clock timestamp for "now".
+func (l *Filter) elapsed() time.Duration {
+	return l.clock.Now().Sub(l.start)
+}
+
+// Observe runs one packet (described by its tuple, direction, TCP flags
+// and length) through the filter at the current wall-clock time and
+// returns the verdict.
+func (l *Filter) Observe(tup packet.Tuple, dir packet.Direction, flags packet.Flags, length int) filtering.Verdict {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Process(packet.Packet{
+		Time:   l.elapsed(),
+		Tuple:  tup,
+		Dir:    dir,
+		Flags:  flags,
+		Length: length,
+	})
+}
+
+// PunchHole forwards to the wrapped filter under the lock (§5.1).
+func (l *Filter) PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.PunchHole(local, localPort, remote, proto)
+}
+
+// Utilization returns the current-vector utilization at wall-clock time
+// (rotations due up to now fire first).
+func (l *Filter) Utilization() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.AdvanceTo(l.elapsed())
+	return l.inner.Utilization()
+}
+
+// Counters returns cumulative packet counters.
+func (l *Filter) Counters() filtering.Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Counters()
+}
+
+// Stats returns a full introspection snapshot at wall-clock time
+// (rotations due up to now fire first).
+func (l *Filter) Stats() core.Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.AdvanceTo(l.elapsed())
+	return l.inner.Stats()
+}
+
+// StartRotations launches a background goroutine that advances the filter
+// clock every interval, so marks expire on schedule even when no packets
+// arrive. It returns an error if rotations are already running. Always
+// pair with StopRotations.
+func (l *Filter) StartRotations(interval time.Duration) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ticker.stop != nil {
+		return errors.New("live: rotations already running")
+	}
+	if interval <= 0 {
+		interval = l.inner.RotateEvery()
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	l.ticker.stop, l.ticker.done = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				l.mu.Lock()
+				l.inner.AdvanceTo(l.elapsed())
+				l.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// StopRotations stops the background ticker and waits for it to exit. It
+// is a no-op if rotations are not running.
+func (l *Filter) StopRotations() {
+	l.mu.Lock()
+	stop, done := l.ticker.stop, l.ticker.done
+	l.ticker.stop, l.ticker.done = nil, nil
+	l.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

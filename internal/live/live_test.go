@@ -1,0 +1,171 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// fakeClock is a manually advanced Clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+var (
+	client = packet.AddrFrom4(10, 0, 0, 1)
+	server = packet.AddrFrom4(198, 51, 100, 7)
+	tuple  = packet.Tuple{Src: client, Dst: server, SrcPort: 4000, DstPort: 80, Proto: packet.TCP}
+)
+
+func newLive(t *testing.T, clock Clock) *Filter {
+	t.Helper()
+	inner := core.MustNew(
+		core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second))
+	l, err := New(inner, WithClock(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewNilFilter(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNilFilter) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestObserveStampsWallClock(t *testing.T) {
+	clock := newFakeClock()
+	l := newLive(t, clock)
+
+	if v := l.Observe(tuple, packet.Outgoing, packet.SYN, 60); v != filtering.Pass {
+		t.Fatal("outgoing dropped")
+	}
+	clock.Advance(time.Second)
+	if v := l.Observe(tuple.Reverse(), packet.Incoming, packet.ACK, 60); v != filtering.Pass {
+		t.Error("reply dropped")
+	}
+	// Marks expire after wall-clock T_e = 20 s.
+	clock.Advance(25 * time.Second)
+	if v := l.Observe(tuple.Reverse(), packet.Incoming, packet.ACK, 60); v != filtering.Drop {
+		t.Error("mark survived wall-clock T_e")
+	}
+	c := l.Counters()
+	if c.OutPackets != 1 || c.InPackets != 2 || c.InDropped != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestPunchHoleAndUtilization(t *testing.T) {
+	clock := newFakeClock()
+	l := newLive(t, clock)
+	if l.Utilization() != 0 {
+		t.Error("fresh filter has utilization")
+	}
+	l.PunchHole(client, 2000, server, packet.TCP)
+	if l.Utilization() == 0 {
+		t.Error("hole punch did not mark")
+	}
+	hole := packet.Tuple{Src: server, Dst: client, SrcPort: 20, DstPort: 2000, Proto: packet.TCP}
+	if v := l.Observe(hole, packet.Incoming, packet.SYN, 60); v != filtering.Pass {
+		t.Error("punched connection dropped")
+	}
+	// Utilization decays to zero after rotations even without traffic.
+	clock.Advance(time.Minute)
+	if l.Utilization() != 0 {
+		t.Error("stale marks not rotated out on query")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	clock := newFakeClock()
+	l := newLive(t, clock)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tup := tuple
+			tup.SrcPort = uint16(4000 + w)
+			for i := 0; i < 1000; i++ {
+				l.Observe(tup, packet.Outgoing, packet.ACK, 60)
+				l.Observe(tup.Reverse(), packet.Incoming, packet.ACK, 60)
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := l.Counters()
+	if c.OutPackets != 8000 || c.InPackets != 8000 {
+		t.Errorf("counters = %+v", c)
+	}
+	if c.InDropped != 0 {
+		t.Errorf("dropped %d matched replies", c.InDropped)
+	}
+}
+
+func TestBackgroundRotations(t *testing.T) {
+	// Use the real clock with a tiny rotation period: the background
+	// ticker must expire marks without any Observe traffic.
+	inner := core.MustNew(
+		core.WithOrder(12), core.WithVectors(2), core.WithHashes(3),
+		core.WithRotateEvery(10*time.Millisecond))
+	l, err := New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Observe(tuple, packet.Outgoing, packet.ACK, 60)
+	if err := l.StartRotations(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer l.StopRotations()
+	if err := l.StartRotations(time.Millisecond); err == nil {
+		t.Error("double StartRotations accepted")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Utilization() == 0 {
+			return // marks rotated out by the background ticker
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("background rotations never expired the marks")
+}
+
+func TestStopRotationsIdempotent(t *testing.T) {
+	l := newLive(t, newFakeClock())
+	l.StopRotations() // not running: no-op
+	if err := l.StartRotations(0); err != nil {
+		t.Fatal(err)
+	}
+	l.StopRotations()
+	l.StopRotations() // double stop: no-op
+	// Can restart after stop.
+	if err := l.StartRotations(time.Millisecond); err != nil {
+		t.Errorf("restart failed: %v", err)
+	}
+	l.StopRotations()
+}

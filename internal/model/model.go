@@ -1,0 +1,161 @@
+// Package model implements the closed-form analysis of §4.1 and §5.2 of the
+// paper, used both for the E4/E9 experiments and as an independent check on
+// the simulator:
+//
+//	Eq. 1:  p = U^m
+//	Eq. 2:  p ≈ (c·m / 2^n)^m
+//	Eq. 3:  ∂p/∂m = (c·m/2^n)^m · (1 + ln(c·m/2^n))
+//	Eq. 4:  m* = e⁻¹ · 2^n / c
+//	Eq. 5:  c / 2^n ≤ −1 / (e · ln p)
+//	§5.2:   ΔU ≈ m · r · T_e / 2^n  for an insider flooding at r tuples/s
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrArgs is returned for out-of-domain parameters.
+var ErrArgs = errors.New("model: invalid arguments")
+
+// Bits returns 2^n, the size of one bit vector.
+func Bits(order uint) float64 {
+	return math.Pow(2, float64(order))
+}
+
+// MemoryBytes returns the bitmap footprint (k·2^n)/8 in bytes.
+func MemoryBytes(order uint, k int) uint64 {
+	return uint64(k) * (uint64(1) << order) / 8
+}
+
+// PenetrationFromUtilization is Equation 1: the probability that a random
+// incoming tuple penetrates a filter whose current vector has utilization
+// u, using m hash functions.
+func PenetrationFromUtilization(u float64, m int) float64 {
+	return math.Pow(u, float64(m))
+}
+
+// Penetration is Equation 2, the paper's low-utilization approximation:
+// p ≈ (c·m / 2^n)^m for c active connections inside a time unit T_e.
+func Penetration(c float64, m int, order uint) float64 {
+	return math.Pow(c*float64(m)/Bits(order), float64(m))
+}
+
+// PenetrationExact is the standard Bloom form (1 − e^{−c·m/2^n})^m, which
+// Equation 2 approximates when utilization is low.
+func PenetrationExact(c float64, m int, order uint) float64 {
+	return math.Pow(1-math.Exp(-c*float64(m)/Bits(order)), float64(m))
+}
+
+// PenetrationDerivative is Equation 3: ∂p/∂m of the Equation 2 model,
+// evaluated at (c, m, n). Its zero gives the optimal m.
+func PenetrationDerivative(c float64, m float64, order uint) float64 {
+	x := c * m / Bits(order)
+	return math.Pow(x, m) * (1 + math.Log(x))
+}
+
+// OptimalHashes is Equation 4: the real-valued m* = e⁻¹·2^n/c that
+// minimizes Equation 2. An error is returned for non-positive c.
+func OptimalHashes(c float64, order uint) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("%w: c=%v", ErrArgs, c)
+	}
+	return Bits(order) / (math.E * c), nil
+}
+
+// OptimalHashesInt rounds Equation 4 to a usable hash count, clamped to at
+// least 1.
+func OptimalHashesInt(c float64, order uint) (int, error) {
+	m, err := OptimalHashes(c, order)
+	if err != nil {
+		return 0, err
+	}
+	mi := int(math.Round(m))
+	if mi < 1 {
+		mi = 1
+	}
+	return mi, nil
+}
+
+// MaxConnections is Equation 5: the largest number of active connections c
+// inside a time unit T_e for which the minimal penetration probability
+// stays at or below p, i.e. c ≤ 2^n · (−1 / (e·ln p)). An error is returned
+// unless 0 < p < 1.
+func MaxConnections(p float64, order uint) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("%w: p=%v", ErrArgs, p)
+	}
+	return Bits(order) * (-1 / (math.E * math.Log(p))), nil
+}
+
+// ExpiryTimer returns T_e = k·Δt.
+func ExpiryTimer(k int, dt time.Duration) time.Duration {
+	return time.Duration(k) * dt
+}
+
+// ExpiryBounds returns the guaranteed minimum and maximum lifetime of a
+// mark: a tuple marked at time t is admitted for at least (k−1)·Δt and at
+// most k·Δt seconds, depending on the phase of the rotation schedule.
+func ExpiryBounds(k int, dt time.Duration) (min, max time.Duration) {
+	return time.Duration(k-1) * dt, time.Duration(k) * dt
+}
+
+// InsiderUtilization is the §5.2 estimate of the bitmap utilization added
+// by an insider flooding random outgoing tuples at rate r per second:
+// ΔU ≈ m·r·T_e / 2^n, clamped to 1.
+func InsiderUtilization(m int, ratePerSec float64, te time.Duration, order uint) float64 {
+	u := float64(m) * ratePerSec * te.Seconds() / Bits(order)
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// InsiderUtilizationExact is the collision-aware version of the §5.2
+// estimate: U = 1 − e^{−m·r·T_e/2^n}.
+func InsiderUtilizationExact(m int, ratePerSec float64, te time.Duration, order uint) float64 {
+	return 1 - math.Exp(-float64(m)*ratePerSec*te.Seconds()/Bits(order))
+}
+
+// LogisticInfected is the closed-form solution of the random-scanning worm
+// epidemic di/dt = s·i·(V−i)/Ω (the SI model of the worm literature the
+// paper cites [6, 13, 21]): i(t) = V / (1 + (V/i0 − 1)·e^{−sVt/Ω}).
+// It returns 0 if V or i0 is non-positive.
+func LogisticInfected(t time.Duration, scanRate, vulnerable, infected0, space float64) float64 {
+	if vulnerable <= 0 || infected0 <= 0 || space <= 0 {
+		return 0
+	}
+	if infected0 > vulnerable {
+		return vulnerable
+	}
+	exponent := -scanRate * vulnerable * t.Seconds() / space
+	return vulnerable / (1 + (vulnerable/infected0-1)*math.Exp(exponent))
+}
+
+// CapacityRow is one row of the §4.1 capacity table.
+type CapacityRow struct {
+	// P is the target penetration probability.
+	P float64
+	// MaxConnections is the Equation 5 bound on active connections per
+	// T_e.
+	MaxConnections float64
+}
+
+// CapacityTable evaluates Equation 5 for each target probability, for the
+// E4 experiment. Invalid probabilities propagate an error.
+func CapacityTable(order uint, ps []float64) ([]CapacityRow, error) {
+	rows := make([]CapacityRow, 0, len(ps))
+	for _, p := range ps {
+		c, err := MaxConnections(p, order)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CapacityRow{P: p, MaxConnections: c})
+	}
+	return rows, nil
+}

@@ -1,0 +1,262 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBitsAndMemory(t *testing.T) {
+	if Bits(20) != 1048576 {
+		t.Errorf("Bits(20) = %v", Bits(20))
+	}
+	// §4.1: k=4, n=20 → 512 KiB.
+	if got := MemoryBytes(20, 4); got != 512*1024 {
+		t.Errorf("MemoryBytes(20,4) = %d", got)
+	}
+	// Table 1: the 2.56M-connection configuration uses an 8 MB bitmap —
+	// k=4, n=24 gives (4·2^24)/8 = 8 MiB.
+	if got := MemoryBytes(24, 4); got != 8*1024*1024 {
+		t.Errorf("MemoryBytes(24,4) = %d", got)
+	}
+}
+
+func TestPenetrationFromUtilization(t *testing.T) {
+	if got := PenetrationFromUtilization(0.5, 3); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("p = %v", got)
+	}
+	if got := PenetrationFromUtilization(0, 3); got != 0 {
+		t.Errorf("p(0) = %v", got)
+	}
+	if got := PenetrationFromUtilization(1, 3); got != 1 {
+		t.Errorf("p(1) = %v", got)
+	}
+}
+
+func TestPenetrationApproximatesExactAtLowLoad(t *testing.T) {
+	// At low utilization Equation 2 ≈ exact Bloom formula.
+	approx := Penetration(1000, 3, 20)
+	exact := PenetrationExact(1000, 3, 20)
+	if math.Abs(approx-exact)/exact > 0.01 {
+		t.Errorf("approx %v vs exact %v", approx, exact)
+	}
+}
+
+func TestPenetrationMonotonic(t *testing.T) {
+	if Penetration(1000, 3, 20) >= Penetration(10000, 3, 20) {
+		t.Error("penetration not increasing in c")
+	}
+	if Penetration(1000, 3, 18) <= Penetration(1000, 3, 22) {
+		t.Error("penetration not decreasing in n")
+	}
+}
+
+// §4.1 worked example: n=20, k=4, Δt=5 s, T_e=20 s. Targets 10%, 5%, 1%
+// give bounds of roughly 167K, 125K and 83K active connections, m*=3 for
+// the observed 15K connections... m* for c=128K-ish is 3.
+func TestCapacityTableMatchesPaper(t *testing.T) {
+	rows, err := CapacityTable(20, []float64{0.10, 0.05, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{167e3, 125e3, 83e3}
+	for i, row := range rows {
+		// The paper rounds loosely; accept ±5%.
+		if math.Abs(row.MaxConnections-wants[i])/wants[i] > 0.05 {
+			t.Errorf("p=%v: c = %v, paper says ~%v", row.P, row.MaxConnections, wants[i])
+		}
+	}
+}
+
+func TestCapacityTablePropagatesError(t *testing.T) {
+	if _, err := CapacityTable(20, []float64{0.5, 1.5}); !errors.Is(err, ErrArgs) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOptimalHashesPaperExample(t *testing.T) {
+	// With the paper's trace (~15K active connections per T_e=20 s
+	// window is the observed load; the sizing uses the p=5% bound of
+	// ~125K connections), "the number of used hash functions m in the
+	// setup can be 3": m* = e⁻¹·2^20/125000 ≈ 3.09.
+	m, err := OptimalHashesInt(125000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 {
+		t.Errorf("m* = %d, paper uses 3", m)
+	}
+}
+
+func TestOptimalHashesValidation(t *testing.T) {
+	if _, err := OptimalHashes(0, 20); !errors.Is(err, ErrArgs) {
+		t.Errorf("c=0: %v", err)
+	}
+	if _, err := OptimalHashesInt(-5, 20); !errors.Is(err, ErrArgs) {
+		t.Errorf("c<0: %v", err)
+	}
+	// Enormous c clamps to 1.
+	m, err := OptimalHashesInt(1e12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Errorf("clamped m = %d", m)
+	}
+}
+
+func TestOptimalHashesMinimizesEquation2(t *testing.T) {
+	// p(m*) must be ≤ p(m*±1) under the Equation 2 model.
+	for _, c := range []float64{50e3, 125e3, 300e3} {
+		mStar, err := OptimalHashes(c, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pAt := func(m float64) float64 {
+			return math.Pow(c*m/Bits(20), m)
+		}
+		if pAt(mStar) > pAt(mStar*0.8) || pAt(mStar) > pAt(mStar*1.2) {
+			t.Errorf("c=%v: p(m*)=%v not a minimum (%v, %v)",
+				c, pAt(mStar), pAt(mStar*0.8), pAt(mStar*1.2))
+		}
+	}
+}
+
+func TestDerivativeZeroAtOptimum(t *testing.T) {
+	f := func(cRaw uint32) bool {
+		c := float64(cRaw%1000000 + 1000)
+		mStar, err := OptimalHashes(c, 20)
+		if err != nil {
+			return false
+		}
+		// At m*, c·m*/2^n = 1/e so 1 + ln(1/e) = 0.
+		d := PenetrationDerivative(c, mStar, 20)
+		return math.Abs(d) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxConnectionsValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := MaxConnections(p, 20); !errors.Is(err, ErrArgs) {
+			t.Errorf("p=%v: err = %v", p, err)
+		}
+	}
+}
+
+func TestMaxConnectionsInverseOfPenetration(t *testing.T) {
+	// Plugging c = MaxConnections(p) with m = OptimalHashes(c) back into
+	// Equation 2 must recover p.
+	for _, p := range []float64{0.1, 0.05, 0.01} {
+		c, err := MaxConnections(p, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mStar, err := OptimalHashes(c, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := math.Pow(c*mStar/Bits(20), mStar)
+		if math.Abs(got-p)/p > 1e-9 {
+			t.Errorf("p=%v: round trip gives %v", p, got)
+		}
+	}
+}
+
+func TestExpiryTimerAndBounds(t *testing.T) {
+	if got := ExpiryTimer(4, 5*time.Second); got != 20*time.Second {
+		t.Errorf("T_e = %v", got)
+	}
+	lo, hi := ExpiryBounds(4, 5*time.Second)
+	if lo != 15*time.Second || hi != 20*time.Second {
+		t.Errorf("bounds = %v, %v", lo, hi)
+	}
+}
+
+func TestInsiderUtilization(t *testing.T) {
+	// §5.2: ΔU ≈ m·r·T_e/2^n. m=3, r=10000/s, T_e=20s, n=20:
+	// 3·10000·20/1048576 ≈ 0.572.
+	got := InsiderUtilization(3, 10000, 20*time.Second, 20)
+	if math.Abs(got-0.5722) > 0.001 {
+		t.Errorf("ΔU = %v", got)
+	}
+	// Clamps.
+	if InsiderUtilization(3, 1e9, 20*time.Second, 20) != 1 {
+		t.Error("no clamp at 1")
+	}
+	if InsiderUtilization(3, -5, 20*time.Second, 20) != 0 {
+		t.Error("no clamp at 0")
+	}
+}
+
+func TestInsiderUtilizationExactBelowLinear(t *testing.T) {
+	// The exact form accounts for collisions so it is always ≤ the
+	// linear estimate, converging at low rates.
+	for _, r := range []float64{100, 1000, 10000, 100000} {
+		lin := InsiderUtilization(3, r, 20*time.Second, 20)
+		exact := InsiderUtilizationExact(3, r, 20*time.Second, 20)
+		if exact > lin+1e-12 {
+			t.Errorf("r=%v: exact %v > linear %v", r, exact, lin)
+		}
+	}
+	lin := InsiderUtilization(3, 50, 20*time.Second, 20)
+	exact := InsiderUtilizationExact(3, 50, 20*time.Second, 20)
+	if math.Abs(lin-exact)/lin > 0.01 {
+		t.Errorf("low rate: linear %v vs exact %v", lin, exact)
+	}
+}
+
+func TestLogisticInfected(t *testing.T) {
+	const (
+		scanRate   = 50.0
+		vulnerable = 5000.0
+		infected0  = 10.0
+		space      = 1 << 24
+	)
+	// At t=0: exactly i0.
+	if got := LogisticInfected(0, scanRate, vulnerable, infected0, space); math.Abs(got-infected0) > 1e-9 {
+		t.Errorf("i(0) = %v", got)
+	}
+	// Monotone growth toward V.
+	prev := 0.0
+	for _, ts := range []time.Duration{0, time.Minute, 5 * time.Minute, time.Hour} {
+		got := LogisticInfected(ts, scanRate, vulnerable, infected0, space)
+		if got < prev {
+			t.Errorf("i(%v) = %v decreased", ts, got)
+		}
+		if got > vulnerable {
+			t.Errorf("i(%v) = %v exceeds V", ts, got)
+		}
+		prev = got
+	}
+	// Saturation in the long run.
+	if got := LogisticInfected(24*time.Hour, scanRate, vulnerable, infected0, space); got < vulnerable*0.999 {
+		t.Errorf("i(24h) = %v, want ~V", got)
+	}
+	// Degenerate inputs.
+	if LogisticInfected(time.Hour, scanRate, 0, infected0, space) != 0 {
+		t.Error("V=0 not zero")
+	}
+	if LogisticInfected(time.Hour, scanRate, vulnerable, 0, space) != 0 {
+		t.Error("i0=0 not zero")
+	}
+	if LogisticInfected(time.Hour, scanRate, 10, 20, space) != 10 {
+		t.Error("i0>V not clamped")
+	}
+}
+
+// Shrinking the vector (smaller n) must raise penetration for the same
+// load, the trade-off §3.4 discusses.
+func TestSmallerVectorRaisesPenetrationProperty(t *testing.T) {
+	f := func(cRaw uint16) bool {
+		c := float64(cRaw) + 100
+		return Penetration(c, 3, 16) >= Penetration(c, 3, 18)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

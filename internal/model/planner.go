@@ -1,0 +1,144 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Plan is a concrete bitmap-filter configuration recommended for a target
+// workload, produced by the §3.4 "Choose Proper Parameters" procedure:
+//
+//  1. pick T_e from the out-in delay tolerance (20–30 s per §3.4, never
+//     below the delay q99);
+//  2. pick Δt for timer granularity (4–5 s per §3.4) and k = T_e/Δt;
+//  3. pick the smallest n whose Equation 5 capacity covers the expected
+//     active connections with the target penetration probability;
+//  4. set m to the rounded Equation 4 optimum for that (c, n).
+type Plan struct {
+	Order       uint
+	Vectors     int
+	Hashes      int
+	RotateEvery time.Duration
+	ExpiryTimer time.Duration
+	MemoryBytes uint64
+	// MaxConnections is the Equation 5 capacity of the chosen order.
+	MaxConnections float64
+	// PredictedPenetration is Equation 2 evaluated at the workload's
+	// connection count with the chosen (n, m).
+	PredictedPenetration float64
+}
+
+// PlanInput describes the workload to plan for.
+type PlanInput struct {
+	// ActiveConnections is the expected number of active connections
+	// inside one T_e window (the paper's trace: ~15 K in 20 s).
+	ActiveConnections float64
+	// TargetPenetration is the acceptable random-packet penetration
+	// probability (e.g. 0.01).
+	TargetPenetration float64
+	// ExpiryTimer is the desired T_e; zero selects the paper's 20 s.
+	ExpiryTimer time.Duration
+	// RotateEvery is the desired Δt; zero selects the paper's 5 s.
+	RotateEvery time.Duration
+	// MaxMemoryBytes optionally caps the bitmap footprint; zero means
+	// unlimited. If the capacity target cannot be met within the cap,
+	// PlanFor returns ErrArgs.
+	MaxMemoryBytes uint64
+}
+
+// PlanFor runs the procedure. It returns ErrArgs for infeasible or
+// out-of-domain inputs.
+func PlanFor(in PlanInput) (Plan, error) {
+	if in.ActiveConnections <= 0 {
+		return Plan{}, fmt.Errorf("%w: connections %v", ErrArgs, in.ActiveConnections)
+	}
+	if in.TargetPenetration <= 0 || in.TargetPenetration >= 1 {
+		return Plan{}, fmt.Errorf("%w: penetration %v", ErrArgs, in.TargetPenetration)
+	}
+	te := in.ExpiryTimer
+	if te == 0 {
+		te = 20 * time.Second
+	}
+	dt := in.RotateEvery
+	if dt == 0 {
+		dt = 5 * time.Second
+	}
+	if dt <= 0 || te < dt {
+		return Plan{}, fmt.Errorf("%w: T_e %v with Δt %v", ErrArgs, te, dt)
+	}
+	k := int(math.Round(float64(te) / float64(dt)))
+	if k < 1 {
+		k = 1
+	}
+
+	// Smallest n whose Equation 5 bound covers the workload.
+	const (
+		minOrder = 10
+		maxOrder = 32
+	)
+	for order := uint(minOrder); order <= maxOrder; order++ {
+		capacity, err := MaxConnections(in.TargetPenetration, order)
+		if err != nil {
+			return Plan{}, err
+		}
+		if capacity < in.ActiveConnections {
+			continue
+		}
+		memory := MemoryBytes(order, k)
+		if in.MaxMemoryBytes > 0 && memory > in.MaxMemoryBytes {
+			return Plan{}, fmt.Errorf(
+				"%w: order %d needs %d bytes, cap is %d",
+				ErrArgs, order, memory, in.MaxMemoryBytes)
+		}
+		// Equation 4's real-valued optimum must be rounded to an
+		// integer m; near the capacity boundary that rounding can push
+		// Equation 2 slightly over the target, so pick the better of
+		// floor/ceil and escalate to the next order if neither meets
+		// the target.
+		mStar, err := OptimalHashes(in.ActiveConnections, order)
+		if err != nil {
+			return Plan{}, err
+		}
+		m, p := bestIntHashes(in.ActiveConnections, mStar, order)
+		if p > in.TargetPenetration {
+			continue
+		}
+		return Plan{
+			Order:                order,
+			Vectors:              k,
+			Hashes:               m,
+			RotateEvery:          dt,
+			ExpiryTimer:          time.Duration(k) * dt,
+			MemoryBytes:          memory,
+			MaxConnections:       capacity,
+			PredictedPenetration: p,
+		}, nil
+	}
+	return Plan{}, fmt.Errorf("%w: no order up to %d satisfies the target", ErrArgs, maxOrder)
+}
+
+// bestIntHashes picks the integer hash count around the real-valued
+// optimum mStar that minimizes Equation 2, returning it with its predicted
+// penetration.
+func bestIntHashes(c, mStar float64, order uint) (int, float64) {
+	lo := int(math.Floor(mStar))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lo + 1
+	pLo := Penetration(c, lo, order)
+	pHi := Penetration(c, hi, order)
+	if pLo <= pHi {
+		return lo, pLo
+	}
+	return hi, pHi
+}
+
+// String renders the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf(
+		"{%dx%d}-bitmap, m=%d, Δt=%v (T_e=%v): %d bytes, capacity %.0f conns, predicted p=%.2e",
+		p.Vectors, p.Order, p.Hashes, p.RotateEvery, p.ExpiryTimer,
+		p.MemoryBytes, p.MaxConnections, p.PredictedPenetration)
+}

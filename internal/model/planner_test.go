@@ -1,0 +1,125 @@
+package model
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPlanForPaperWorkload(t *testing.T) {
+	// The paper's trace: ~15 K active connections per 20 s window, and
+	// §4.1 shows a {4×20} with m=3 gives ~5-10% worst-case bounds. For a
+	// 5% target the planner should land on order 20 (the paper's
+	// choice): Eq.5 at order 19 covers only ~64 K... let's see — it must
+	// at least produce a plan that covers 15 K with sensible shape.
+	plan, err := PlanFor(PlanInput{
+		ActiveConnections: 15000,
+		TargetPenetration: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Vectors != 4 || plan.RotateEvery != 5*time.Second || plan.ExpiryTimer != 20*time.Second {
+		t.Errorf("timer shape: %+v", plan)
+	}
+	if plan.MaxConnections < 15000 {
+		t.Errorf("capacity %v below workload", plan.MaxConnections)
+	}
+	if plan.PredictedPenetration > 0.05 {
+		t.Errorf("predicted penetration %v above target", plan.PredictedPenetration)
+	}
+	if plan.Hashes < 1 {
+		t.Errorf("hashes = %d", plan.Hashes)
+	}
+	if plan.MemoryBytes != MemoryBytes(plan.Order, plan.Vectors) {
+		t.Error("memory inconsistent")
+	}
+	if plan.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPlanForSmallestSufficientOrder(t *testing.T) {
+	plan, err := PlanFor(PlanInput{
+		ActiveConnections: 15000,
+		TargetPenetration: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The order below must NOT satisfy Equation 5.
+	if plan.Order > 10 {
+		smaller, err := MaxConnections(0.05, plan.Order-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smaller >= 15000 {
+			t.Errorf("order %d already sufficed (capacity %v)", plan.Order-1, smaller)
+		}
+	}
+}
+
+func TestPlanForMemoryCap(t *testing.T) {
+	// A 16 KiB cap cannot host 15 K connections at 1%.
+	_, err := PlanFor(PlanInput{
+		ActiveConnections: 15000,
+		TargetPenetration: 0.01,
+		MaxMemoryBytes:    16 * 1024,
+	})
+	if !errors.Is(err, ErrArgs) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPlanForValidation(t *testing.T) {
+	bad := []PlanInput{
+		{ActiveConnections: 0, TargetPenetration: 0.05},
+		{ActiveConnections: 100, TargetPenetration: 0},
+		{ActiveConnections: 100, TargetPenetration: 1},
+		{ActiveConnections: 100, TargetPenetration: 0.05,
+			ExpiryTimer: time.Second, RotateEvery: 2 * time.Second},
+	}
+	for _, in := range bad {
+		if _, err := PlanFor(in); !errors.Is(err, ErrArgs) {
+			t.Errorf("input %+v: error = %v", in, err)
+		}
+	}
+}
+
+func TestPlanForCustomTimers(t *testing.T) {
+	plan, err := PlanFor(PlanInput{
+		ActiveConnections: 1000,
+		TargetPenetration: 0.05,
+		ExpiryTimer:       30 * time.Second,
+		RotateEvery:       3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Vectors != 10 || plan.ExpiryTimer != 30*time.Second {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+// Property: every feasible plan covers its workload at or under the target
+// penetration (by Equation 2 with the plan's own m).
+func TestPlanMeetsTargetProperty(t *testing.T) {
+	fn := func(connsRaw uint32, pIdx uint8) bool {
+		conns := float64(connsRaw%2_000_000 + 10)
+		targets := []float64{0.10, 0.05, 0.01, 0.001}
+		target := targets[int(pIdx)%len(targets)]
+		plan, err := PlanFor(PlanInput{
+			ActiveConnections: conns,
+			TargetPenetration: target,
+		})
+		if err != nil {
+			return false
+		}
+		return plan.MaxConnections >= conns &&
+			plan.PredictedPenetration <= target*1.0000001
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Inbound bottleneck-link model. §1 of the paper motivates installing the
+// filter at the ISP side because "the bottleneck bandwidth usually lies on
+// the link between the client network and the ISP": attack traffic that is
+// dropped at the ISP edge never consumes the bottleneck. The link is a
+// simple serialization queue — each admitted packet occupies the wire for
+// length·8/capacity seconds, and packets arriving when the queue backlog
+// exceeds the configured limit are tail-dropped.
+
+// ErrLinkConfig is returned for invalid link parameters.
+var ErrLinkConfig = errors.New("netsim: invalid link configuration")
+
+// LinkStats counts bottleneck-link activity.
+type LinkStats struct {
+	Transmitted uint64 // packets serialized onto the link
+	TailDropped uint64 // packets dropped due to a full queue
+	Bytes       uint64 // bytes transmitted
+}
+
+// link models the serialization queue.
+type link struct {
+	capacityBps float64       // bits per second
+	maxBacklog  time.Duration // queueing delay bound
+	nextFree    time.Duration // when the wire becomes idle
+	stats       LinkStats
+}
+
+// SetInboundLink installs a bottleneck on the ISP→client direction with
+// the given capacity (bits/second) and maximum queueing delay. Packets the
+// filter admits still contend for this link; packets the filter drops
+// never reach it.
+func (n *Network) SetInboundLink(capacityBps float64, maxBacklog time.Duration) error {
+	if capacityBps <= 0 {
+		return fmt.Errorf("%w: capacity %v", ErrLinkConfig, capacityBps)
+	}
+	if maxBacklog <= 0 {
+		return fmt.Errorf("%w: backlog %v", ErrLinkConfig, maxBacklog)
+	}
+	n.inbound = &link{capacityBps: capacityBps, maxBacklog: maxBacklog}
+	return nil
+}
+
+// LinkStats returns the inbound bottleneck counters (zero value if no link
+// is configured).
+func (n *Network) LinkStats() LinkStats {
+	if n.inbound == nil {
+		return LinkStats{}
+	}
+	return n.inbound.stats
+}
+
+// transmit reserves wire time for one packet at time now. It returns the
+// delivery delay and whether the packet was accepted (false = tail drop).
+func (l *link) transmit(now time.Duration, lengthBytes int) (time.Duration, bool) {
+	if l.nextFree < now {
+		l.nextFree = now
+	}
+	backlog := l.nextFree - now
+	if backlog > l.maxBacklog {
+		l.stats.TailDropped++
+		return 0, false
+	}
+	wire := time.Duration(float64(lengthBytes*8) / l.capacityBps * float64(time.Second))
+	l.nextFree += wire
+	l.stats.Transmitted++
+	l.stats.Bytes += uint64(lengthBytes)
+	return l.nextFree - now, true
+}

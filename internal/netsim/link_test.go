@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func TestSetInboundLinkValidation(t *testing.T) {
+	_, net, _, _ := buildNet(t, nil)
+	if err := net.SetInboundLink(0, time.Second); !errors.Is(err, ErrLinkConfig) {
+		t.Errorf("capacity 0: %v", err)
+	}
+	if err := net.SetInboundLink(1e6, 0); !errors.Is(err, ErrLinkConfig) {
+		t.Errorf("backlog 0: %v", err)
+	}
+	if err := net.SetInboundLink(1e6, time.Second); err != nil {
+		t.Errorf("valid link rejected: %v", err)
+	}
+}
+
+func TestLinkStatsZeroWithoutLink(t *testing.T) {
+	_, net, _, _ := buildNet(t, nil)
+	if st := net.LinkStats(); st != (LinkStats{}) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	sim, net, client, server := buildNet(t, nil)
+	// 1 Mbit/s: a 1250-byte packet takes 10 ms of wire time.
+	if err := net.SetInboundLink(1e6, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt time.Duration
+	client.OnPacket = func(sim *Simulator, _ *Host, pkt packet.Packet) {
+		deliveredAt = sim.Now()
+	}
+	sim.After(0, func() {
+		server.Send(client.Addr(), 80, 4000, packet.TCP, packet.ACK, 1250)
+	})
+	sim.RunAll()
+	want := WANDelay + LANDelay + 10*time.Millisecond
+	if deliveredAt < want || deliveredAt > want+time.Millisecond {
+		t.Errorf("delivered at %v, want ~%v", deliveredAt, want)
+	}
+	if st := net.LinkStats(); st.Transmitted != 1 || st.Bytes != 1250 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkTailDropsUnderOverload(t *testing.T) {
+	sim, net, client, server := buildNet(t, nil)
+	// Tiny link with a 50 ms queue bound: a burst must tail-drop.
+	if err := net.SetInboundLink(1e5, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	client.OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+	sim.After(0, func() {
+		for i := 0; i < 100; i++ {
+			server.Send(client.Addr(), 80, uint16(4000+i), packet.TCP, packet.ACK, 1250)
+		}
+	})
+	sim.RunAll()
+	st := net.LinkStats()
+	if st.TailDropped == 0 {
+		t.Fatal("no tail drops under overload")
+	}
+	if st.Transmitted+st.TailDropped != 100 {
+		t.Errorf("transmitted %d + dropped %d != 100", st.Transmitted, st.TailDropped)
+	}
+	if got != int(st.Transmitted) {
+		t.Errorf("delivered %d != transmitted %d", got, st.Transmitted)
+	}
+}
+
+// The §1 story: with a filter at the ISP side, attack packets never reach
+// the bottleneck, so benign traffic keeps its bandwidth.
+func TestFilterProtectsBottleneck(t *testing.T) {
+	run := func(filtered bool) (benign int, linkStats LinkStats) {
+		var f filtering.PacketFilter
+		if filtered {
+			f = core.MustNew(
+				core.WithOrder(14), core.WithVectors(4), core.WithHashes(3),
+				core.WithRotateEvery(5*time.Second))
+		}
+		sim, net, client, server := buildNet(t, f)
+		if err := net.SetInboundLink(2e5, 30*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		client.OnPacket = func(_ *Simulator, _ *Host, pkt packet.Packet) {
+			// Count only the benign server replies, not delivered
+			// attack packets.
+			if pkt.Tuple.SrcPort == 80 {
+				benign++
+			}
+		}
+
+		// The client keeps a flow warm; the server replies; an attacker
+		// floods.
+		for i := 0; i < 50; i++ {
+			i := i
+			at := time.Duration(i) * 100 * time.Millisecond
+			if err := sim.Schedule(at, func() {
+				client.Send(server.Addr(), 4000, 80, packet.TCP, packet.ACK, 100)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Schedule(at+20*time.Millisecond, func() {
+				// Attack burst grabs the link first; the benign
+				// reply arrives right behind it.
+				for j := 0; j < 40; j++ {
+					atk := packet.Packet{
+						Tuple: packet.Tuple{
+							Src: packet.AddrFrom4(203, 0, 113, byte(j)), Dst: client.Addr(),
+							SrcPort: uint16(1000 + j), DstPort: uint16(2000 + i), Proto: packet.TCP,
+						},
+						Flags: packet.SYN, Length: 1400,
+					}
+					net.InjectIncoming(atk)
+				}
+				reply := packet.Packet{
+					Tuple: packet.Tuple{
+						Src: server.Addr(), Dst: client.Addr(),
+						SrcPort: 80, DstPort: 4000, Proto: packet.TCP,
+					},
+					Flags: packet.ACK, Length: 400,
+				}
+				net.InjectIncoming(reply)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim.RunAll()
+		return benign, net.LinkStats()
+	}
+
+	benignOpen, statsOpen := run(false)
+	benignFiltered, statsFiltered := run(true)
+
+	if statsOpen.TailDropped == 0 {
+		t.Fatal("unfiltered run did not congest the link")
+	}
+	if statsFiltered.TailDropped != 0 {
+		t.Errorf("filtered run congested the link: %+v", statsFiltered)
+	}
+	if benignFiltered != 50 {
+		t.Errorf("filtered benign deliveries = %d, want 50", benignFiltered)
+	}
+	if benignOpen >= benignFiltered {
+		t.Errorf("benign goodput open=%d >= filtered=%d", benignOpen, benignFiltered)
+	}
+}

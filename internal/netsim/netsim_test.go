@@ -1,0 +1,344 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	if err := s.Schedule(3*time.Second, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(time.Second, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(2*time.Second, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Events() != 3 {
+		t.Errorf("Events = %d", s.Events())
+	}
+}
+
+func TestSimulatorFIFOAtSameTime(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.Schedule(time.Second, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	s := NewSimulator()
+	if err := s.Schedule(time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if err := s.Schedule(500*time.Millisecond, func() {}); !errors.Is(err, ErrPast) {
+		t.Errorf("error = %v, want ErrPast", err)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.RunAll()
+	if !ran {
+		t.Error("After(-1s) event did not run")
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	s := NewSimulator()
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		if err := s.Schedule(time.Duration(i)*time.Second, func() { ran = i }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(3 * time.Second)
+	if ran != 3 {
+		t.Errorf("ran through event %d, want 3", ran)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	// Events scheduled at exactly `until` run; later ones remain.
+	s.RunAll()
+	if ran != 5 {
+		t.Errorf("RunAll left events: %d", ran)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var times []time.Duration
+	s.After(time.Second, func() {
+		times = append(times, s.Now())
+		s.After(time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.RunAll()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func testSubnets() []packet.Prefix {
+	return []packet.Prefix{packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 24)}
+}
+
+func smallFilter() *core.Filter {
+	return core.MustNew(
+		core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second),
+	)
+}
+
+func buildNet(t *testing.T, filter filtering.PacketFilter) (*Simulator, *Network, *Host, *Host) {
+	t.Helper()
+	sim := NewSimulator()
+	net, err := NewNetwork(sim, testSubnets(), filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.AddHost("client", packet.AddrFrom4(10, 10, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := net.AddInternetHost("server", packet.AddrFrom4(198, 51, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net, client, server
+}
+
+func TestTopologyValidation(t *testing.T) {
+	sim := NewSimulator()
+	if _, err := NewNetwork(nil, testSubnets(), nil); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := NewNetwork(sim, nil, nil); err == nil {
+		t.Error("no subnets accepted")
+	}
+	net, err := NewNetwork(sim, testSubnets(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddHost("x", packet.AddrFrom4(192, 168, 1, 1)); !errors.Is(err, ErrNotInSubnet) {
+		t.Errorf("outside host accepted: %v", err)
+	}
+	if _, err := net.AddHost("a", packet.AddrFrom4(10, 10, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddHost("b", packet.AddrFrom4(10, 10, 0, 1)); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate host accepted: %v", err)
+	}
+	if _, err := net.AddInternetHost("in", packet.AddrFrom4(10, 10, 0, 9)); !errors.Is(err, ErrInSubnet) {
+		t.Errorf("internal address as internet host accepted: %v", err)
+	}
+	if _, err := net.AddInternetHost("s", packet.AddrFrom4(198, 51, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddInternetHost("s2", packet.AddrFrom4(198, 51, 100, 1)); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate internet host accepted: %v", err)
+	}
+}
+
+func TestRequestReplyThroughFilter(t *testing.T) {
+	sim, net, client, server := buildNet(t, core.NewSafe(smallFilter()))
+
+	var clientGot, serverGot []packet.Packet
+	server.OnPacket = func(sim *Simulator, self *Host, pkt packet.Packet) {
+		serverGot = append(serverGot, pkt)
+		// Echo a reply back.
+		self.Send(pkt.Tuple.Src, pkt.Tuple.DstPort, pkt.Tuple.SrcPort, pkt.Tuple.Proto, packet.ACK, 200)
+	}
+	client.OnPacket = func(sim *Simulator, self *Host, pkt packet.Packet) {
+		clientGot = append(clientGot, pkt)
+	}
+
+	sim.After(0, func() {
+		client.Send(server.Addr(), 4000, 80, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+
+	if len(serverGot) != 1 {
+		t.Fatalf("server received %d packets", len(serverGot))
+	}
+	if len(clientGot) != 1 {
+		t.Fatalf("client received %d packets (reply filtered?)", len(clientGot))
+	}
+	st := net.Stats()
+	if st.OutForwarded != 1 || st.InForwarded != 1 || st.InDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if client.Received() != 1 || server.Received() != 1 {
+		t.Error("receive counters wrong")
+	}
+}
+
+func TestUnsolicitedBlockedByFilter(t *testing.T) {
+	sim, net, client, server := buildNet(t, core.NewSafe(smallFilter()))
+	got := 0
+	client.OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+
+	sim.After(0, func() {
+		server.Send(client.Addr(), 80, 4000, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+
+	if got != 0 {
+		t.Errorf("client received %d unsolicited packets", got)
+	}
+	if st := net.Stats(); st.InDropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnfilteredNetworkDeliversEverything(t *testing.T) {
+	sim, net, client, server := buildNet(t, nil)
+	got := 0
+	client.OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+	sim.After(0, func() {
+		server.Send(client.Addr(), 80, 4000, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	if got != 1 {
+		t.Errorf("client received %d packets, want 1", got)
+	}
+	if st := net.Stats(); st.InForwarded != 1 || st.InDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestIntraNetworkTrafficBypassesFilter(t *testing.T) {
+	f := core.NewSafe(smallFilter())
+	sim, net, client, _ := buildNet(t, f)
+	peer, err := net.AddHost("peer", packet.AddrFrom4(10, 10, 0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	peer.OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+	sim.After(0, func() {
+		client.Send(peer.Addr(), 1234, 445, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	if got != 1 {
+		t.Errorf("peer received %d packets", got)
+	}
+	// The filter never observed the local packet.
+	if c := f.Counters(); c.OutPackets != 0 && c.InPackets != 0 {
+		t.Errorf("filter saw intra-network traffic: %+v", c)
+	}
+	if st := net.Stats(); st.OutForwarded != 0 {
+		t.Errorf("edge forwarded local traffic: %+v", st)
+	}
+}
+
+func TestInjectIncoming(t *testing.T) {
+	sim, net, client, _ := buildNet(t, core.NewSafe(smallFilter()))
+	got := 0
+	client.OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+
+	pkt := packet.Packet{
+		Tuple: packet.Tuple{
+			Src: packet.AddrFrom4(203, 0, 113, 5), Dst: client.Addr(),
+			SrcPort: 6666, DstPort: 445, Proto: packet.TCP,
+		},
+		Flags: packet.SYN, Length: 60,
+	}
+	if v := net.InjectIncoming(pkt); v != filtering.Drop {
+		t.Errorf("unsolicited injection verdict = %v", v)
+	}
+	// After the client talks to that host:port, injection passes.
+	sim.After(time.Millisecond, func() {
+		client.Send(packet.AddrFrom4(203, 0, 113, 5), 445, 6666, packet.TCP, packet.SYN, 60)
+	})
+	sim.Run(50 * time.Millisecond)
+	pkt2 := pkt
+	pkt2.Tuple.SrcPort = 9999 // any remote port matches the bitmap
+	if v := net.InjectIncoming(pkt2); v != filtering.Pass {
+		t.Errorf("reply injection verdict = %v", v)
+	}
+	sim.RunAll()
+	if got != 1 {
+		t.Errorf("client received %d injected packets", got)
+	}
+}
+
+func TestInNoRouteCounted(t *testing.T) {
+	sim, net, client, _ := buildNet(t, core.NewSafe(smallFilter()))
+	// Client opens a flow to a host we never attached.
+	ghost := packet.AddrFrom4(203, 0, 113, 77)
+	sim.After(0, func() {
+		client.Send(ghost, 4000, 80, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	// Reply arrives for a *different* inside address that has no host.
+	reply := packet.Packet{
+		Tuple: packet.Tuple{
+			Src: ghost, Dst: packet.AddrFrom4(10, 10, 0, 200),
+			SrcPort: 80, DstPort: 4000, Proto: packet.TCP,
+		},
+	}
+	// It is unsolicited for that address, so it is dropped, not routed.
+	if v := net.InjectIncoming(reply); v != filtering.Drop {
+		t.Errorf("verdict = %v", v)
+	}
+	// Now a genuine reply to the client (host exists) and to a punched
+	// address without a host.
+	reply2 := packet.Packet{
+		Tuple: packet.Tuple{
+			Src: ghost, Dst: client.Addr(),
+			SrcPort: 80, DstPort: 4000, Proto: packet.TCP,
+		},
+	}
+	if v := net.InjectIncoming(reply2); v != filtering.Pass {
+		t.Errorf("verdict = %v", v)
+	}
+	sim.RunAll()
+	if st := net.Stats(); st.InNoRoute != 0 {
+		t.Errorf("unexpected InNoRoute: %+v", st)
+	}
+}
+
+func TestContains(t *testing.T) {
+	_, net, _, _ := buildNet(t, nil)
+	if !net.Contains(packet.AddrFrom4(10, 10, 0, 200)) {
+		t.Error("member rejected")
+	}
+	if net.Contains(packet.AddrFrom4(10, 11, 0, 1)) {
+		t.Error("outsider accepted")
+	}
+	if net.Filter() != nil {
+		t.Error("Filter() not nil for unfiltered net")
+	}
+}

@@ -1,0 +1,131 @@
+// Package netsim is a discrete-event network simulator implementing the
+// paper's usage model (§3.1, Figure 1): client networks hang off edge
+// routers of an ISP, and a bitmap filter (or any filtering.PacketFilter)
+// can be installed at any point client traffic must pass — a single edge
+// router or a core router aggregating several client networks.
+//
+// The simulator is deliberately packet-level and virtual-time: hosts
+// exchange packets through their network's edge router, the router applies
+// its filter with the correct direction semantics, and deliveries are
+// scheduled on a global event queue. Everything is deterministic.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrPast is returned when scheduling an event before the current virtual
+// time.
+var ErrPast = errors.New("netsim: event scheduled in the past")
+
+// Simulator owns the virtual clock and event queue. It is not safe for
+// concurrent use; drive it from one goroutine.
+type Simulator struct {
+	now    time.Duration
+	queue  simQueue
+	seq    uint64
+	events uint64
+}
+
+// NewSimulator returns an empty simulator at time zero.
+func NewSimulator() *Simulator {
+	s := &Simulator{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Simulator) Events() uint64 { return s.events }
+
+// Schedule enqueues fn to run at virtual time at.
+func (s *Simulator) Schedule(at time.Duration, fn func()) error {
+	if at < s.now {
+		return fmt.Errorf("%w: %v < %v", ErrPast, at, s.now)
+	}
+	s.seq++
+	heap.Push(&s.queue, simEvent{at: at, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After enqueues fn to run after delay d from now.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	// d is clamped to zero so callers can pass computed (possibly
+	// negative-rounded) delays safely.
+	if d < 0 {
+		d = 0
+	}
+	// Scheduling relative to now can never be in the past.
+	if err := s.Schedule(s.now+d, fn); err != nil {
+		panic(err) // unreachable by construction
+	}
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(simEvent)
+	s.now = ev.at
+	s.events++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is after
+// until; the clock ends at max(now, until).
+func (s *Simulator) Run(until time.Duration) {
+	for s.queue.Len() > 0 && s.queue[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes every remaining event.
+func (s *Simulator) RunAll() {
+	for s.Step() {
+	}
+}
+
+type simEvent struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type simQueue []simEvent
+
+func (q simQueue) Len() int { return len(q) }
+
+func (q simQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q simQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *simQueue) Push(x any) {
+	ev, ok := x.(simEvent)
+	if !ok {
+		panic(fmt.Sprintf("simQueue: pushed %T", x))
+	}
+	*q = append(*q, ev)
+}
+
+func (q *simQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/packet"
+)
+
+// figure1 builds the paper's Figure 1 shape: two edge routers under one
+// core router, each edge with one /24 client network, plus an Internet
+// host.
+func figure1(t *testing.T) (*Simulator, *Topology, map[string]*RouterNode, map[string]*Host) {
+	t.Helper()
+	sim := NewSimulator()
+	topo, err := NewTopology(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core1, err := topo.AddRouter(nil, "core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeA, err := topo.AddRouter(core1, "edgeA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeB, err := topo.AddRouter(core1, "edgeB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeA.AttachSubnet(packet.PrefixFrom(packet.AddrFrom4(10, 10, 0, 0), 24)); err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeB.AttachSubnet(packet.PrefixFrom(packet.AddrFrom4(10, 10, 1, 0), 24)); err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := make(map[string]*Host)
+	for _, spec := range []struct {
+		name string
+		addr packet.Addr
+	}{
+		{name: "a1", addr: packet.AddrFrom4(10, 10, 0, 5)},
+		{name: "a2", addr: packet.AddrFrom4(10, 10, 0, 6)},
+		{name: "b1", addr: packet.AddrFrom4(10, 10, 1, 5)},
+		{name: "inet", addr: packet.AddrFrom4(198, 51, 100, 7)},
+	} {
+		h, err := topo.AddHost(spec.name, spec.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[spec.name] = h
+	}
+	routers := map[string]*RouterNode{"core": core1, "edgeA": edgeA, "edgeB": edgeB}
+	return sim, topo, routers, hosts
+}
+
+func topoFilter() *core.Filter {
+	return core.MustNew(
+		core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second))
+}
+
+func TestTopologyConstruction(t *testing.T) {
+	sim := NewSimulator()
+	if _, err := NewTopology(nil); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	topo, err := NewTopology(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Internet().Name() != "internet" {
+		t.Error("root name wrong")
+	}
+	r, err := topo.AddRouter(nil, "edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddRouter(nil, "edge"); !errors.Is(err, ErrDupRouter) {
+		t.Errorf("duplicate router: %v", err)
+	}
+	if got, ok := topo.Router("edge"); !ok || got != r {
+		t.Error("Router lookup failed")
+	}
+	if err := topo.Internet().AttachSubnet(packet.PrefixFrom(0, 8)); err == nil {
+		t.Error("subnet attached to internet root")
+	}
+	if err := r.AttachSubnet(packet.PrefixFrom(packet.AddrFrom4(10, 0, 0, 0), 24)); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap in either direction is rejected.
+	if err := r.AttachSubnet(packet.PrefixFrom(packet.AddrFrom4(10, 0, 0, 128), 25)); !errors.Is(err, ErrOverlapping) {
+		t.Errorf("contained subnet: %v", err)
+	}
+	if err := r.AttachSubnet(packet.PrefixFrom(packet.AddrFrom4(10, 0, 0, 0), 16)); !errors.Is(err, ErrOverlapping) {
+		t.Errorf("containing subnet: %v", err)
+	}
+	if _, err := topo.AddHost("h", packet.AddrFrom4(10, 0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddHost("h2", packet.AddrFrom4(10, 0, 0, 1)); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("duplicate host: %v", err)
+	}
+}
+
+func TestTopologyInternetRoundTrip(t *testing.T) {
+	sim, _, routers, hosts := figure1(t)
+	routers["edgeA"].SetFilter(core.NewSafe(topoFilter()))
+
+	var serverGot, clientGot int
+	hosts["inet"].OnPacket = func(sim *Simulator, self *Host, pkt packet.Packet) {
+		serverGot++
+		self.Send(pkt.Tuple.Src, pkt.Tuple.DstPort, pkt.Tuple.SrcPort, pkt.Tuple.Proto, packet.ACK, 100)
+	}
+	hosts["a1"].OnPacket = func(*Simulator, *Host, packet.Packet) { clientGot++ }
+
+	sim.After(0, func() {
+		hosts["a1"].Send(hosts["inet"].Addr(), 4000, 80, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	if serverGot != 1 || clientGot != 1 {
+		t.Errorf("server=%d client=%d", serverGot, clientGot)
+	}
+	st := routers["edgeA"].Stats()
+	if st.OutForwarded != 1 || st.InForwarded != 1 || st.InDropped != 0 {
+		t.Errorf("edgeA stats = %+v", st)
+	}
+}
+
+func TestTopologyUnsolicitedDroppedAtEdge(t *testing.T) {
+	sim, topo, routers, hosts := figure1(t)
+	routers["edgeA"].SetFilter(core.NewSafe(topoFilter()))
+	got := 0
+	hosts["a1"].OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+	topo.InjectFromInternet(packet.Packet{
+		Tuple: packet.Tuple{
+			Src: packet.AddrFrom4(203, 0, 113, 9), Dst: hosts["a1"].Addr(),
+			SrcPort: 6666, DstPort: 445, Proto: packet.TCP,
+		},
+		Flags: packet.SYN, Length: 60,
+	})
+	sim.RunAll()
+	if got != 0 {
+		t.Error("unsolicited packet delivered through filtered edge")
+	}
+	if st := routers["edgeA"].Stats(); st.InDropped != 1 {
+		t.Errorf("edgeA stats = %+v", st)
+	}
+}
+
+func TestTopologySameSubnetBypassesEdgeFilter(t *testing.T) {
+	// a1 → a2 share edgeA: the packet never crosses a filtered boundary
+	// (the LCA's filter does not fire for traffic inside its subtree).
+	sim, _, routers, hosts := figure1(t)
+	f := core.NewSafe(topoFilter())
+	routers["edgeA"].SetFilter(f)
+	got := 0
+	hosts["a2"].OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+	sim.After(0, func() {
+		hosts["a1"].Send(hosts["a2"].Addr(), 1234, 445, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	if got != 1 {
+		t.Errorf("intra-subnet delivery = %d", got)
+	}
+	if c := f.Counters(); c.OutPackets != 0 || c.InPackets != 0 {
+		t.Errorf("edge filter saw intra-subnet traffic: %+v", c)
+	}
+}
+
+func TestTopologySiblingNetworksCrossEdgeFilters(t *testing.T) {
+	// a1 → b1 crosses edgeA (outgoing) and edgeB (incoming): with a
+	// filter on edgeB, unsolicited cross-customer traffic is dropped —
+	// then admitted once b1 initiates contact.
+	sim, _, routers, hosts := figure1(t)
+	fB := core.NewSafe(topoFilter())
+	routers["edgeB"].SetFilter(fB)
+
+	got := 0
+	hosts["b1"].OnPacket = func(*Simulator, *Host, packet.Packet) { got++ }
+
+	sim.After(0, func() {
+		hosts["a1"].Send(hosts["b1"].Addr(), 4000, 445, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	if got != 0 {
+		t.Fatal("unsolicited sibling traffic delivered")
+	}
+	if st := routers["edgeB"].Stats(); st.InDropped != 1 {
+		t.Errorf("edgeB stats = %+v", st)
+	}
+
+	// b1 talks to a1 first; now a1's reply is admitted at edgeB.
+	sim.After(time.Millisecond, func() {
+		hosts["b1"].Send(hosts["a1"].Addr(), 5000, 80, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	sim.After(time.Millisecond, func() {
+		hosts["a1"].Send(hosts["b1"].Addr(), 80, 5000, packet.TCP, packet.SYN|packet.ACK, 60)
+	})
+	sim.RunAll()
+	if got != 1 {
+		t.Errorf("reply across siblings delivered %d times, want 1", got)
+	}
+}
+
+func TestTopologyCoreFilterProtectsAggregate(t *testing.T) {
+	// One filter on the core router protects BOTH client networks (the
+	// paper's "a core router, which is an aggregate of two or more
+	// client networks").
+	sim, topo, routers, hosts := figure1(t)
+	fCore := core.NewSafe(topoFilter())
+	routers["core"].SetFilter(fCore)
+
+	gotA, gotB := 0, 0
+	hosts["a1"].OnPacket = func(*Simulator, *Host, packet.Packet) { gotA++ }
+	hosts["b1"].OnPacket = func(*Simulator, *Host, packet.Packet) { gotB++ }
+
+	// Attack both networks from the Internet: both blocked by the one
+	// core filter.
+	for i, dst := range []packet.Addr{hosts["a1"].Addr(), hosts["b1"].Addr()} {
+		topo.InjectFromInternet(packet.Packet{
+			Tuple: packet.Tuple{
+				Src: packet.AddrFrom4(203, 0, 113, byte(i+1)), Dst: dst,
+				SrcPort: 6666, DstPort: 445, Proto: packet.TCP,
+			},
+			Flags: packet.SYN, Length: 60,
+		})
+	}
+	sim.RunAll()
+	if gotA != 0 || gotB != 0 {
+		t.Errorf("core filter leaked: a=%d b=%d", gotA, gotB)
+	}
+	if st := routers["core"].Stats(); st.InDropped != 2 {
+		t.Errorf("core stats = %+v", st)
+	}
+
+	// But sibling-to-sibling traffic does NOT cross the core filter
+	// boundary (it stays inside the core's subtree) — the §3.1 trade-off
+	// of aggregating placement.
+	sim.After(time.Millisecond, func() {
+		hosts["a1"].Send(hosts["b1"].Addr(), 4000, 445, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	if gotB != 1 {
+		t.Errorf("sibling traffic through core placement = %d, want 1 (unfiltered)", gotB)
+	}
+}
+
+func TestTopologyLatencyAccumulatesPerHop(t *testing.T) {
+	sim, _, _, hosts := figure1(t)
+	var deliveredAt time.Duration
+	hosts["b1"].OnPacket = func(sim *Simulator, _ *Host, _ packet.Packet) {
+		deliveredAt = sim.Now()
+	}
+	sim.After(0, func() {
+		hosts["a1"].Send(hosts["b1"].Addr(), 1, 2, packet.TCP, packet.SYN, 60)
+	})
+	sim.RunAll()
+	// a1 → edgeA → core → edgeB → b1: 2 LAN + 2 hops (edgeA and edgeB;
+	// LCA=core contributes no hop beyond them... the path up is
+	// edgeA, down is edgeB: 2 hops).
+	want := 2*LANDelay + 2*HopDelay
+	if deliveredAt != want {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+}

@@ -1,0 +1,63 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// FuzzDecode drives arbitrary bytes through the wire decoder: any input
+// may be rejected, none may panic or return a malformed success.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid TCP and UDP frames plus interesting corruptions.
+	tcp, err := Encode(samplePacket(TCP))
+	if err != nil {
+		f.Fatal(err)
+	}
+	udp, err := Encode(samplePacket(UDP))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tcp)
+	f.Add(udp)
+	f.Add(tcp[:20])
+	f.Add([]byte{})
+	short := append([]byte(nil), tcp...)
+	short[EthernetHeaderLen] = 0x46 // IHL 6 words but no options present
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Successful decodes must be internally consistent.
+		if frame.Length > len(data) {
+			t.Fatalf("decoded length %d exceeds input %d", frame.Length, len(data))
+		}
+		if frame.Tuple.Proto != TCP && frame.Tuple.Proto != UDP {
+			t.Fatalf("accepted protocol %d", frame.Tuple.Proto)
+		}
+		if len(frame.Payload) > len(data) {
+			t.Fatal("payload longer than frame")
+		}
+	})
+}
+
+// TestDecodeRandomMutationsNeverPanic complements the fuzz seed corpus in
+// plain `go test` runs: random bit flips over valid frames.
+func TestDecodeRandomMutationsNeverPanic(t *testing.T) {
+	valid, err := Encode(samplePacket(TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(pos uint16, mask byte, truncate uint16) bool {
+		data := append([]byte(nil), valid...)
+		data[int(pos)%len(data)] ^= mask
+		data = data[:int(truncate)%(len(data)+1)]
+		_, _ = Decode(data) // must not panic; error is fine
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

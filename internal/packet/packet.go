@@ -1,0 +1,281 @@
+// Package packet models the TCP/UDP-over-IPv4 packets that flow through the
+// simulated ISP network, together with the address tuples the bitmap filter
+// hashes. It also provides full wire-format encoding and decoding of
+// Ethernet/IPv4/TCP/UDP headers (see wire.go) so traces can round-trip
+// through the pcap format and real tools.
+//
+// Terminology follows §3.2 of the paper: an *outgoing* packet is sent from a
+// client network, an *incoming* packet is received by a client network, and
+// each packet carries an address tuple
+// τ = {source-address, source-port, destination-address, destination-port}.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proto identifies the transport protocol of a packet. Values match the IP
+// protocol numbers so headers can be encoded directly.
+type Proto uint8
+
+// Transport protocols used by the simulator.
+const (
+	TCP Proto = 6
+	UDP Proto = 17
+)
+
+// String returns the conventional protocol name.
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Direction tells whether a packet leaves or enters the client network, as
+// observed by the edge router the filter is installed on.
+type Direction uint8
+
+// Packet directions relative to the protected client network.
+const (
+	Outgoing Direction = iota + 1
+	Incoming
+)
+
+// String returns "out" or "in".
+func (d Direction) String() string {
+	switch d {
+	case Outgoing:
+		return "out"
+	case Incoming:
+		return "in"
+	default:
+		return fmt.Sprintf("direction(%d)", uint8(d))
+	}
+}
+
+// Flags holds TCP control flags. For UDP packets Flags is zero.
+type Flags uint8
+
+// TCP flag bits (matching the TCP header layout).
+const (
+	FIN Flags = 1 << iota
+	SYN
+	RST
+	PSH
+	ACK
+	URG
+)
+
+// Has reports whether every flag in mask is set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// String renders flags in tcpdump-like notation, e.g. "SA" for SYN+ACK.
+func (f Flags) String() string {
+	if f == 0 {
+		return "."
+	}
+	var out []byte
+	for _, fl := range []struct {
+		bit Flags
+		ch  byte
+	}{
+		{FIN, 'F'}, {SYN, 'S'}, {RST, 'R'}, {PSH, 'P'}, {ACK, 'A'}, {URG, 'U'},
+	} {
+		if f&fl.bit != 0 {
+			out = append(out, fl.ch)
+		}
+	}
+	return string(out)
+}
+
+// Addr is an IPv4 address in host byte order. uint32 keeps tuples compact
+// and comparable.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d)
+}
+
+// Octets returns the four dotted-quad octets of the address.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	o1, o2, o3, o4 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o1, o2, o3, o4)
+}
+
+// Prefix describes an IPv4 CIDR prefix used to define client subnets.
+type Prefix struct {
+	Base Addr
+	Bits uint8
+}
+
+// PrefixFrom returns the prefix base/bits with the base masked to the prefix
+// length.
+func PrefixFrom(base Addr, bits uint8) Prefix {
+	if bits > 32 {
+		bits = 32
+	}
+	return Prefix{Base: base & mask32(bits), Bits: bits}
+}
+
+func mask32(bits uint8) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - bits))
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr Addr) bool {
+	return addr&mask32(p.Bits) == p.Base
+}
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - p.Bits) }
+
+// Nth returns the i-th address in the prefix (wrapping modulo its size).
+func (p Prefix) Nth(i uint64) Addr {
+	return p.Base | Addr(i%p.Size())
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Base, p.Bits)
+}
+
+// Tuple is the address tuple τ of a packet:
+// {source-address, source-port, destination-address, destination-port}
+// plus the transport protocol.
+type Tuple struct {
+	Src     Addr
+	Dst     Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// Reverse returns the inverse tuple τ⁻¹ = {dst, dport, src, sport}: the
+// tuple a reply packet would carry.
+func (t Tuple) Reverse() Tuple {
+	return Tuple{
+		Src:     t.Dst,
+		Dst:     t.Src,
+		SrcPort: t.DstPort,
+		DstPort: t.SrcPort,
+		Proto:   t.Proto,
+	}
+}
+
+// String renders the tuple as "proto src:sport>dst:dport".
+func (t Tuple) String() string {
+	return fmt.Sprintf("%s %s:%d>%s:%d", t.Proto, t.Src, t.SrcPort, t.Dst, t.DstPort)
+}
+
+// KeySize is the byte length of the keys produced by OutgoingKey and
+// IncomingKey: 4 (local addr) + 2 (local port) + 4 (remote addr) + 1 (proto).
+const KeySize = 11
+
+// Key is the fixed-size byte string hashed by the bitmap filter.
+type Key [KeySize]byte
+
+// OutgoingKey builds the filter key of an outgoing packet. Per §3.3 the
+// filter hashes only {source-address, source-port, destination-address} —
+// the remote port is deliberately excluded so replies from any remote port
+// are admitted. The protocol number is appended so TCP and UDP flows with
+// identical addresses do not alias.
+func (t Tuple) OutgoingKey() Key {
+	return makeKey(t.Src, t.SrcPort, t.Dst, t.Proto)
+}
+
+// IncomingKey builds the filter key of an incoming packet: per §3.3 only
+// {destination-address, destination-port, source-address} are hashed. For a
+// reply to an earlier outgoing packet this equals the OutgoingKey of that
+// packet, which is exactly what makes marking-on-out / lookup-on-in work.
+func (t Tuple) IncomingKey() Key {
+	return makeKey(t.Dst, t.DstPort, t.Src, t.Proto)
+}
+
+// FullKey encodes the complete 4-tuple plus protocol. It is what exact
+// (SPI-style) flow tables key on, and what the full-tuple ablation hashes.
+func (t Tuple) FullKey() [13]byte {
+	var k [13]byte
+	put32(k[0:], uint32(t.Src))
+	put16(k[4:], t.SrcPort)
+	put32(k[6:], uint32(t.Dst))
+	put16(k[10:], t.DstPort)
+	k[12] = byte(t.Proto)
+	return k
+}
+
+func makeKey(local Addr, localPort uint16, remote Addr, proto Proto) Key {
+	var k Key
+	put32(k[0:], uint32(local))
+	put16(k[4:], localPort)
+	put32(k[6:], uint32(remote))
+	k[10] = byte(proto)
+	return k
+}
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func put16(b []byte, v uint16) {
+	b[0] = byte(v >> 8)
+	b[1] = byte(v)
+}
+
+// Packet is one simulated packet observed at the edge router.
+type Packet struct {
+	// Time is the observation timestamp on the simulation clock.
+	Time time.Duration
+	// Tuple is the address tuple as carried in the packet headers.
+	Tuple Tuple
+	// Dir is the packet direction relative to the client network.
+	Dir Direction
+	// Flags holds TCP control flags (zero for UDP).
+	Flags Flags
+	// Length is the total packet length in bytes (headers + payload).
+	Length int
+}
+
+// IsSignal reports whether the packet is a TCP *signal* packet in the sense
+// of §5.3: SYN+ACK, FIN+ACK, RST, or RST+ACK. Under the APD marking policy
+// outgoing signal packets do not mark the bitmap, so that responses elicited
+// by SYN/FIN scans cannot inflate it. A bare SYN or bare FIN (no ACK) is a
+// genuine connection-opening/closing action and is NOT a signal packet.
+func (p Packet) IsSignal() bool {
+	if p.Tuple.Proto != TCP {
+		return false
+	}
+	f := p.Flags
+	switch {
+	case f.Has(SYN | ACK):
+		return true
+	case f.Has(FIN | ACK):
+		return true
+	case f&RST != 0:
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the packet compactly for logs and debugging.
+func (p Packet) String() string {
+	return fmt.Sprintf("%v %s %s [%s] %dB", p.Time, p.Dir, p.Tuple, p.Flags, p.Length)
+}

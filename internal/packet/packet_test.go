@@ -1,0 +1,251 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProtoString(t *testing.T) {
+	tests := []struct {
+		proto Proto
+		want  string
+	}{
+		{TCP, "tcp"},
+		{UDP, "udp"},
+		{Proto(1), "proto(1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.proto.String(); got != tt.want {
+			t.Errorf("Proto(%d).String() = %q, want %q", tt.proto, got, tt.want)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Outgoing.String() != "out" || Incoming.String() != "in" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(9).String() != "direction(9)" {
+		t.Error("unknown direction string wrong")
+	}
+}
+
+func TestFlags(t *testing.T) {
+	f := SYN | ACK
+	if !f.Has(SYN) || !f.Has(ACK) || !f.Has(SYN|ACK) {
+		t.Error("Has broken")
+	}
+	if f.Has(FIN) {
+		t.Error("Has reports unset flag")
+	}
+	if f.String() != "SA" {
+		t.Errorf("String = %q, want SA", f.String())
+	}
+	if Flags(0).String() != "." {
+		t.Errorf("empty flags String = %q", Flags(0).String())
+	}
+	if (FIN | RST | PSH | URG).String() != "FRPU" {
+		t.Errorf("FRPU = %q", (FIN | RST | PSH | URG).String())
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	a := AddrFrom4(192, 0, 2, 17)
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 192 || o2 != 0 || o3 != 2 || o4 != 17 {
+		t.Errorf("Octets = %d.%d.%d.%d", o1, o2, o3, o4)
+	}
+	if a.String() != "192.0.2.17" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p := PrefixFrom(AddrFrom4(10, 1, 2, 200), 24)
+	if p.Base != AddrFrom4(10, 1, 2, 0) {
+		t.Errorf("Base not masked: %s", p.Base)
+	}
+	if !p.Contains(AddrFrom4(10, 1, 2, 0)) || !p.Contains(AddrFrom4(10, 1, 2, 255)) {
+		t.Error("Contains rejects member")
+	}
+	if p.Contains(AddrFrom4(10, 1, 3, 0)) {
+		t.Error("Contains accepts outsider")
+	}
+	if p.Size() != 256 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if p.Nth(5) != AddrFrom4(10, 1, 2, 5) {
+		t.Errorf("Nth(5) = %s", p.Nth(5))
+	}
+	if p.Nth(256+7) != AddrFrom4(10, 1, 2, 7) {
+		t.Errorf("Nth wraps wrong: %s", p.Nth(256+7))
+	}
+	if p.String() != "10.1.2.0/24" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestPrefixEdgeBits(t *testing.T) {
+	p0 := PrefixFrom(AddrFrom4(1, 2, 3, 4), 0)
+	if !p0.Contains(AddrFrom4(255, 255, 255, 255)) {
+		t.Error("/0 does not contain everything")
+	}
+	p32 := PrefixFrom(AddrFrom4(1, 2, 3, 4), 32)
+	if !p32.Contains(AddrFrom4(1, 2, 3, 4)) || p32.Contains(AddrFrom4(1, 2, 3, 5)) {
+		t.Error("/32 wrong")
+	}
+	pBig := PrefixFrom(AddrFrom4(1, 2, 3, 4), 40)
+	if pBig.Bits != 32 {
+		t.Errorf("bits > 32 not clamped: %d", pBig.Bits)
+	}
+}
+
+func TestTupleReverse(t *testing.T) {
+	tup := Tuple{
+		Src:     AddrFrom4(10, 0, 0, 1),
+		Dst:     AddrFrom4(198, 51, 100, 7),
+		SrcPort: 12345,
+		DstPort: 80,
+		Proto:   TCP,
+	}
+	rev := tup.Reverse()
+	if rev.Src != tup.Dst || rev.Dst != tup.Src ||
+		rev.SrcPort != tup.DstPort || rev.DstPort != tup.SrcPort ||
+		rev.Proto != tup.Proto {
+		t.Errorf("Reverse = %+v", rev)
+	}
+	if rev.Reverse() != tup {
+		t.Error("double Reverse is not identity")
+	}
+}
+
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, udp bool) bool {
+		proto := TCP
+		if udp {
+			proto = UDP
+		}
+		tup := Tuple{Src: Addr(src), Dst: Addr(dst), SrcPort: sp, DstPort: dp, Proto: proto}
+		return tup.Reverse().Reverse() == tup
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The central correctness property of §3.3: an incoming reply's IncomingKey
+// must equal the original outgoing packet's OutgoingKey, even when the
+// remote answers from a different source port.
+func TestKeySymmetry(t *testing.T) {
+	out := Tuple{
+		Src:     AddrFrom4(10, 0, 0, 1),
+		Dst:     AddrFrom4(198, 51, 100, 7),
+		SrcPort: 40000,
+		DstPort: 80,
+		Proto:   TCP,
+	}
+	reply := out.Reverse()
+	if reply.IncomingKey() != out.OutgoingKey() {
+		t.Error("reply IncomingKey != request OutgoingKey")
+	}
+
+	// Reply from a *different* remote port still matches (the remote
+	// port is excluded from the key).
+	replyOtherPort := reply
+	replyOtherPort.SrcPort = 8080
+	if replyOtherPort.IncomingKey() != out.OutgoingKey() {
+		t.Error("reply from different remote port does not match")
+	}
+
+	// But a packet to a different *local* port must not match.
+	otherLocal := reply
+	otherLocal.DstPort = 40001
+	if otherLocal.IncomingKey() == out.OutgoingKey() {
+		t.Error("different local port collides")
+	}
+
+	// A different remote host must not match.
+	otherRemote := reply
+	otherRemote.Src = AddrFrom4(203, 0, 113, 9)
+	if otherRemote.IncomingKey() == out.OutgoingKey() {
+		t.Error("different remote host collides")
+	}
+
+	// Same addresses under a different protocol must not match.
+	udpReply := reply
+	udpReply.Proto = UDP
+	if udpReply.IncomingKey() == out.OutgoingKey() {
+		t.Error("UDP aliases TCP key")
+	}
+}
+
+func TestKeySymmetryProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp, remotePort uint16) bool {
+		out := Tuple{Src: Addr(src), Dst: Addr(dst), SrcPort: sp, DstPort: dp, Proto: TCP}
+		reply := out.Reverse()
+		reply.SrcPort = remotePort // remote may answer from any port
+		return reply.IncomingKey() == out.OutgoingKey()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullKeyDistinguishesRemotePort(t *testing.T) {
+	a := Tuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: TCP}
+	b := a
+	b.DstPort = 5
+	if a.FullKey() == b.FullKey() {
+		t.Error("FullKey ignores remote port")
+	}
+	if a.OutgoingKey() != b.OutgoingKey() {
+		t.Error("OutgoingKey should ignore remote port")
+	}
+}
+
+func TestIsSignal(t *testing.T) {
+	mk := func(proto Proto, flags Flags) Packet {
+		return Packet{Tuple: Tuple{Proto: proto}, Flags: flags}
+	}
+	tests := []struct {
+		name string
+		pkt  Packet
+		want bool
+	}{
+		{name: "syn-ack", pkt: mk(TCP, SYN|ACK), want: true},
+		{name: "fin-ack", pkt: mk(TCP, FIN|ACK), want: true},
+		{name: "rst", pkt: mk(TCP, RST), want: true},
+		{name: "rst-ack", pkt: mk(TCP, RST|ACK), want: true},
+		{name: "bare syn", pkt: mk(TCP, SYN), want: false},
+		{name: "bare fin", pkt: mk(TCP, FIN), want: false},
+		{name: "data ack", pkt: mk(TCP, ACK), want: false},
+		{name: "data psh-ack", pkt: mk(TCP, PSH|ACK), want: false},
+		{name: "udp", pkt: mk(UDP, 0), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pkt.IsSignal(); got != tt.want {
+				t.Errorf("IsSignal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringers(t *testing.T) {
+	tup := Tuple{
+		Src:     AddrFrom4(10, 0, 0, 1),
+		Dst:     AddrFrom4(198, 51, 100, 7),
+		SrcPort: 40000,
+		DstPort: 80,
+		Proto:   TCP,
+	}
+	want := "tcp 10.0.0.1:40000>198.51.100.7:80"
+	if got := tup.String(); got != want {
+		t.Errorf("Tuple.String = %q, want %q", got, want)
+	}
+	p := Packet{Time: time.Second, Tuple: tup, Dir: Outgoing, Flags: SYN, Length: 60}
+	if p.String() == "" {
+		t.Error("Packet.String empty")
+	}
+}

@@ -1,0 +1,247 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire-format encoding and decoding of Ethernet II / IPv4 / TCP / UDP
+// frames. This is the from-scratch replacement for the gopacket dependency
+// the reproduction hint suggests: enough of the real formats that generated
+// traces are valid pcap payloads, checksums included.
+
+// Header sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	TCPHeaderLen      = 20 // without options
+	UDPHeaderLen      = 8
+)
+
+// EtherTypeIPv4 is the Ethernet II type code for IPv4 payloads.
+const EtherTypeIPv4 = 0x0800
+
+// Decoding errors, matchable with errors.Is.
+var (
+	ErrTruncated    = errors.New("packet: truncated frame")
+	ErrNotIPv4      = errors.New("packet: not an IPv4 frame")
+	ErrBadIPVersion = errors.New("packet: bad IP version")
+	ErrBadIHL       = errors.New("packet: bad IPv4 header length")
+	ErrBadChecksum  = errors.New("packet: bad checksum")
+	ErrProto        = errors.New("packet: unsupported transport protocol")
+)
+
+// MAC is a 6-byte Ethernet address.
+type MAC [6]byte
+
+// Synthetic MAC addresses used when framing simulated packets. The
+// locally-administered bit is set so they can never collide with real NICs.
+var (
+	clientMAC = MAC{0x02, 0xbf, 0x00, 0x00, 0x00, 0x01}
+	ispMAC    = MAC{0x02, 0xbf, 0x00, 0x00, 0x00, 0x02}
+)
+
+// Frame is the decoded form of a wire frame.
+type Frame struct {
+	SrcMAC   MAC
+	DstMAC   MAC
+	Tuple    Tuple
+	Flags    Flags // TCP only
+	TTL      uint8
+	Seq, Ack uint32 // TCP only
+	Payload  []byte
+	Length   int // total frame length in bytes
+}
+
+// Encode serializes pkt into an Ethernet/IPv4/TCP-or-UDP frame with valid
+// length fields and checksums. The payload is zero-filled to pad the frame
+// to pkt.Length bytes (the simulator tracks lengths, not contents). The MAC
+// addresses encode the direction: outgoing frames go client→ISP.
+func Encode(pkt Packet) ([]byte, error) {
+	transportLen := TCPHeaderLen
+	if pkt.Tuple.Proto == UDP {
+		transportLen = UDPHeaderLen
+	} else if pkt.Tuple.Proto != TCP {
+		return nil, fmt.Errorf("%w: %d", ErrProto, pkt.Tuple.Proto)
+	}
+
+	minLen := EthernetHeaderLen + IPv4HeaderLen + transportLen
+	total := pkt.Length
+	if total < minLen {
+		total = minLen
+	}
+	payloadLen := total - minLen
+
+	buf := make([]byte, total)
+
+	// Ethernet II.
+	src, dst := clientMAC, ispMAC
+	if pkt.Dir == Incoming {
+		src, dst = ispMAC, clientMAC
+	}
+	copy(buf[0:6], dst[:])
+	copy(buf[6:12], src[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthernetHeaderLen:]
+	ipTotal := IPv4HeaderLen + transportLen + payloadLen
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	ip[8] = 64 // TTL
+	ip[9] = byte(pkt.Tuple.Proto)
+	binary.BigEndian.PutUint32(ip[12:16], uint32(pkt.Tuple.Src))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(pkt.Tuple.Dst))
+	binary.BigEndian.PutUint16(ip[10:12], checksum(ip[:IPv4HeaderLen], 0))
+
+	// Transport.
+	tr := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tr[0:2], pkt.Tuple.SrcPort)
+	binary.BigEndian.PutUint16(tr[2:4], pkt.Tuple.DstPort)
+	switch pkt.Tuple.Proto {
+	case TCP:
+		tr[12] = 5 << 4 // data offset 5 words
+		tr[13] = byte(pkt.Flags)
+		binary.BigEndian.PutUint16(tr[14:16], 0xffff) // window
+		seg := tr[:TCPHeaderLen+payloadLen]
+		binary.BigEndian.PutUint16(tr[16:18],
+			checksum(seg, pseudoHeaderSum(pkt.Tuple, len(seg))))
+	case UDP:
+		binary.BigEndian.PutUint16(tr[4:6], uint16(UDPHeaderLen+payloadLen))
+		seg := tr[:UDPHeaderLen+payloadLen]
+		sum := checksum(seg, pseudoHeaderSum(pkt.Tuple, len(seg)))
+		if sum == 0 {
+			// RFC 768: a computed checksum of zero is transmitted as
+			// all ones (zero means "no checksum").
+			sum = 0xffff
+		}
+		binary.BigEndian.PutUint16(tr[6:8], sum)
+	}
+	return buf, nil
+}
+
+// Decode parses an Ethernet/IPv4/TCP-or-UDP frame produced by Encode (or by
+// any standards-conforming source without IP options). Checksums are
+// verified.
+func Decode(frame []byte) (Frame, error) {
+	var out Frame
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen {
+		return out, fmt.Errorf("%w: %d bytes", ErrTruncated, len(frame))
+	}
+	copy(out.DstMAC[:], frame[0:6])
+	copy(out.SrcMAC[:], frame[6:12])
+	if et := binary.BigEndian.Uint16(frame[12:14]); et != EtherTypeIPv4 {
+		return out, fmt.Errorf("%w: ethertype %#04x", ErrNotIPv4, et)
+	}
+
+	ip := frame[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return out, fmt.Errorf("%w: %d", ErrBadIPVersion, ip[0]>>4)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return out, fmt.Errorf("%w: ihl=%d", ErrBadIHL, ihl)
+	}
+	if checksum(ip[:ihl], 0) != 0 {
+		return out, fmt.Errorf("%w: ipv4 header", ErrBadChecksum)
+	}
+	ipTotal := int(binary.BigEndian.Uint16(ip[2:4]))
+	if ipTotal < ihl || len(ip) < ipTotal {
+		return out, fmt.Errorf("%w: ip total length %d", ErrTruncated, ipTotal)
+	}
+	out.TTL = ip[8]
+	proto := Proto(ip[9])
+	out.Tuple.Src = Addr(binary.BigEndian.Uint32(ip[12:16]))
+	out.Tuple.Dst = Addr(binary.BigEndian.Uint32(ip[16:20]))
+	out.Tuple.Proto = proto
+
+	tr := ip[ihl:ipTotal]
+	switch proto {
+	case TCP:
+		if len(tr) < TCPHeaderLen {
+			return out, fmt.Errorf("%w: tcp header", ErrTruncated)
+		}
+		out.Tuple.SrcPort = binary.BigEndian.Uint16(tr[0:2])
+		out.Tuple.DstPort = binary.BigEndian.Uint16(tr[2:4])
+		out.Seq = binary.BigEndian.Uint32(tr[4:8])
+		out.Ack = binary.BigEndian.Uint32(tr[8:12])
+		dataOff := int(tr[12]>>4) * 4
+		if dataOff < TCPHeaderLen || len(tr) < dataOff {
+			return out, fmt.Errorf("%w: tcp data offset %d", ErrTruncated, dataOff)
+		}
+		out.Flags = Flags(tr[13])
+		if checksum(tr, pseudoHeaderSum(out.Tuple, len(tr))) != 0 {
+			return out, fmt.Errorf("%w: tcp segment", ErrBadChecksum)
+		}
+		out.Payload = tr[dataOff:]
+	case UDP:
+		if len(tr) < UDPHeaderLen {
+			return out, fmt.Errorf("%w: udp header", ErrTruncated)
+		}
+		out.Tuple.SrcPort = binary.BigEndian.Uint16(tr[0:2])
+		out.Tuple.DstPort = binary.BigEndian.Uint16(tr[2:4])
+		udpLen := int(binary.BigEndian.Uint16(tr[4:6]))
+		if udpLen < UDPHeaderLen || udpLen > len(tr) {
+			return out, fmt.Errorf("%w: udp length %d", ErrTruncated, udpLen)
+		}
+		// A zero UDP checksum means "not computed" and is legal.
+		if binary.BigEndian.Uint16(tr[6:8]) != 0 {
+			if checksum(tr[:udpLen], pseudoHeaderSum(out.Tuple, udpLen)) != 0 {
+				return out, fmt.Errorf("%w: udp datagram", ErrBadChecksum)
+			}
+		}
+		out.Payload = tr[UDPHeaderLen:udpLen]
+	default:
+		return out, fmt.Errorf("%w: %d", ErrProto, proto)
+	}
+	out.Length = EthernetHeaderLen + ipTotal
+	return out, nil
+}
+
+// ToPacket converts a decoded frame back to the simulator's Packet form.
+// Direction is recovered from the synthetic MAC addresses; frames from
+// other sources default to Incoming.
+func (f Frame) ToPacket() Packet {
+	dir := Incoming
+	if f.SrcMAC == clientMAC {
+		dir = Outgoing
+	}
+	return Packet{
+		Tuple:  f.Tuple,
+		Dir:    dir,
+		Flags:  f.Flags,
+		Length: f.Length,
+	}
+}
+
+// pseudoHeaderSum computes the partial ones-complement sum of the IPv4
+// pseudo-header used by TCP and UDP checksums.
+func pseudoHeaderSum(t Tuple, transportLen int) uint32 {
+	var sum uint32
+	src, dst := uint32(t.Src), uint32(t.Dst)
+	sum += src >> 16
+	sum += src & 0xffff
+	sum += dst >> 16
+	sum += dst & 0xffff
+	sum += uint32(t.Proto)
+	sum += uint32(transportLen)
+	return sum
+}
+
+// checksum computes the RFC 1071 ones-complement checksum of data with an
+// initial partial sum.
+func checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

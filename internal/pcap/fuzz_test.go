@@ -1,0 +1,81 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// FuzzReader drives arbitrary bytes through the pcap reader: inputs may be
+// rejected but must never panic and never allocate absurd record buffers.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{Time: time.Second, Data: []byte{1, 2, 3, 4}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:24])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			rec, err := r.ReadRecord()
+			if err != nil {
+				return
+			}
+			if uint32(len(rec.Data)) > r.SnapLen() {
+				t.Fatalf("record larger than snaplen: %d", len(rec.Data))
+			}
+		}
+	})
+}
+
+// TestReaderRandomMutations complements the fuzz corpus under plain
+// `go test`: bit flips and truncations of a valid capture must never
+// panic, and reading must terminate.
+func TestReaderRandomMutations(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.WriteRecord(Record{
+			Time: time.Duration(i) * time.Second,
+			Data: bytes.Repeat([]byte{byte(i)}, 40),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := buf.Bytes()
+
+	fn := func(pos uint16, mask byte, truncate uint16) bool {
+		data := append([]byte(nil), valid...)
+		data[int(pos)%len(data)] ^= mask
+		data = data[:int(truncate)%(len(data)+1)]
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := r.ReadRecord(); err != nil {
+				return errors.Is(err, io.EOF) || err != nil
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package pcap reads and writes the classic libpcap capture file format so
+// that traces produced by the traffic and attack generators can round-trip
+// to disk and into standard tools (tcpdump, Wireshark). Only the features
+// the simulator needs are implemented: Ethernet link type, microsecond or
+// nanosecond timestamps, both byte orders on read.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// File format constants.
+const (
+	magicMicro = 0xa1b2c3d4
+	magicNano  = 0xa1b23c4d
+
+	versionMajor = 2
+	versionMinor = 4
+
+	// LinkTypeEthernet is the only link type the simulator produces.
+	LinkTypeEthernet = 1
+
+	globalHeaderLen = 24
+	recordHeaderLen = 16
+
+	// DefaultSnapLen is the snapshot length written into new files; it
+	// comfortably exceeds any simulated frame.
+	DefaultSnapLen = 65535
+)
+
+// Errors matchable with errors.Is.
+var (
+	ErrBadMagic   = errors.New("pcap: bad magic number")
+	ErrBadVersion = errors.New("pcap: unsupported version")
+	ErrSnapLen    = errors.New("pcap: frame exceeds snapshot length")
+)
+
+// Record is one captured frame with its timestamp. Time is an offset on the
+// simulation clock (the epoch is arbitrary).
+type Record struct {
+	Time time.Duration
+	Data []byte
+}
+
+// Writer emits a pcap stream. Construct it with NewWriter, which writes the
+// global header immediately.
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	scratch [recordHeaderLen]byte
+}
+
+// NewWriter writes a little-endian, microsecond-resolution pcap global
+// header to w and returns a Writer for appending records.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [globalHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: write global header: %w", err)
+	}
+	return &Writer{w: w, snapLen: DefaultSnapLen}, nil
+}
+
+// WriteRecord appends one frame to the stream.
+func (w *Writer) WriteRecord(rec Record) error {
+	if len(rec.Data) > int(w.snapLen) {
+		return fmt.Errorf("%w: %d > %d", ErrSnapLen, len(rec.Data), w.snapLen)
+	}
+	usec := rec.Time.Microseconds()
+	binary.LittleEndian.PutUint32(w.scratch[0:4], uint32(usec/1e6))
+	binary.LittleEndian.PutUint32(w.scratch[4:8], uint32(usec%1e6))
+	binary.LittleEndian.PutUint32(w.scratch[8:12], uint32(len(rec.Data)))
+	binary.LittleEndian.PutUint32(w.scratch[12:16], uint32(len(rec.Data)))
+	if _, err := w.w.Write(w.scratch[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := w.w.Write(rec.Data); err != nil {
+		return fmt.Errorf("pcap: write record data: %w", err)
+	}
+	return nil
+}
+
+// Reader parses a pcap stream. Construct it with NewReader.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nano     bool
+	snapLen  uint32
+	linkType uint32
+	scratch  [recordHeaderLen]byte
+}
+
+// NewReader parses the global header from r and returns a Reader positioned
+// at the first record. Both byte orders and both timestamp resolutions are
+// accepted.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [globalHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read global header: %w", err)
+	}
+	rd := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNano:
+		rd.order, rd.nano = binary.LittleEndian, true
+	case magicBE == magicMicro:
+		rd.order = binary.BigEndian
+	case magicBE == magicNano:
+		rd.order, rd.nano = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("%w: %#08x", ErrBadMagic, magicLE)
+	}
+	major := rd.order.Uint16(hdr[4:6])
+	if major != versionMajor {
+		return nil, fmt.Errorf("%w: %d.%d", ErrBadVersion, major, rd.order.Uint16(hdr[6:8]))
+	}
+	rd.snapLen = rd.order.Uint32(hdr[16:20])
+	rd.linkType = rd.order.Uint32(hdr[20:24])
+	return rd, nil
+}
+
+// LinkType returns the link-layer type declared in the global header.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen returns the snapshot length declared in the global header.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// ReadRecord returns the next record, or io.EOF at a clean end of stream.
+// A stream that ends mid-record yields io.ErrUnexpectedEOF.
+func (r *Reader) ReadRecord() (Record, error) {
+	var rec Record
+	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return rec, io.EOF
+		}
+		return rec, fmt.Errorf("pcap: read record header: %w", err)
+	}
+	sec := r.order.Uint32(r.scratch[0:4])
+	frac := r.order.Uint32(r.scratch[4:8])
+	incl := r.order.Uint32(r.scratch[8:12])
+	if incl > r.snapLen {
+		return rec, fmt.Errorf("%w: record claims %d bytes", ErrSnapLen, incl)
+	}
+	if r.nano {
+		rec.Time = time.Duration(sec)*time.Second + time.Duration(frac)*time.Nanosecond
+	} else {
+		rec.Time = time.Duration(sec)*time.Second + time.Duration(frac)*time.Microsecond
+	}
+	rec.Data = make([]byte, incl)
+	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
+		return rec, fmt.Errorf("pcap: read record data: %w", err)
+	}
+	return rec, nil
+}

@@ -1,0 +1,268 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+
+	pkts := []packet.Packet{
+		{
+			Time: 1500 * time.Millisecond,
+			Tuple: packet.Tuple{
+				Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(198, 51, 100, 1),
+				SrcPort: 4000, DstPort: 80, Proto: packet.TCP,
+			},
+			Dir: packet.Outgoing, Flags: packet.SYN, Length: 60,
+		},
+		{
+			Time: 2 * time.Second,
+			Tuple: packet.Tuple{
+				Src: packet.AddrFrom4(198, 51, 100, 1), Dst: packet.AddrFrom4(10, 0, 0, 1),
+				SrcPort: 80, DstPort: 4000, Proto: packet.TCP,
+			},
+			Dir: packet.Incoming, Flags: packet.SYN | packet.ACK, Length: 60,
+		},
+		{
+			Time: 3 * time.Second,
+			Tuple: packet.Tuple{
+				Src: packet.AddrFrom4(10, 0, 0, 2), Dst: packet.AddrFrom4(203, 0, 113, 3),
+				SrcPort: 5353, DstPort: 53, Proto: packet.UDP,
+			},
+			Dir: packet.Outgoing, Length: 90,
+		},
+	}
+	for _, p := range pkts {
+		frame, err := packet.Encode(p)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if err := w.WriteRecord(Record{Time: p.Time, Data: frame}); err != nil {
+			t.Fatalf("WriteRecord: %v", err)
+		}
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	if r.SnapLen() != DefaultSnapLen {
+		t.Errorf("SnapLen = %d", r.SnapLen())
+	}
+	for i, want := range pkts {
+		rec, err := r.ReadRecord()
+		if err != nil {
+			t.Fatalf("ReadRecord[%d]: %v", i, err)
+		}
+		if rec.Time != want.Time {
+			t.Errorf("record %d time = %v, want %v", i, rec.Time, want.Time)
+		}
+		dec, err := packet.Decode(rec.Data)
+		if err != nil {
+			t.Fatalf("Decode[%d]: %v", i, err)
+		}
+		if dec.Tuple != want.Tuple {
+			t.Errorf("record %d tuple = %+v, want %+v", i, dec.Tuple, want.Tuple)
+		}
+		got := dec.ToPacket()
+		if got.Dir != want.Dir {
+			t.Errorf("record %d dir = %v, want %v", i, got.Dir, want.Dir)
+		}
+	}
+	if _, err := r.ReadRecord(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.ReadRecord(); !errors.Is(err, io.EOF) {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint16(data[4:6], 9)
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 10))); err == nil {
+		t.Error("truncated global header accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{Time: time.Second, Data: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off half the payload.
+	data := buf.Bytes()[:buf.Len()-50]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadRecord(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestSnapLenEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{Data: make([]byte, DefaultSnapLen+1)}); !errors.Is(err, ErrSnapLen) {
+		t.Errorf("oversize record error = %v, want ErrSnapLen", err)
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian, microsecond pcap with one 4-byte record.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 7)      // sec
+	binary.BigEndian.PutUint32(rec[4:8], 250000) // usec
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := r.ReadRecord()
+	if err != nil {
+		t.Fatalf("ReadRecord: %v", err)
+	}
+	want := 7*time.Second + 250*time.Millisecond
+	if got.Time != want {
+		t.Errorf("time = %v, want %v", got.Time, want)
+	}
+	if !bytes.Equal(got.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("data = %v", got.Data)
+	}
+}
+
+func TestNanosecondRead(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xa1b23c4d) // nanosecond magic
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], 1)
+	binary.LittleEndian.PutUint32(rec[4:8], 500) // 500 ns
+	binary.LittleEndian.PutUint32(rec[8:12], 1)
+	binary.LittleEndian.PutUint32(rec[12:16], 1)
+	buf.Write(rec)
+	buf.WriteByte(0xab)
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := r.ReadRecord()
+	if err != nil {
+		t.Fatalf("ReadRecord: %v", err)
+	}
+	if want := time.Second + 500*time.Nanosecond; got.Time != want {
+		t.Errorf("time = %v, want %v", got.Time, want)
+	}
+}
+
+func TestRecordClaimsMoreThanSnapLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	data := buf.Bytes()
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], DefaultSnapLen+10)
+	data = append(data, rec...)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrSnapLen) {
+		t.Errorf("want ErrSnapLen, got %v", err)
+	}
+}
+
+func BenchmarkWriteRecord(b *testing.B) {
+	frame, err := packet.Encode(packet.Packet{
+		Tuple: packet.Tuple{
+			Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: packet.TCP,
+		},
+		Dir: packet.Outgoing, Length: 720,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteRecord(Record{Time: time.Duration(i), Data: frame}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

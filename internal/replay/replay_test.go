@@ -1,0 +1,197 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/flowtable"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/pcap"
+	"bitmapfilter/internal/trafficgen"
+)
+
+var subnet = packet.PrefixFrom(packet.AddrFrom4(10, 0, 0, 0), 24)
+
+func writeCapture(t *testing.T, pkts []packet.Packet) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		frame, err := packet.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRecord(pcap.Record{Time: p.Time, Data: frame}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &buf
+}
+
+func smallFilter() *core.Filter {
+	return core.MustNew(
+		core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second))
+}
+
+func TestRunRequiresSubnets(t *testing.T) {
+	if _, err := Run(bytes.NewReader(nil), smallFilter(), nil); !errors.Is(err, ErrNoSubnets) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRunBadCapture(t *testing.T) {
+	if _, err := Run(bytes.NewReader(make([]byte, 24)), smallFilter(), []packet.Prefix{subnet}); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReplayClassifiesAndFilters(t *testing.T) {
+	client := packet.AddrFrom4(10, 0, 0, 5)
+	server := packet.AddrFrom4(198, 51, 100, 7)
+	attacker := packet.AddrFrom4(203, 0, 113, 9)
+	pkts := []packet.Packet{
+		{ // outgoing request
+			Time: time.Second,
+			Tuple: packet.Tuple{Src: client, Dst: server,
+				SrcPort: 4000, DstPort: 80, Proto: packet.TCP},
+			Dir: packet.Outgoing, Flags: packet.SYN, Length: 60,
+		},
+		{ // matching reply: passes
+			Time: 2 * time.Second,
+			Tuple: packet.Tuple{Src: server, Dst: client,
+				SrcPort: 80, DstPort: 4000, Proto: packet.TCP},
+			Dir: packet.Incoming, Flags: packet.SYN | packet.ACK, Length: 60,
+		},
+		{ // unsolicited probe: drops
+			Time: 3 * time.Second,
+			Tuple: packet.Tuple{Src: attacker, Dst: client,
+				SrcPort: 6666, DstPort: 445, Proto: packet.TCP},
+			Dir: packet.Incoming, Flags: packet.SYN, Length: 60,
+		},
+	}
+	buf := writeCapture(t, pkts)
+	res, err := Run(buf, smallFilter(), []packet.Prefix{subnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 3 || res.Skipped != 0 {
+		t.Errorf("frames=%d skipped=%d", res.Frames, res.Skipped)
+	}
+	if res.Outgoing != 1 || res.Incoming != 2 {
+		t.Errorf("out=%d in=%d", res.Outgoing, res.Incoming)
+	}
+	if res.Passed != 1 || res.Dropped != 1 {
+		t.Errorf("passed=%d dropped=%d", res.Passed, res.Dropped)
+	}
+	if res.DropRate() != 0.5 {
+		t.Errorf("DropRate = %v", res.DropRate())
+	}
+	if res.FirstTime != time.Second || res.LastTime != 3*time.Second {
+		t.Errorf("time bounds %v..%v", res.FirstTime, res.LastTime)
+	}
+}
+
+func TestReplaySkipsForeignAndGarbage(t *testing.T) {
+	// One transit packet (neither end inside) plus one garbage record.
+	transit := packet.Packet{
+		Time: time.Second,
+		Tuple: packet.Tuple{
+			Src: packet.AddrFrom4(203, 0, 113, 9), Dst: packet.AddrFrom4(198, 51, 100, 7),
+			SrcPort: 1, DstPort: 2, Proto: packet.TCP},
+		Dir: packet.Incoming, Length: 60,
+	}
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := packet.Encode(transit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(pcap.Record{Time: transit.Time, Data: frame}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(pcap.Record{Time: 2 * time.Second, Data: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(&buf, smallFilter(), []packet.Prefix{subnet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 2 || res.Skipped != 2 {
+		t.Errorf("frames=%d skipped=%d", res.Frames, res.Skipped)
+	}
+	if res.DropRate() != 0 {
+		t.Errorf("DropRate = %v with no incoming", res.DropRate())
+	}
+}
+
+// End-to-end: generate a synthetic trace, export to pcap, replay through
+// both the bitmap and an SPI filter, and check the replayed drop rates
+// agree with direct (in-memory) processing.
+func TestReplayMatchesDirectProcessing(t *testing.T) {
+	cfg := trafficgen.DefaultConfig()
+	cfg.Duration = 90 * time.Second
+	cfg.ConnRate = 15
+	gen, err := trafficgen.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []packet.Packet
+	gen.Drain(func(p packet.Packet) { pkts = append(pkts, p) })
+
+	// Direct run.
+	direct := core.MustNew(core.WithOrder(16), core.WithSeed(1))
+	for _, p := range pkts {
+		direct.Process(p)
+	}
+
+	// Pcap round trip.
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		frame, err := packet.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRecord(pcap.Record{Time: p.Time, Data: frame}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed := core.MustNew(core.WithOrder(16), core.WithSeed(1))
+	res, err := Run(&buf, replayed, cfg.Subnets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dc := direct.Counters()
+	if res.Incoming != dc.InPackets || res.Outgoing != dc.OutPackets {
+		t.Fatalf("replay saw %d/%d packets, direct %d/%d",
+			res.Outgoing, res.Incoming, dc.OutPackets, dc.InPackets)
+	}
+	if res.Dropped != dc.InDropped {
+		t.Errorf("replay dropped %d, direct %d", res.Dropped, dc.InDropped)
+	}
+
+	// And the SPI filter replays cleanly too.
+	buf2 := writeCapture(t, pkts)
+	spi := flowtable.NewHashList()
+	res2, err := Run(buf2, spi, cfg.Subnets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Incoming == 0 || res2.DropRate() > 0.05 {
+		t.Errorf("SPI replay: in=%d droprate=%v", res2.Incoming, res2.DropRate())
+	}
+}

@@ -1,0 +1,130 @@
+package trafficgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+// ErrConfig is returned by NewGenerator for invalid configurations.
+var ErrConfig = errors.New("trafficgen: invalid configuration")
+
+// Config parameterizes the synthetic client-network workload. The zero
+// value is not valid; start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical traces.
+	Seed uint64
+	// Duration is the trace length. The paper's trace is six hours;
+	// tests and quick experiments use minutes.
+	Duration time.Duration
+	// ConnRate is the mean TCP+UDP session arrival rate per second.
+	// The paper's trace averages ~15 K active connections per 20 s
+	// window; with the default lifetime distribution that corresponds
+	// to roughly 500 sessions/s, which the bench harness scales down.
+	ConnRate float64
+	// Subnets are the protected client networks. The paper's router
+	// aggregates six class-C (/24) campus subnets.
+	Subnets []packet.Prefix
+	// Servers is the size of the remote server pool sessions pick from.
+	Servers int
+	// UDPSessionFraction is the fraction of sessions that are UDP
+	// (short DNS-like exchanges). The default is calibrated so that
+	// ~3.75% of packets are UDP, matching §3.2.
+	UDPSessionFraction float64
+	// NoiseFraction is the fraction of *incoming* packets that are
+	// unsolicited Internet background radiation (random-source one-off
+	// packets). Both SPI and bitmap filters drop these.
+	NoiseFraction float64
+	// ServerTimeoutFraction is the per-session probability that the
+	// remote server closes an idle session with a FIN at a multiple of
+	// 30 or 60 seconds after the client's last packet — the port-reuse
+	// peak structure of Figure 2-b and the (20 s, 240 s) delay mass that
+	// only the bitmap filter drops.
+	ServerTimeoutFraction float64
+	// PostCloseFraction is the per-TCP-session probability of one late
+	// incoming packet 1–10 s after the connection closed — dropped by a
+	// close-tracking SPI filter but admitted by the bitmap filter.
+	PostCloseFraction float64
+	// TCPPorts / TCPPortWeights define the destination-port popularity
+	// mix of TCP sessions; UDPPorts / UDPPortWeights likewise for UDP.
+	// Defaults model a web-dominated campus network; the Profile
+	// presets change them.
+	TCPPorts       []uint16
+	TCPPortWeights []float64
+	UDPPorts       []uint16
+	UDPPortWeights []float64
+}
+
+// DefaultConfig returns a configuration calibrated to the §3.2 trace
+// statistics at a test-friendly scale (rate and duration are meant to be
+// overridden by callers).
+func DefaultConfig() Config {
+	return Config{
+		Seed:     1,
+		Duration: 10 * time.Minute,
+		ConnRate: 50,
+		Subnets:  CampusSubnets(),
+		Servers:  4096,
+		// Calibrated: TCP sessions average ~45 packets, UDP ~4, so a
+		// ~30% UDP session share yields ~3.75% UDP packets.
+		UDPSessionFraction:    0.30,
+		NoiseFraction:         0.011,
+		ServerTimeoutFraction: 0.010,
+		PostCloseFraction:     0.012,
+		TCPPorts:              []uint16{80, 443, 25, 110, 143, 22, 23, 21, 8080, 3128},
+		TCPPortWeights:        []float64{45, 30, 5, 4, 3, 3, 2, 2, 4, 2},
+		UDPPorts:              []uint16{53, 123, 161, 514},
+		UDPPortWeights:        []float64{80, 10, 5, 5},
+	}
+}
+
+// CampusSubnets returns six /24 client networks, mirroring the trace
+// source: "the router aggregates the up-links of six class C client
+// networks on a campus".
+func CampusSubnets() []packet.Prefix {
+	subnets := make([]packet.Prefix, 0, 6)
+	for i := byte(0); i < 6; i++ {
+		subnets = append(subnets, packet.PrefixFrom(packet.AddrFrom4(10, 10, i, 0), 24))
+	}
+	return subnets
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("%w: duration %v", ErrConfig, c.Duration)
+	}
+	if c.ConnRate <= 0 {
+		return fmt.Errorf("%w: connection rate %v", ErrConfig, c.ConnRate)
+	}
+	if len(c.Subnets) == 0 {
+		return fmt.Errorf("%w: no client subnets", ErrConfig)
+	}
+	if c.Servers <= 0 {
+		return fmt.Errorf("%w: server pool %d", ErrConfig, c.Servers)
+	}
+	if len(c.TCPPorts) == 0 || len(c.TCPPorts) != len(c.TCPPortWeights) {
+		return fmt.Errorf("%w: TCP port mix (%d ports, %d weights)",
+			ErrConfig, len(c.TCPPorts), len(c.TCPPortWeights))
+	}
+	if len(c.UDPPorts) == 0 || len(c.UDPPorts) != len(c.UDPPortWeights) {
+		return fmt.Errorf("%w: UDP port mix (%d ports, %d weights)",
+			ErrConfig, len(c.UDPPorts), len(c.UDPPortWeights))
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{name: "UDPSessionFraction", v: c.UDPSessionFraction},
+		{name: "NoiseFraction", v: c.NoiseFraction},
+		{name: "ServerTimeoutFraction", v: c.ServerTimeoutFraction},
+		{name: "PostCloseFraction", v: c.PostCloseFraction},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("%w: %s = %v", ErrConfig, f.name, f.v)
+		}
+	}
+	return nil
+}

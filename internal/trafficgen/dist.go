@@ -1,0 +1,132 @@
+package trafficgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"bitmapfilter/internal/xrand"
+)
+
+// QuantileDist samples a positive continuous distribution specified by
+// quantile anchors, interpolating log-linearly between them. This is how
+// the generator pins the *published* percentiles of the paper's trace
+// (connection lifetime and out-in delay, §3.2 / Figure 2) by construction
+// rather than hoping a parametric family lands on them.
+type QuantileDist struct {
+	qs   []float64 // ascending quantiles in [0, 1]
+	vals []float64 // corresponding positive values, ascending
+}
+
+// ErrAnchors is returned for malformed anchor sets.
+var ErrAnchors = errors.New("trafficgen: invalid quantile anchors")
+
+// NewQuantileDist builds a distribution from (quantile, value) anchors.
+// Anchors must start at 0, end at 1, be strictly increasing in quantile,
+// non-decreasing in value, and strictly positive in value.
+func NewQuantileDist(qs, vals []float64) (*QuantileDist, error) {
+	if len(qs) != len(vals) || len(qs) < 2 {
+		return nil, fmt.Errorf("%w: %d quantiles, %d values", ErrAnchors, len(qs), len(vals))
+	}
+	if qs[0] != 0 || qs[len(qs)-1] != 1 {
+		return nil, fmt.Errorf("%w: quantiles must span [0,1]", ErrAnchors)
+	}
+	for i := range qs {
+		if vals[i] <= 0 {
+			return nil, fmt.Errorf("%w: value %v not positive", ErrAnchors, vals[i])
+		}
+		if i > 0 {
+			if qs[i] <= qs[i-1] {
+				return nil, fmt.Errorf("%w: quantiles not increasing at %d", ErrAnchors, i)
+			}
+			if vals[i] < vals[i-1] {
+				return nil, fmt.Errorf("%w: values decreasing at %d", ErrAnchors, i)
+			}
+		}
+	}
+	d := &QuantileDist{
+		qs:   append([]float64(nil), qs...),
+		vals: append([]float64(nil), vals...),
+	}
+	return d, nil
+}
+
+// MustNewQuantileDist is NewQuantileDist for statically known anchors.
+func MustNewQuantileDist(qs, vals []float64) *QuantileDist {
+	d, err := NewQuantileDist(qs, vals)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// InverseCDF returns the value at quantile q (clamped to [0, 1]).
+func (d *QuantileDist) InverseCDF(q float64) float64 {
+	if q <= 0 {
+		return d.vals[0]
+	}
+	if q >= 1 {
+		return d.vals[len(d.vals)-1]
+	}
+	// Find the anchor segment containing q.
+	i := sort.SearchFloat64s(d.qs, q)
+	if i == 0 {
+		return d.vals[0]
+	}
+	q0, q1 := d.qs[i-1], d.qs[i]
+	v0, v1 := d.vals[i-1], d.vals[i]
+	frac := (q - q0) / (q1 - q0)
+	// Log-linear interpolation keeps heavy tails smooth.
+	return math.Exp(math.Log(v0) + frac*(math.Log(v1)-math.Log(v0)))
+}
+
+// Sample draws one value using r.
+func (d *QuantileDist) Sample(r *xrand.Rand) float64 {
+	return d.InverseCDF(r.Float64())
+}
+
+// CDFAt numerically inverts InverseCDF by bisection, for tests and
+// calibration reports.
+func (d *QuantileDist) CDFAt(x float64) float64 {
+	if x <= d.vals[0] {
+		return 0
+	}
+	if x >= d.vals[len(d.vals)-1] {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if d.InverseCDF(mid) < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Calibrated distributions reproducing the §3.2 trace statistics.
+
+// LifetimeDist matches Figure 2-a: "90% of connections are under 76
+// seconds, 95% are under 6 minutes, and less than one percent last for more
+// than 515 seconds", with a maximum of six hours (the trace length).
+func LifetimeDist() *QuantileDist {
+	return MustNewQuantileDist(
+		[]float64{0, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1},
+		[]float64{0.005, 1, 8, 30, 76, 360, 480, 3600, 21600},
+	)
+}
+
+// ReplyDelayDist matches the bulk of Figure 2-c: "95% of out-in packet
+// delays are shorter than 0.8 seconds" and "99% ... shorter than 2.8
+// seconds". The distribution tops out below the filter's T_e = 20 s; the
+// >20 s delay mass of Figure 2-b comes from the discrete server-timeout
+// events the generator emits separately (see session.go).
+func ReplyDelayDist() *QuantileDist {
+	return MustNewQuantileDist(
+		[]float64{0, 0.50, 0.80, 0.95, 0.99, 1},
+		[]float64{0.001, 0.05, 0.25, 0.80, 2.80, 15},
+	)
+}

@@ -1,0 +1,111 @@
+package trafficgen
+
+import (
+	"fmt"
+
+	"bitmapfilter/internal/packet"
+)
+
+// Profile selects a client-network archetype. §3 of the paper defines a
+// client network as "a business enterprise customer, a group of DSL users,
+// a wireless network, or a building on a campus" — each preset tunes the
+// workload mix for one of those while keeping the §3.2 lifetime and delay
+// calibration (which the paper measured on the campus profile and which
+// the filter's correctness arguments rely on).
+type Profile int
+
+// Client-network archetypes from §3 of the paper.
+const (
+	// ProfileCampus is the paper's measured network: six /24 subnets,
+	// web-dominated with a long tail of interactive protocols.
+	ProfileCampus Profile = iota + 1
+	// ProfileEnterprise is a business customer: two subnets, heavier
+	// mail/VPN/ssh share, busier hosts.
+	ProfileEnterprise
+	// ProfileDSL is a pool of residential DSL users: many small
+	// subnets, web/streaming-heavy, more UDP (DNS-chatty short
+	// sessions).
+	ProfileDSL
+	// ProfileWireless is a hotspot-style WLAN: one subnet, bursty web
+	// traffic, more background noise reaching the clients.
+	ProfileWireless
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileCampus:
+		return "campus"
+	case ProfileEnterprise:
+		return "enterprise"
+	case ProfileDSL:
+		return "dsl"
+	case ProfileWireless:
+		return "wireless"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
+
+// ParseProfile resolves a profile name.
+func ParseProfile(name string) (Profile, error) {
+	switch name {
+	case "campus":
+		return ProfileCampus, nil
+	case "enterprise":
+		return ProfileEnterprise, nil
+	case "dsl":
+		return ProfileDSL, nil
+	case "wireless":
+		return ProfileWireless, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown profile %q", ErrConfig, name)
+	}
+}
+
+// Config returns the preset configuration for the profile. Rate, duration
+// and seed keep the DefaultConfig values and are meant to be overridden.
+func (p Profile) Config() Config {
+	cfg := DefaultConfig()
+	switch p {
+	case ProfileEnterprise:
+		cfg.Subnets = prefixRange(2)
+		// Mail, web, ssh and proxy dominate; telnet/ftp nearly gone.
+		cfg.TCPPorts = []uint16{443, 80, 25, 993, 465, 22, 3128, 8080, 1194}
+		cfg.TCPPortWeights = []float64{35, 20, 12, 8, 6, 8, 5, 4, 2}
+		cfg.UDPPorts = []uint16{53, 123, 500, 4500}
+		cfg.UDPPortWeights = []float64{70, 10, 10, 10}
+		cfg.UDPSessionFraction = 0.25
+		cfg.NoiseFraction = 0.008
+	case ProfileDSL:
+		cfg.Subnets = prefixRange(8)
+		// Web and streaming-ish high ports; lots of DNS.
+		cfg.TCPPorts = []uint16{80, 443, 8080, 1935, 8443, 110, 25}
+		cfg.TCPPortWeights = []float64{40, 35, 8, 6, 5, 3, 3}
+		cfg.UDPPorts = []uint16{53, 123, 3478}
+		cfg.UDPPortWeights = []float64{80, 5, 15}
+		cfg.UDPSessionFraction = 0.40
+		cfg.NoiseFraction = 0.015
+	case ProfileWireless:
+		cfg.Subnets = prefixRange(1)
+		cfg.TCPPorts = []uint16{443, 80, 8080, 5223}
+		cfg.TCPPortWeights = []float64{50, 35, 8, 7}
+		cfg.UDPPorts = []uint16{53, 123, 3478, 443}
+		cfg.UDPPortWeights = []float64{60, 5, 15, 20}
+		cfg.UDPSessionFraction = 0.35
+		cfg.NoiseFraction = 0.02
+	default:
+		// ProfileCampus: DefaultConfig already is the campus network.
+	}
+	return cfg
+}
+
+// prefixRange returns n /24 subnets under 10.10/16.
+func prefixRange(n int) []packet.Prefix {
+	subnets := make([]packet.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		subnets = append(subnets, packet.PrefixFrom(
+			packet.AddrFrom4(10, 10, byte(i), 0), 24))
+	}
+	return subnets
+}

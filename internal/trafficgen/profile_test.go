@@ -1,0 +1,137 @@
+package trafficgen
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/packet"
+)
+
+func TestProfileNamesRoundTrip(t *testing.T) {
+	for _, p := range []Profile{ProfileCampus, ProfileEnterprise, ProfileDSL, ProfileWireless} {
+		got, err := ParseProfile(p.String())
+		if err != nil {
+			t.Errorf("ParseProfile(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+	if _, err := ParseProfile("nonsense"); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown profile error = %v", err)
+	}
+	if Profile(99).String() != "profile(99)" {
+		t.Error("unknown profile String wrong")
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range []Profile{ProfileCampus, ProfileEnterprise, ProfileDSL, ProfileWireless} {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := p.Config()
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			cfg.Duration = 20 * time.Second
+			cfg.ConnRate = 10
+			g, err := NewGenerator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			g.Drain(func(packet.Packet) { count++ })
+			if count == 0 {
+				t.Error("profile generated no traffic")
+			}
+		})
+	}
+}
+
+func TestProfileSubnetCounts(t *testing.T) {
+	tests := []struct {
+		profile Profile
+		want    int
+	}{
+		{profile: ProfileCampus, want: 6}, // the paper's six class-C networks
+		{profile: ProfileEnterprise, want: 2},
+		{profile: ProfileDSL, want: 8},
+		{profile: ProfileWireless, want: 1},
+	}
+	for _, tt := range tests {
+		if got := len(tt.profile.Config().Subnets); got != tt.want {
+			t.Errorf("%v subnets = %d, want %d", tt.profile, got, tt.want)
+		}
+	}
+}
+
+func TestProfilesProduceDistinctPortMixes(t *testing.T) {
+	// Count destination-port distribution of TCP SYNs per profile; the
+	// dominant ports must match each archetype.
+	dominantPort := func(p Profile) uint16 {
+		cfg := p.Config()
+		cfg.Duration = 60 * time.Second
+		cfg.ConnRate = 20
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[uint16]int)
+		g.Drain(func(pkt packet.Packet) {
+			if pkt.Dir == packet.Outgoing && pkt.Tuple.Proto == packet.TCP &&
+				pkt.Flags == packet.SYN {
+				counts[pkt.Tuple.DstPort]++
+			}
+		})
+		var best uint16
+		bestN := -1
+		for port, n := range counts {
+			if n > bestN {
+				best, bestN = port, n
+			}
+		}
+		return best
+	}
+	if got := dominantPort(ProfileCampus); got != 80 {
+		t.Errorf("campus dominant port = %d, want 80", got)
+	}
+	if got := dominantPort(ProfileEnterprise); got != 443 {
+		t.Errorf("enterprise dominant port = %d, want 443", got)
+	}
+	if got := dominantPort(ProfileWireless); got != 443 {
+		t.Errorf("wireless dominant port = %d, want 443", got)
+	}
+}
+
+// Profiles must not break the §3.2 calibration the filter experiments rely
+// on: delay percentiles stay in the paper's regime for every archetype.
+func TestProfilesKeepDelayCalibration(t *testing.T) {
+	for _, p := range []Profile{ProfileEnterprise, ProfileDSL, ProfileWireless} {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := p.Config()
+			cfg.Duration = 4 * time.Minute
+			cfg.ConnRate = 15
+			g, err := NewGenerator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Match rate of incoming packets stays high: traffic is
+			// still overwhelmingly bidirectional.
+			var in, out uint64
+			g.Drain(func(pkt packet.Packet) {
+				if pkt.Dir == packet.Incoming {
+					in++
+				} else {
+					out++
+				}
+			})
+			if in == 0 || out == 0 {
+				t.Fatal("one-directional trace")
+			}
+			ratio := float64(in) / float64(out)
+			if ratio < 0.4 || ratio > 2.5 {
+				t.Errorf("in/out ratio = %v", ratio)
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package trafficgen
+
+import (
+	"time"
+
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// Packet length models (bytes on the wire, Ethernet included). The §3.2
+// trace averages 720 bytes per packet; requests are small, data replies
+// large, pure ACKs minimal.
+const (
+	ackLen        = 60
+	synLen        = 74
+	minRequestLen = 90
+	maxRequestLen = 700
+	minReplyLen   = 600
+	maxReplyLen   = 1514
+)
+
+// transactionsCap bounds the number of request/reply rounds of a single
+// session so that one multi-hour connection cannot dominate the trace.
+const transactionsCap = 2000
+
+// event is one scheduled packet of the trace.
+type event struct {
+	pkt packet.Packet
+	seq uint64 // tie-break for identical timestamps
+}
+
+// session captures the parameters of one client connection; buildSession
+// materializes its full packet schedule.
+type session struct {
+	client     packet.Addr
+	clientPort uint16
+	server     packet.Addr
+	serverPort uint16
+	proto      packet.Proto
+	start      time.Duration
+	lifetime   time.Duration
+}
+
+// sessionPackets appends the session's packets to dst in (locally) sorted
+// order. The caller merges them globally through the event heap.
+func (g *Generator) sessionPackets(s session, dst []packet.Packet) []packet.Packet {
+	if s.proto == packet.UDP {
+		return g.udpPackets(s, dst)
+	}
+	return g.tcpPackets(s, dst)
+}
+
+func (g *Generator) out(t time.Duration, s session, flags packet.Flags, length int) packet.Packet {
+	return packet.Packet{
+		Time: t,
+		Tuple: packet.Tuple{
+			Src: s.client, SrcPort: s.clientPort,
+			Dst: s.server, DstPort: s.serverPort,
+			Proto: s.proto,
+		},
+		Dir:    packet.Outgoing,
+		Flags:  flags,
+		Length: length,
+	}
+}
+
+func (g *Generator) in(t time.Duration, s session, flags packet.Flags, length int) packet.Packet {
+	return packet.Packet{
+		Time: t,
+		Tuple: packet.Tuple{
+			Src: s.server, SrcPort: s.serverPort,
+			Dst: s.client, DstPort: s.clientPort,
+			Proto: s.proto,
+		},
+		Dir:    packet.Incoming,
+		Flags:  flags,
+		Length: length,
+	}
+}
+
+// tcpPackets emits handshake, request/reply transactions, and one of three
+// endings: a normal FIN close (possibly followed by a late post-close
+// packet), or a server-timeout FIN arriving a multiple of 30/60 seconds
+// after the client's last packet (the Figure 2-b peak structure).
+func (g *Generator) tcpPackets(s session, dst []packet.Packet) []packet.Packet {
+	r := g.rng
+	end := s.start + s.lifetime
+
+	// Handshake.
+	d := g.replyDelay(r)
+	t := s.start
+	dst = append(dst,
+		g.out(t, s, packet.SYN, synLen),
+		g.in(t+d, s, packet.SYN|packet.ACK, synLen),
+		g.out(t+d+2*time.Millisecond, s, packet.ACK, ackLen),
+	)
+	t = t + d + 2*time.Millisecond
+	lastOut := t
+
+	// Request/reply transactions until the lifetime is spent. Think time
+	// scales with lifetime so long sessions stay sparse instead of
+	// ballooning to millions of packets.
+	thinkMean := 1500 * time.Millisecond
+	if scaled := s.lifetime / 40; scaled > thinkMean {
+		thinkMean = scaled
+	}
+	for n := 0; n < transactionsCap; n++ {
+		gap := time.Duration(r.Exp(float64(thinkMean)))
+		t += gap
+		if t >= end {
+			break
+		}
+		// Request.
+		reqLen := r.IntRange(minRequestLen, maxRequestLen)
+		dst = append(dst, g.out(t, s, packet.PSH|packet.ACK, reqLen))
+		lastOut = t
+		// Replies: each delay is an independent draw from the
+		// calibrated distribution, measured from the request (which is
+		// exactly how the §3.2 out-in delay procedure will see them).
+		nReplies := 1 + r.Intn(5)
+		var lastReply time.Duration
+		for i := 0; i < nReplies; i++ {
+			rt := t + g.replyDelay(r)
+			if rt > lastReply {
+				lastReply = rt
+			}
+			dst = append(dst, g.in(rt, s, packet.ACK, r.IntRange(minReplyLen, maxReplyLen)))
+		}
+		// Client acknowledges the data.
+		ackT := lastReply + 5*time.Millisecond
+		dst = append(dst, g.out(ackT, s, packet.ACK, ackLen))
+		lastOut = ackT
+		if ackT > t {
+			t = ackT
+		}
+	}
+
+	if r.Bool(g.cfg.ServerTimeoutFraction) {
+		// Server-side idle timeout: the server FINs at a multiple of 30
+		// or 60 seconds after the client's last packet. These incoming
+		// packets carry the large out-in delays of Figure 2-b and are
+		// the mass in (T_e, SPI-timeout) that only the bitmap drops.
+		unit := 30 * time.Second
+		if r.Bool(0.5) {
+			unit = 60 * time.Second
+		}
+		mult := time.Duration(1 + r.Intn(4))
+		jitter := time.Duration(r.Intn(400)) * time.Millisecond
+		finT := lastOut + unit*mult + jitter
+		dst = append(dst,
+			g.in(finT, s, packet.FIN|packet.ACK, ackLen),
+			g.out(finT+5*time.Millisecond, s, packet.FIN|packet.ACK, ackLen),
+		)
+		return dst
+	}
+
+	// Normal client-initiated close.
+	closeT := t
+	if closeT < lastOut {
+		closeT = lastOut
+	}
+	closeT += time.Duration(r.Exp(float64(200 * time.Millisecond)))
+	d = g.replyDelay(r)
+	dst = append(dst,
+		g.out(closeT, s, packet.FIN|packet.ACK, ackLen),
+		g.in(closeT+d, s, packet.FIN|packet.ACK, ackLen),
+		g.out(closeT+d+2*time.Millisecond, s, packet.ACK, ackLen),
+	)
+
+	if r.Bool(g.cfg.PostCloseFraction) {
+		// A straggler (retransmission or late data) arrives 1–10 s
+		// after the close: a close-tracking SPI filter drops it, the
+		// bitmap filter admits it (still within T_e of the final ACK).
+		lateT := closeT + d + time.Duration(1+r.Intn(9))*time.Second +
+			time.Duration(r.Intn(1000))*time.Millisecond
+		dst = append(dst, g.in(lateT, s, packet.ACK, ackLen))
+	}
+	return dst
+}
+
+// udpPackets emits a short DNS-like exchange: 1–3 query/response rounds.
+func (g *Generator) udpPackets(s session, dst []packet.Packet) []packet.Packet {
+	r := g.rng
+	t := s.start
+	rounds := 1 + r.Intn(3)
+	for i := 0; i < rounds; i++ {
+		dst = append(dst, g.out(t, s, 0, r.IntRange(70, 120)))
+		d := g.replyDelay(r)
+		dst = append(dst, g.in(t+d, s, 0, r.IntRange(100, 512)))
+		t += d + time.Duration(r.Exp(float64(300*time.Millisecond)))
+	}
+	return dst
+}
+
+// replyDelay draws one out-in delay from the calibrated distribution.
+func (g *Generator) replyDelay(r *xrand.Rand) time.Duration {
+	return time.Duration(g.delayDist.Sample(r) * float64(time.Second))
+}
+
+// newSession draws the parameters of the next session.
+func (g *Generator) newSession(start time.Duration) session {
+	r := g.rng
+	subnet := g.cfg.Subnets[r.Intn(len(g.cfg.Subnets))]
+	// Skip network/broadcast addresses within the prefix.
+	host := uint64(1 + r.Intn(int(subnet.Size()-2)))
+	s := session{
+		client: subnet.Nth(host),
+		start:  start,
+	}
+	if r.Bool(g.cfg.UDPSessionFraction) {
+		s.proto = packet.UDP
+		s.serverPort = g.cfg.UDPPorts[r.Categorical(g.cfg.UDPPortWeights)]
+		// UDP sessions are one short exchange; lifetime is implicit.
+		s.lifetime = time.Second
+	} else {
+		s.proto = packet.TCP
+		s.serverPort = g.cfg.TCPPorts[r.Categorical(g.cfg.TCPPortWeights)]
+		s.lifetime = time.Duration(g.lifetimeDist.Sample(r) * float64(time.Second))
+	}
+	s.server = g.servers[r.Intn(len(g.servers))]
+	s.clientPort = g.ephemeralPort(s.client)
+	return s
+}
+
+// ephemeralPort hands out client source ports per host, wrapping through
+// the ephemeral range so ports are eventually reused (the port-reuse
+// behaviour §3.2 observes).
+func (g *Generator) ephemeralPort(client packet.Addr) uint16 {
+	const (
+		ephemeralBase  = 1024
+		ephemeralRange = 28232 // 1024..29255, a deliberately small range
+	)
+	next := g.portCursor[client]
+	g.portCursor[client] = next + 1
+	return uint16(ephemeralBase + next%ephemeralRange)
+}

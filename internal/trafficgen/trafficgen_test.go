@@ -1,0 +1,487 @@
+package trafficgen
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/delaymeter"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/stats"
+	"bitmapfilter/internal/xrand"
+)
+
+func TestQuantileDistValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		qs   []float64
+		vals []float64
+	}{
+		{name: "length mismatch", qs: []float64{0, 1}, vals: []float64{1}},
+		{name: "too short", qs: []float64{0}, vals: []float64{1}},
+		{name: "not starting at 0", qs: []float64{0.1, 1}, vals: []float64{1, 2}},
+		{name: "not ending at 1", qs: []float64{0, 0.9}, vals: []float64{1, 2}},
+		{name: "non-increasing quantiles", qs: []float64{0, 0.5, 0.5, 1}, vals: []float64{1, 2, 3, 4}},
+		{name: "decreasing values", qs: []float64{0, 0.5, 1}, vals: []float64{1, 3, 2}},
+		{name: "non-positive value", qs: []float64{0, 1}, vals: []float64{0, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewQuantileDist(tt.qs, tt.vals); !errors.Is(err, ErrAnchors) {
+				t.Errorf("error = %v, want ErrAnchors", err)
+			}
+		})
+	}
+}
+
+func TestQuantileDistInverseCDFAnchors(t *testing.T) {
+	d := MustNewQuantileDist([]float64{0, 0.5, 1}, []float64{1, 10, 100})
+	if got := d.InverseCDF(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := d.InverseCDF(0.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("q0.5 = %v", got)
+	}
+	if got := d.InverseCDF(1); got != 100 {
+		t.Errorf("q1 = %v", got)
+	}
+	// Log-linear midpoint of [1, 10] is sqrt(10).
+	if got := d.InverseCDF(0.25); math.Abs(got-math.Sqrt(10)) > 1e-9 {
+		t.Errorf("q0.25 = %v, want sqrt(10)", got)
+	}
+	// Clamps.
+	if d.InverseCDF(-1) != 1 || d.InverseCDF(2) != 100 {
+		t.Error("clamps broken")
+	}
+}
+
+func TestQuantileDistCDFInvertsInverse(t *testing.T) {
+	d := LifetimeDist()
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		x := d.InverseCDF(q)
+		if got := d.CDFAt(x); math.Abs(got-q) > 1e-6 {
+			t.Errorf("CDF(InvCDF(%v)) = %v", q, got)
+		}
+	}
+	if d.CDFAt(0.0001) != 0 {
+		t.Error("below-min CDF nonzero")
+	}
+	if d.CDFAt(1e9) != 1 {
+		t.Error("above-max CDF not one")
+	}
+}
+
+func TestLifetimeDistMatchesPaperPercentiles(t *testing.T) {
+	// Figure 2-a: 90% < 76 s, 95% < 360 s, <1% > 515 s.
+	d := LifetimeDist()
+	r := xrand.New(1)
+	var s stats.Sample
+	for i := 0; i < 200000; i++ {
+		s.Add(d.Sample(r))
+	}
+	if got := s.Quantile(0.90); math.Abs(got-76)/76 > 0.06 {
+		t.Errorf("q90 = %v, want ~76", got)
+	}
+	if got := s.Quantile(0.95); math.Abs(got-360)/360 > 0.06 {
+		t.Errorf("q95 = %v, want ~360", got)
+	}
+	over515 := 1 - s.CDFAt(515)
+	if over515 >= 0.01 {
+		t.Errorf("P(L > 515s) = %v, want < 0.01", over515)
+	}
+	if s.Max() > 21600 {
+		t.Errorf("max lifetime = %v, exceeds 6h trace", s.Max())
+	}
+}
+
+func TestReplyDelayDistMatchesPaperPercentiles(t *testing.T) {
+	// Figure 2-c: 95% < 0.8 s, 99% < 2.8 s.
+	d := ReplyDelayDist()
+	r := xrand.New(2)
+	var s stats.Sample
+	for i := 0; i < 200000; i++ {
+		s.Add(d.Sample(r))
+	}
+	if got := s.Quantile(0.95); math.Abs(got-0.8)/0.8 > 0.05 {
+		t.Errorf("q95 = %v, want ~0.8", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-2.8)/2.8 > 0.05 {
+		t.Errorf("q99 = %v, want ~2.8", got)
+	}
+	if s.Max() >= 20 {
+		t.Errorf("max delay = %v, must stay below T_e=20s", s.Max())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{name: "zero duration", mut: func(c *Config) { c.Duration = 0 }},
+		{name: "zero rate", mut: func(c *Config) { c.ConnRate = 0 }},
+		{name: "no subnets", mut: func(c *Config) { c.Subnets = nil }},
+		{name: "no servers", mut: func(c *Config) { c.Servers = 0 }},
+		{name: "bad udp fraction", mut: func(c *Config) { c.UDPSessionFraction = 1.5 }},
+		{name: "bad noise fraction", mut: func(c *Config) { c.NoiseFraction = -0.1 }},
+		{name: "bad timeout fraction", mut: func(c *Config) { c.ServerTimeoutFraction = 2 }},
+		{name: "bad postclose fraction", mut: func(c *Config) { c.PostCloseFraction = -1 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mut(&cfg)
+			if _, err := NewGenerator(cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("error = %v, want ErrConfig", err)
+			}
+		})
+	}
+	if _, err := NewGenerator(base); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestCampusSubnets(t *testing.T) {
+	subnets := CampusSubnets()
+	if len(subnets) != 6 {
+		t.Fatalf("%d subnets, want 6 (six class-C networks)", len(subnets))
+	}
+	for _, s := range subnets {
+		if s.Bits != 24 {
+			t.Errorf("subnet %v is not a /24", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.ConnRate = 20
+
+	collect := func() []packet.Packet {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pkts []packet.Packet
+		g.Drain(func(p packet.Packet) { pkts = append(pkts, p) })
+		return pkts
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 10 * time.Second
+	cfg.ConnRate = 20
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	g2, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok1 := g1.Next()
+	p2, ok2 := g2.Next()
+	if !ok1 || !ok2 {
+		t.Fatal("empty traces")
+	}
+	if p1 == p2 {
+		t.Error("different seeds produced identical first packet")
+	}
+}
+
+func TestPacketsAreTimeOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 60 * time.Second
+	cfg.ConnRate = 30
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := time.Duration(-1)
+	count := 0
+	g.Drain(func(p packet.Packet) {
+		if p.Time < last {
+			t.Fatalf("packet %d out of order: %v after %v", count, p.Time, last)
+		}
+		last = p.Time
+		count++
+	})
+	if count == 0 {
+		t.Fatal("no packets")
+	}
+	if last > cfg.Duration {
+		t.Errorf("packet beyond duration: %v", last)
+	}
+}
+
+func TestTupleSanity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.ConnRate = 30
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSubnets := func(a packet.Addr) bool {
+		for _, s := range cfg.Subnets {
+			if s.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	g.Drain(func(p packet.Packet) {
+		switch p.Dir {
+		case packet.Outgoing:
+			if !inSubnets(p.Tuple.Src) {
+				t.Fatalf("outgoing packet from outside client subnets: %v", p)
+			}
+			if inSubnets(p.Tuple.Dst) {
+				t.Fatalf("outgoing packet to client subnet: %v", p)
+			}
+		case packet.Incoming:
+			if !inSubnets(p.Tuple.Dst) {
+				t.Fatalf("incoming packet not addressed to client subnets: %v", p)
+			}
+		}
+		if p.Length < 40 || p.Length > 1514 {
+			t.Fatalf("implausible packet length %d", p.Length)
+		}
+		if p.Tuple.Proto != packet.TCP && p.Tuple.Proto != packet.UDP {
+			t.Fatalf("unexpected protocol %v", p.Tuple.Proto)
+		}
+	})
+}
+
+var calib struct {
+	once sync.Once
+	gen  *Generator
+	pkts []packet.Packet
+	err  error
+}
+
+// calibrationTrace generates (once) a trace big enough for distribution
+// checks; the result is shared by all calibration tests.
+func calibrationTrace(t *testing.T) (*Generator, []packet.Packet) {
+	t.Helper()
+	calib.once.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Duration = 20 * time.Minute
+		cfg.ConnRate = 40
+		calib.gen, calib.err = NewGenerator(cfg)
+		if calib.err != nil {
+			return
+		}
+		calib.gen.Drain(func(p packet.Packet) { calib.pkts = append(calib.pkts, p) })
+	})
+	if calib.err != nil {
+		t.Fatal(calib.err)
+	}
+	return calib.gen, calib.pkts
+}
+
+func TestProtocolMixMatchesPaper(t *testing.T) {
+	// §3.2: 96.25% TCP, 3.75% UDP by packets. Accept a generous band.
+	g, _ := calibrationTrace(t)
+	tot := g.Totals()
+	udpFrac := float64(tot.UDPPackets) / float64(tot.Packets)
+	if udpFrac < 0.02 || udpFrac > 0.06 {
+		t.Errorf("UDP packet fraction = %v, want ~0.0375", udpFrac)
+	}
+}
+
+func TestMeanPacketSizeReasonable(t *testing.T) {
+	// §3.2: average packet size 720 bytes.
+	g, _ := calibrationTrace(t)
+	tot := g.Totals()
+	mean := float64(tot.Bytes) / float64(tot.Packets)
+	if mean < 450 || mean > 950 {
+		t.Errorf("mean packet size = %v, want ~720", mean)
+	}
+}
+
+func TestTrafficRoughlyBidirectional(t *testing.T) {
+	g, _ := calibrationTrace(t)
+	tot := g.Totals()
+	ratio := float64(tot.Incoming) / float64(tot.Outgoing)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("in/out packet ratio = %v", ratio)
+	}
+}
+
+func TestMeasuredOutInDelaysMatchFigure2(t *testing.T) {
+	_, pkts := calibrationTrace(t)
+	meter := delaymeter.MustNew(delaymeter.DefaultExpiry)
+	var sample stats.Sample
+	for _, p := range pkts {
+		if d, ok := meter.Observe(p); ok {
+			sample.Add(d.Seconds())
+		}
+	}
+	if sample.N() < 10000 {
+		t.Fatalf("only %d matched delays", sample.N())
+	}
+	// Figure 2-c: 95% < 0.8 s and 99% < 2.8 s, measured on the full
+	// stream (so including timeout FINs and stragglers).
+	q95 := sample.Quantile(0.95)
+	if q95 < 0.5 || q95 > 1.3 {
+		t.Errorf("measured q95 = %v, want ~0.8", q95)
+	}
+	q99 := sample.Quantile(0.99)
+	if q99 < 1.8 || q99 > 4.5 {
+		t.Errorf("measured q99 = %v, want ~2.8", q99)
+	}
+	// "Most Internet traffic is bi-directional": nearly all incoming
+	// packets match a recorded outgoing tuple.
+	matchRate := float64(meter.Matched()) / float64(meter.Matched()+meter.Missed())
+	if matchRate < 0.95 {
+		t.Errorf("incoming match rate = %v", matchRate)
+	}
+}
+
+func TestDelayTailHasServerTimeoutMass(t *testing.T) {
+	// The (20 s, 240 s] delay band — server-timeout FINs — must exist
+	// (it is what separates bitmap from SPI drop rates) but stay small.
+	_, pkts := calibrationTrace(t)
+	meter := delaymeter.MustNew(delaymeter.DefaultExpiry)
+	var total, band int
+	for _, p := range pkts {
+		if d, ok := meter.Observe(p); ok {
+			total++
+			if d > 20*time.Second && d <= 240*time.Second {
+				band++
+			}
+		}
+	}
+	frac := float64(band) / float64(total)
+	if frac <= 0 {
+		t.Fatal("no server-timeout delay mass")
+	}
+	if frac > 0.02 {
+		t.Errorf("timeout band fraction = %v, want well under 2%%", frac)
+	}
+}
+
+func TestTimeoutPeaksAt30And60Seconds(t *testing.T) {
+	// Figure 2-b: delay histogram peaks interleaved at ~30/60 s
+	// multiples.
+	cfg := DefaultConfig()
+	cfg.Duration = 20 * time.Minute
+	cfg.ConnRate = 40
+	cfg.ServerTimeoutFraction = 0.10 // exaggerate for signal
+	cfg.Seed = 7
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := delaymeter.MustNew(delaymeter.DefaultExpiry)
+	hist := stats.MustNewHistogram(1, 300) // 1s bins to 300s
+	g.Drain(func(p packet.Packet) {
+		if d, ok := meter.Observe(p); ok {
+			if d > 20*time.Second {
+				hist.Add(d.Seconds())
+			}
+		}
+	})
+	// Expect clear mass at 30, 60, 90, 120 versus neighbors.
+	for _, peak := range []int{30, 60, 90, 120} {
+		at := hist.Count(peak)
+		off := hist.Count(peak-10) + hist.Count(peak+10)
+		if at == 0 {
+			t.Errorf("no mass at %ds peak", peak)
+			continue
+		}
+		if float64(at) < 3*float64(off)/2 {
+			t.Errorf("peak at %ds not prominent: %d vs neighbors %d", peak, at, off)
+		}
+	}
+}
+
+func TestNoiseFractionTracksConfig(t *testing.T) {
+	g, _ := calibrationTrace(t)
+	tot := g.Totals()
+	frac := float64(tot.NoiseIn) / float64(tot.Incoming)
+	want := DefaultConfig().NoiseFraction
+	if frac < want*0.5 || frac > want*2 {
+		t.Errorf("noise fraction = %v, want ~%v", frac, want)
+	}
+}
+
+func TestSessionCountsAndHandshakes(t *testing.T) {
+	g, pkts := calibrationTrace(t)
+	tot := g.Totals()
+	if tot.Sessions == 0 {
+		t.Fatal("no sessions")
+	}
+	syn := 0
+	for _, p := range pkts {
+		if p.Dir == packet.Outgoing && p.Tuple.Proto == packet.TCP &&
+			p.Flags == packet.SYN {
+			syn++
+		}
+	}
+	// Every TCP session starts with exactly one bare SYN; sessions near
+	// the end of the window may be truncated, so allow slack.
+	tcpSessions := float64(tot.Sessions) * (1 - DefaultConfig().UDPSessionFraction)
+	if float64(syn) < tcpSessions*0.8 || float64(syn) > tcpSessions*1.2 {
+		t.Errorf("SYN count %d vs ~%v expected TCP sessions", syn, tcpSessions)
+	}
+}
+
+func TestGeneratorNextAfterExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 2 * time.Second
+	cfg.ConnRate = 5
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("Next returned a packet after exhaustion")
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Duration = time.Hour
+	cfg.ConnRate = 100
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.StopTimer()
+			g, err = NewGenerator(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator so that every experiment is
+// reproducible from a single 64-bit seed.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny stateless-stepping generator, mainly used to expand
+//     one seed into many independent stream seeds.
+//   - Rand (xoshiro256**): the workhorse generator with helpers for the
+//     distributions the traffic and attack generators need (uniform,
+//     exponential, Pareto, log-normal, categorical).
+//
+// Neither generator is cryptographically secure; they are simulation PRNGs.
+package xrand
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. Its zero
+// value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** PRNG. Construct it with New; the zero value has an
+// all-zero state which xoshiro cannot escape, so New always mixes the seed
+// through SplitMix64 first.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded from seed via SplitMix64 expansion, guaranteeing
+// a non-degenerate internal state for any seed value (including 0).
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// Astronomically unlikely, but the all-zero state is the one fixed
+	// point of xoshiro; nudge it if SplitMix64 ever produced it.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Fork derives an independent generator from r. Streams produced by repeated
+// Fork calls are decorrelated because each is re-expanded through SplitMix64.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand semantics; callers always pass positive literals or validated
+// sizes.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform integer in [lo, hi]. It panics if hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 random mantissa bits scaled into [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A zero or negative mean yields 0.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a Pareto(xm, alpha) distributed value (a classic
+// heavy-tailed model for connection lifetimes and flow sizes).
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// LogNormal returns an exp(Normal(mu, sigma)) distributed value.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+// Normal returns a standard normal variate using the Box–Muller transform.
+func (r *Rand) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Categorical samples an index from the given non-negative weights. Weights
+// that sum to zero (or an empty slice) yield index 0.
+func (r *Rand) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the first n elements using the provided swap function,
+// following the Fisher–Yates algorithm.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

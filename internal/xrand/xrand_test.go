@@ -1,0 +1,298 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for splitmix64 seeded with 1234567, from the
+	// public-domain reference implementation.
+	sm := NewSplitMix64(1234567)
+	want := []uint64{
+		0x599ed017fb08fc85,
+		0x2c73f08458540fa5,
+		0x883ebce5a3f27c77,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Errorf("Next()[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream diverged at %d: %#x != %#x", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Errorf("seed 0 generator produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(10, 13)
+		if v < 10 || v > 13 {
+			t.Fatalf("IntRange(10,13) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("IntRange(10,13) hit %d/4 values", len(seen))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exp(2.5) mean = %v", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	r := New(13)
+	if v := r.Exp(0); v != 0 {
+		t.Errorf("Exp(0) = %v, want 0", v)
+	}
+	if v := r.Exp(-1); v != 0 {
+		t.Errorf("Exp(-1) = %v, want 0", v)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100000; i++ {
+		if v := r.Pareto(3, 1.2); v < 3 {
+			t.Fatalf("Pareto(3,1.2) = %v below xm", v)
+		}
+	}
+}
+
+func TestParetoMedian(t *testing.T) {
+	// Median of Pareto(xm, a) is xm * 2^(1/a).
+	r := New(19)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Pareto(1, 2)
+	}
+	below := 0
+	want := math.Pow(2, 0.5)
+	for _, v := range vals {
+		if v < want {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction below theoretical median = %v, want ~0.5", frac)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %v", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal = %v", v)
+		}
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(31)
+	weights := []float64{1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[2])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		got := float64(counts[i]) / n
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	r := New(37)
+	if got := r.Categorical(nil); got != 0 {
+		t.Errorf("Categorical(nil) = %d", got)
+	}
+	if got := r.Categorical([]float64{0, 0}); got != 0 {
+		t.Errorf("Categorical(zeros) = %d", got)
+	}
+	if got := r.Categorical([]float64{-1, 5}); got != 1 {
+		t.Errorf("Categorical(negative,positive) = %d, want 1", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	parent := New(99)
+	a := parent.Fork()
+	b := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams matched %d/100 draws", same)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(43)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
