@@ -499,6 +499,186 @@ func BenchmarkSnapshotRoundTrip(b *testing.B) {
 	b.ReportMetric(float64(snapBytes), "snapshot_bytes")
 }
 
+// batchWorkload interleaves outgoing packets and their replies into one
+// mixed trace (all timestamps zero, so no rotations fire mid-benchmark).
+func batchWorkload(n int, seed uint64) []packet.Packet {
+	outs, ins := table1Workload(n/2, seed)
+	pkts := make([]packet.Packet, 0, n)
+	for i := range outs {
+		pkts = append(pkts, outs[i], ins[i])
+	}
+	return pkts
+}
+
+// Batched versus per-packet hot path. Each iteration pushes the same
+// 512-packet mixed batch through the filter, so ns/op is directly
+// comparable between the "packet" and "batch" variants; the Safe and
+// Sharded pairs isolate the lock-amortization win (one acquisition per
+// batch / per touched shard instead of one per packet).
+func BenchmarkProcessBatch(b *testing.B) {
+	const batch = 512
+	pkts := batchWorkload(batch, 8)
+
+	impls := []struct {
+		name string
+		mk   func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		}
+	}{
+		{name: "single", mk: func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		} {
+			f, err := bitmapfilter.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return f
+		}},
+		{name: "safe", mk: func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		} {
+			f, err := bitmapfilter.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return bitmapfilter.NewSafe(f)
+		}},
+		{name: "sharded", mk: func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		} {
+			f, err := bitmapfilter.NewSharded(8, bitmapfilter.WithOrder(17))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return f
+		}},
+	}
+	for _, impl := range impls {
+		b.Run(impl.name+"/packet", func(b *testing.B) {
+			f := impl.mk(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range pkts {
+					f.Process(pkts[j])
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/pkt")
+		})
+		b.Run(impl.name+"/batch", func(b *testing.B) {
+			f := impl.mk(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.ProcessBatch(pkts)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/pkt")
+		})
+	}
+}
+
+// Contended batched versus per-packet throughput: every goroutine hammers
+// the same shared filter, the regime where per-packet locking collapses.
+func BenchmarkBatchParallel(b *testing.B) {
+	const batch = 512
+	mks := []struct {
+		name string
+		mk   func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		}
+	}{
+		{name: "safe", mk: func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		} {
+			f, err := bitmapfilter.New()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return bitmapfilter.NewSafe(f)
+		}},
+		{name: "sharded", mk: func(b *testing.B) interface {
+			Process(packet.Packet) bitmapfilter.Verdict
+			ProcessBatch([]packet.Packet) []bitmapfilter.Verdict
+		} {
+			f, err := bitmapfilter.NewSharded(8, bitmapfilter.WithOrder(17))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return f
+		}},
+	}
+	for _, impl := range mks {
+		b.Run(impl.name+"/packet", func(b *testing.B) {
+			f := impl.mk(b)
+			pkts := batchWorkload(batch, 8)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					f.Process(pkts[i&(batch-1)])
+					i++
+				}
+			})
+		})
+		b.Run(impl.name+"/batch", func(b *testing.B) {
+			f := impl.mk(b)
+			pkts := batchWorkload(batch, 8)
+			b.ReportAllocs()
+			// Each pb.Next() corresponds to ONE packet so ns/op stays
+			// per-packet comparable; batches are submitted every
+			// `batch` steps.
+			b.RunParallel(func(pb *testing.PB) {
+				n := 0
+				for pb.Next() {
+					n++
+					if n == batch {
+						f.ProcessBatch(pkts)
+						n = 0
+					}
+				}
+				if n > 0 {
+					f.ProcessBatch(pkts[:n])
+				}
+			})
+		})
+	}
+}
+
+// O(1) introspection: Utilization and Stats must not scan the bitmap. At
+// order 24 a pre-fix scan walked 2^24/64 = 262144 words per call.
+func BenchmarkUtilizationStats(b *testing.B) {
+	f, err := bitmapfilter.New(bitmapfilter.WithOrder(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := batchWorkload(1<<14, 9)
+	f.ProcessBatch(pkts)
+	b.Run("utilization", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.Utilization()
+		}
+	})
+	b.Run("penetration", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.PenetrationProbability()
+		}
+	})
+	b.Run("stats", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.Stats()
+		}
+	})
+}
+
 // Sharded vs single-lock concurrent throughput.
 func BenchmarkShardedFilterParallel(b *testing.B) {
 	f, err := bitmapfilter.NewSharded(8, bitmapfilter.WithOrder(17))

@@ -29,10 +29,16 @@ var ErrOrderRange = errors.New("bitvector: order out of range")
 
 // Vector is a fixed-size bit vector of 2^order bits. The zero value is not
 // usable; construct vectors with New.
+//
+// Every mutating operation maintains a running count of set bits, so
+// PopCount and Utilization are O(1) field reads rather than scans over the
+// word array. This is what makes per-packet penetration-probability
+// sampling and metrics scrapes free (§4.2's "cheap introspection").
 type Vector struct {
 	words []uint64
 	order uint
 	mask  uint64 // 2^order - 1, applied to indexes by the Masked helpers
+	count uint64 // running number of set bits, kept coherent by all mutators
 }
 
 // New returns a zeroed Vector of 2^order bits.
@@ -70,17 +76,33 @@ func (v *Vector) Bytes() uint64 { return v.Len() / 8 }
 // the "output that exceeds n-bit should be truncated" rule from §3.3.
 func (v *Vector) Mask(h uint64) uint64 { return h & v.mask }
 
-// Set sets bit i. Indexes are reduced modulo the vector size so callers may
+// Set sets bit i and reports whether it was newly set (false if the bit
+// was already 1). Indexes are reduced modulo the vector size so callers may
 // pass raw hash outputs directly.
-func (v *Vector) Set(i uint64) {
+func (v *Vector) Set(i uint64) bool {
 	i &= v.mask
-	v.words[i>>6] |= 1 << (i & 63)
+	w := &v.words[i>>6]
+	b := uint64(1) << (i & 63)
+	if *w&b != 0 {
+		return false
+	}
+	*w |= b
+	v.count++
+	return true
 }
 
-// Clear clears bit i (reduced modulo the vector size).
-func (v *Vector) Clear(i uint64) {
+// Clear clears bit i (reduced modulo the vector size) and reports whether
+// the bit was previously set.
+func (v *Vector) Clear(i uint64) bool {
 	i &= v.mask
-	v.words[i>>6] &^= 1 << (i & 63)
+	w := &v.words[i>>6]
+	b := uint64(1) << (i & 63)
+	if *w&b == 0 {
+		return false
+	}
+	*w &^= b
+	v.count--
+	return true
 }
 
 // Test reports whether bit i is set (index reduced modulo the vector size).
@@ -93,16 +115,14 @@ func (v *Vector) Test(i uint64) bool {
 // contiguous region and is therefore O(2^n / 64) word writes.
 func (v *Vector) Reset() {
 	clear(v.words)
+	v.count = 0
 }
 
 // PopCount returns the number of set bits. The bitmap filter uses this to
-// report utilization U = b / 2^n (§4.1).
+// report utilization U = b / 2^n (§4.1). It is an O(1) read of the running
+// count maintained by the mutating operations.
 func (v *Vector) PopCount() uint64 {
-	var c int
-	for _, w := range v.words {
-		c += bits.OnesCount64(w)
-	}
-	return uint64(c)
+	return v.count
 }
 
 // Utilization returns the fraction of set bits, U in the paper's analysis.
@@ -117,7 +137,9 @@ func (v *Vector) Or(other *Vector) error {
 		return fmt.Errorf("bitvector: or of order %d with order %d", v.order, other.order)
 	}
 	for i, w := range other.words {
-		v.words[i] |= w
+		merged := v.words[i] | w
+		v.count += uint64(bits.OnesCount64(merged &^ v.words[i]))
+		v.words[i] = merged
 	}
 	return nil
 }
@@ -129,6 +151,7 @@ func (v *Vector) CopyFrom(other *Vector) error {
 		return fmt.Errorf("bitvector: copy of order %d into order %d", other.order, v.order)
 	}
 	copy(v.words, other.words)
+	v.count = other.count
 	return nil
 }
 
@@ -138,6 +161,7 @@ func (v *Vector) Clone() *Vector {
 		words: make([]uint64, len(v.words)),
 		order: v.order,
 		mask:  v.mask,
+		count: v.count,
 	}
 	copy(c.words, v.words)
 	return c
@@ -145,7 +169,7 @@ func (v *Vector) Clone() *Vector {
 
 // Equal reports whether v and other have identical size and contents.
 func (v *Vector) Equal(other *Vector) bool {
-	if v.order != other.order {
+	if v.order != other.order || v.count != other.count {
 		return false
 	}
 	for i, w := range v.words {
@@ -181,9 +205,13 @@ func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
 	if err != nil {
 		return int64(n), fmt.Errorf("bitvector: read words: %w", err)
 	}
+	var c int
 	for i := range v.words {
-		v.words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		w := binary.LittleEndian.Uint64(buf[i*8:])
+		v.words[i] = w
+		c += bits.OnesCount64(w)
 	}
+	v.count = uint64(c)
 	return int64(n), nil
 }
 

@@ -25,13 +25,28 @@ var ErrPolicyConfig = errors.New("core: invalid APD policy configuration")
 // DropPolicy computes the probability with which a should-be-dropped
 // incoming packet is actually dropped.
 type DropPolicy interface {
-	// Observe feeds every packet the filter processes to the policy so
-	// it can maintain its indicator.
+	// Observe feeds traffic to the policy so it can maintain its
+	// indicator. The filter calls it for every outgoing packet and for
+	// every ADMITTED incoming packet; incoming packets the filter drops
+	// are deliberately not observed. The §5.3 indicators estimate the
+	// load on the protected downstream link, and a dropped packet never
+	// reaches that link — counting it would inflate U_b (and the in/out
+	// ratio) under exactly the floods APD is meant to ride out, driving
+	// the drop probability to 1 even though the link itself is idle.
 	Observe(pkt packet.Packet)
 	// DropProbability returns the current drop probability in [0, 1].
 	DropProbability(now time.Duration) float64
 	// Name identifies the policy in reports.
 	Name() string
+}
+
+// PolicyResetter is an optional extension of DropPolicy. Policies that
+// accumulate windowed state implement Reset so Filter.Reset can flush
+// pre-incident traffic out of the indicator along with the bitmap; both
+// built-in policies implement it.
+type PolicyResetter interface {
+	// Reset discards all accumulated indicator state.
+	Reset()
 }
 
 // slidingCounter accumulates values over a sliding time window using a ring
@@ -44,15 +59,39 @@ type slidingCounter struct {
 }
 
 func newSlidingCounter(window time.Duration, buckets int) slidingCounter {
+	width := window / time.Duration(buckets)
+	if width <= 0 {
+		// A sub-bucket window would make advance spin forever on
+		// headEnd += 0. The policy constructors reject such windows;
+		// clamp here too so the primitive is safe on its own.
+		width = 1
+	}
 	return slidingCounter{
 		buckets: make([]float64, buckets),
-		width:   window / time.Duration(buckets),
-		headEnd: window / time.Duration(buckets),
+		width:   width,
+		headEnd: width,
 	}
 }
 
 // advance rolls the ring forward so that now falls inside the head bucket.
+// An idle gap spanning the whole window fast-forwards in O(buckets)
+// instead of looping once per elapsed bucket width — without this, the
+// first packet after a multi-hour quiet period on a 1 s window would pay
+// millions of iterations.
 func (s *slidingCounter) advance(now time.Duration) {
+	if now < s.headEnd {
+		return
+	}
+	if now-s.headEnd >= s.window() {
+		// Every bucket would be zeroed on the way; jump the head in
+		// one modular step. steps is computed in bucket widths so the
+		// head lands exactly where the loop would leave it.
+		steps := (now-s.headEnd)/s.width + 1
+		clear(s.buckets)
+		s.head = (s.head + int(steps%time.Duration(len(s.buckets)))) % len(s.buckets)
+		s.headEnd += steps * s.width
+		return
+	}
 	for s.headEnd <= now {
 		s.head = (s.head + 1) % len(s.buckets)
 		s.buckets[s.head] = 0
@@ -79,7 +118,19 @@ func (s *slidingCounter) window() time.Duration {
 	return s.width * time.Duration(len(s.buckets))
 }
 
+// reset discards all samples and restarts the ring at the time origin.
+func (s *slidingCounter) reset() {
+	clear(s.buckets)
+	s.head = 0
+	s.headEnd = s.width
+}
+
 const apdBuckets = 10
+
+// minPolicyWindow is the smallest accepted indicator window: one
+// nanosecond per sub-bucket. Anything shorter would collapse the bucket
+// width to zero.
+const minPolicyWindow = apdBuckets * time.Nanosecond
 
 // BandwidthPolicy is APD design 1: the edge router monitors the bandwidth
 // utilization U_b of the protected link and drops unmatched packets with
@@ -89,7 +140,10 @@ type BandwidthPolicy struct {
 	bytes        slidingCounter
 }
 
-var _ DropPolicy = (*BandwidthPolicy)(nil)
+var (
+	_ DropPolicy     = (*BandwidthPolicy)(nil)
+	_ PolicyResetter = (*BandwidthPolicy)(nil)
+)
 
 // NewBandwidthPolicy returns a bandwidth-utilization policy for a link of
 // the given capacity in bits per second, averaged over the given window.
@@ -97,8 +151,8 @@ func NewBandwidthPolicy(capacityBitsPerSec float64, window time.Duration) (*Band
 	if capacityBitsPerSec <= 0 {
 		return nil, fmt.Errorf("%w: capacity %v", ErrPolicyConfig, capacityBitsPerSec)
 	}
-	if window <= 0 {
-		return nil, fmt.Errorf("%w: window %v", ErrPolicyConfig, window)
+	if window < minPolicyWindow {
+		return nil, fmt.Errorf("%w: window %v shorter than %v", ErrPolicyConfig, window, minPolicyWindow)
 	}
 	return &BandwidthPolicy{
 		capacityBits: capacityBitsPerSec,
@@ -110,11 +164,16 @@ func NewBandwidthPolicy(capacityBitsPerSec float64, window time.Duration) (*Band
 func (p *BandwidthPolicy) Name() string { return "apd-bandwidth" }
 
 // Observe implements DropPolicy: incoming bytes count against the link.
+// The filter only feeds it admitted incoming packets (see the DropPolicy
+// contract), so U_b measures what the downstream link actually carries.
 func (p *BandwidthPolicy) Observe(pkt packet.Packet) {
 	if pkt.Dir == packet.Incoming {
 		p.bytes.add(pkt.Time, float64(pkt.Length))
 	}
 }
+
+// Reset implements PolicyResetter: it discards the byte window.
+func (p *BandwidthPolicy) Reset() { p.bytes.reset() }
 
 // Utilization returns U_b, the observed fraction of link capacity in use.
 func (p *BandwidthPolicy) Utilization(now time.Duration) float64 {
@@ -139,7 +198,10 @@ type RatioPolicy struct {
 	in, out   slidingCounter
 }
 
-var _ DropPolicy = (*RatioPolicy)(nil)
+var (
+	_ DropPolicy     = (*RatioPolicy)(nil)
+	_ PolicyResetter = (*RatioPolicy)(nil)
+)
 
 // NewRatioPolicy returns an in/out-ratio policy with thresholds l < h over
 // the given window.
@@ -147,8 +209,8 @@ func NewRatioPolicy(low, high float64, window time.Duration) (*RatioPolicy, erro
 	if low < 0 || high <= low {
 		return nil, fmt.Errorf("%w: thresholds l=%v h=%v", ErrPolicyConfig, low, high)
 	}
-	if window <= 0 {
-		return nil, fmt.Errorf("%w: window %v", ErrPolicyConfig, window)
+	if window < minPolicyWindow {
+		return nil, fmt.Errorf("%w: window %v shorter than %v", ErrPolicyConfig, window, minPolicyWindow)
 	}
 	return &RatioPolicy{
 		low:  low,
@@ -168,6 +230,12 @@ func (p *RatioPolicy) Observe(pkt packet.Packet) {
 	} else {
 		p.out.add(pkt.Time, 1)
 	}
+}
+
+// Reset implements PolicyResetter: it discards both packet-count windows.
+func (p *RatioPolicy) Reset() {
+	p.in.reset()
+	p.out.reset()
 }
 
 // Ratio returns r = P_in / P_out over the window. With no outgoing traffic

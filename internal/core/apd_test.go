@@ -302,8 +302,9 @@ func TestAPDObservesBothDirections(t *testing.T) {
 		t.Errorf("admitted %d/5 under ratio below low threshold", admitted)
 	}
 	// Now flood incoming until the ratio exceeds h=3: 10 out, need >30
-	// in. The flood itself is observed, pushing the ratio up; later
-	// packets must be dropped.
+	// in. Each admitted flood packet is observed, pushing the ratio up
+	// (dropped ones are not — they never reach the link); later packets
+	// must be dropped.
 	droppedLate := 0
 	for i := 0; i < 100; i++ {
 		if f.Process(inPkt(0, server, client, 9, uint16(200+i))) == filtering.Drop && i > 50 {

@@ -323,7 +323,9 @@ func (f *Filter) AdvanceTo(now time.Duration) {
 // Reset clears every bit vector and all statistics, returning the filter
 // to its just-constructed state (the rotation schedule continues from the
 // current virtual time). Operators use this to flush state after an
-// incident without reallocating.
+// incident without reallocating. An attached APD policy that implements
+// PolicyResetter has its sliding windows flushed too, so post-reset drop
+// probabilities do not reflect pre-incident traffic.
 func (f *Filter) Reset() {
 	for _, v := range f.vectors {
 		v.Reset()
@@ -333,6 +335,9 @@ func (f *Filter) Reset() {
 	f.rotations = 0
 	f.marks = 0
 	f.apdSpared = 0
+	if r, ok := f.cfg.apd.(PolicyResetter); ok {
+		r.Reset()
+	}
 }
 
 // Rotate performs one b.rotate step (Algorithm 1): the current index moves
@@ -347,7 +352,39 @@ func (f *Filter) Rotate() {
 // Process implements filtering.PacketFilter (Algorithm 2, b.filter).
 func (f *Filter) Process(pkt packet.Packet) filtering.Verdict {
 	f.AdvanceTo(pkt.Time)
+	return f.process(pkt)
+}
 
+// ProcessBatch runs pkts through the filter in order and returns one
+// verdict per packet. It is behaviorally identical to calling Process on
+// each packet in sequence — same verdicts, counters, rotations and APD coin
+// flips — but advances the rotation clock only when a packet's timestamp
+// actually moves time forward, so a burst sharing one timestamp pays a
+// single comparison instead of a full AdvanceTo call each. Safe and Sharded
+// build on it to amortize lock acquisitions across whole batches.
+func (f *Filter) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	if len(pkts) == 0 {
+		return nil
+	}
+	out := make([]filtering.Verdict, len(pkts))
+	f.processBatch(pkts, out)
+	return out
+}
+
+// processBatch is the allocation-free core of ProcessBatch; out must have
+// the same length as pkts.
+func (f *Filter) processBatch(pkts []packet.Packet, out []filtering.Verdict) {
+	for i := range pkts {
+		if pkts[i].Time > f.now {
+			f.AdvanceTo(pkts[i].Time)
+		}
+		out[i] = f.process(pkts[i])
+	}
+}
+
+// process applies Algorithm 2 to one packet, assuming the rotation clock
+// has already been advanced to pkt.Time.
+func (f *Filter) process(pkt packet.Packet) filtering.Verdict {
 	if pkt.Dir == packet.Outgoing {
 		// Under APD the marking policy skips TCP signal packets so
 		// that SYN/FIN-scan responses cannot inflate the bitmap
@@ -362,9 +399,6 @@ func (f *Filter) Process(pkt packet.Packet) filtering.Verdict {
 		return filtering.Pass
 	}
 
-	if f.cfg.apd != nil {
-		f.cfg.apd.Observe(pkt)
-	}
 	v := filtering.Pass
 	if !f.lookup(f.key(pkt)) {
 		v = filtering.Drop
@@ -376,6 +410,13 @@ func (f *Filter) Process(pkt packet.Packet) filtering.Verdict {
 				f.apdSpared++
 			}
 		}
+	}
+	// Incoming packets feed the APD indicator only when admitted: a
+	// dropped packet never reaches the protected downstream link, so
+	// counting its bytes would inflate U_b under exactly the floods APD
+	// is meant to ride out (see the Observe contract in apd.go).
+	if v == filtering.Pass && f.cfg.apd != nil {
+		f.cfg.apd.Observe(pkt)
 	}
 	f.counters.Count(pkt, v)
 	return v

@@ -131,6 +131,15 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	gauge("bitmapfilter_utilization", s.Utilization,
 		"Fill fraction of the current bit vector (U)")
+	// Per-vector fill fractions: O(1) reads of each vector's running
+	// popcount, so scraping them is free at any order n.
+	fmt.Fprintf(&b, "# HELP bitmapfilter_vector_utilization Fill fraction of each bit vector\n"+
+		"# TYPE bitmapfilter_vector_utilization gauge\n")
+	for i, u := range s.VectorUtilization {
+		fmt.Fprintf(&b, "bitmapfilter_vector_utilization{vector=\"%d\"} %g\n", i, u)
+	}
+	gauge("bitmapfilter_current_vector_index", float64(s.CurrentIndex),
+		"Index of the vector incoming lookups consult")
 	gauge("bitmapfilter_penetration_probability", s.PenetrationProbability,
 		"Random-packet penetration probability U^m (Equation 1)")
 	gauge("bitmapfilter_memory_bytes", float64(s.MemoryBytes),

@@ -122,6 +122,10 @@ func TestMetricsExposition(t *testing.T) {
 		"bitmapfilter_rotations_total",
 		"# TYPE bitmapfilter_utilization gauge",
 		"# TYPE bitmapfilter_marks_total counter",
+		"# TYPE bitmapfilter_vector_utilization gauge",
+		`bitmapfilter_vector_utilization{vector="0"}`,
+		`bitmapfilter_vector_utilization{vector="3"}`,
+		"bitmapfilter_current_vector_index 0",
 	} {
 		if !strings.Contains(body, metric) {
 			t.Errorf("metrics missing %q\n%s", metric, body)

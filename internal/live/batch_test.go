@@ -1,0 +1,162 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func TestObserveBatchStampsAndFilters(t *testing.T) {
+	clock := newFakeClock()
+	l := newLive(t, clock)
+	clock.Advance(3 * time.Second)
+
+	pkts := []packet.Packet{
+		{Tuple: tuple, Dir: packet.Outgoing, Flags: packet.ACK, Length: 60},
+		{Tuple: tuple.Reverse(), Dir: packet.Incoming, Flags: packet.ACK, Length: 60},
+		{Tuple: packet.Tuple{Src: server, Dst: client, SrcPort: 1, DstPort: 2, Proto: packet.TCP},
+			Dir: packet.Incoming, Flags: packet.ACK, Length: 60},
+	}
+	got := l.ObserveBatch(pkts)
+	want := []filtering.Verdict{filtering.Pass, filtering.Pass, filtering.Drop}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("verdict[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Every packet is stamped with the batch's single wall-clock read.
+	for i, p := range pkts {
+		if p.Time != 3*time.Second {
+			t.Errorf("pkts[%d].Time = %v, want 3s", i, p.Time)
+		}
+	}
+	c := l.Counters()
+	if c.OutPackets != 1 || c.InPackets != 2 || c.InPassed != 1 || c.InDropped != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+
+	// The batch stamp drives rotations like Observe does: after T_e the
+	// mark is gone.
+	clock.Advance(25 * time.Second)
+	v := l.ObserveBatch([]packet.Packet{
+		{Tuple: tuple.Reverse(), Dir: packet.Incoming, Flags: packet.ACK, Length: 60},
+	})
+	if v[0] != filtering.Drop {
+		t.Error("mark survived wall-clock T_e through ObserveBatch")
+	}
+
+	if out := l.ObserveBatch(nil); out != nil {
+		t.Errorf("ObserveBatch(nil) = %v", out)
+	}
+}
+
+// TestObserveBatchMatchesObserve checks the batched wall-clock path agrees
+// with per-packet Observe on a second, identically seeded filter.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	mk := func() (*Filter, *fakeClock) {
+		clock := newFakeClock()
+		inner := core.MustNew(
+			core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+			core.WithRotateEvery(5*time.Second), core.WithSeed(21))
+		l, err := New(inner, WithClock(clock))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, clock
+	}
+	a, ca := mk()
+	b, cb := mk()
+
+	var batch []packet.Packet
+	for step := 0; step < 200; step++ {
+		tup := tuple
+		tup.SrcPort = uint16(4000 + step%17)
+		batch = batch[:0]
+		for i := 0; i < 8; i++ {
+			dir := packet.Outgoing
+			tp := tup
+			if i%2 == 1 {
+				dir = packet.Incoming
+				tp = tup.Reverse()
+			}
+			batch = append(batch, packet.Packet{Tuple: tp, Dir: dir, Flags: packet.ACK, Length: 60})
+		}
+		gotA := a.ObserveBatch(batch)
+		for i, p := range batch {
+			if want := b.Observe(p.Tuple, p.Dir, p.Flags, p.Length); gotA[i] != want {
+				t.Fatalf("step %d verdict[%d] = %v, want %v", step, i, gotA[i], want)
+			}
+		}
+		ca.Advance(300 * time.Millisecond)
+		cb.Advance(300 * time.Millisecond)
+	}
+	if a.Counters() != b.Counters() {
+		t.Errorf("counters diverged: %+v vs %+v", a.Counters(), b.Counters())
+	}
+}
+
+// TestConcurrentObserveBatchStress races ObserveBatch against Observe,
+// Stats, Utilization and background rotations. Meaningful under -race.
+func TestConcurrentObserveBatchStress(t *testing.T) {
+	inner := core.MustNew(
+		core.WithOrder(12), core.WithVectors(2), core.WithHashes(3),
+		core.WithRotateEvery(2*time.Millisecond))
+	l, err := New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StartRotations(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer l.StopRotations()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-goroutine batch: ObserveBatch rewrites Time in place,
+			// so sharing one slice across goroutines would itself race.
+			batch := make([]packet.Packet, 32)
+			for i := range batch {
+				tup := tuple
+				tup.SrcPort = uint16(4000 + w*64 + i)
+				batch[i] = packet.Packet{Tuple: tup, Dir: packet.Outgoing, Flags: packet.ACK, Length: 60}
+				if i%2 == 1 {
+					batch[i].Tuple = tup.Reverse()
+					batch[i].Dir = packet.Incoming
+				}
+			}
+			for i := 0; i < 100; i++ {
+				if got := l.ObserveBatch(batch); len(got) != len(batch) {
+					t.Errorf("ObserveBatch returned %d verdicts", len(got))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			l.Observe(tuple, packet.Outgoing, packet.ACK, 60)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 150; i++ {
+			_ = l.Stats()
+			_ = l.Utilization()
+		}
+	}()
+	wg.Wait()
+
+	c := l.Counters()
+	if want := uint64(4*100*16 + 300); c.OutPackets != want {
+		t.Errorf("OutPackets = %d, want %d", c.OutPackets, want)
+	}
+}

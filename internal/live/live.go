@@ -92,6 +92,25 @@ func (l *Filter) Observe(tup packet.Tuple, dir packet.Direction, flags packet.Fl
 	})
 }
 
+// ObserveBatch stamps every packet in pkts with the current wall-clock
+// elapsed time — overwriting any Time already set — and runs them through
+// the filter in order under a single lock acquisition and a single clock
+// read. It returns one verdict per packet. This is the hot path for packet
+// sources that deliver bursts (NIC rings, pcap buffers): per-packet lock
+// and clock overhead is paid once per batch.
+func (l *Filter) ObserveBatch(pkts []packet.Packet) []filtering.Verdict {
+	if len(pkts) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.elapsed()
+	for i := range pkts {
+		pkts[i].Time = now
+	}
+	return l.inner.ProcessBatch(pkts)
+}
+
 // PunchHole forwards to the wrapped filter under the lock (§5.1).
 func (l *Filter) PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto) {
 	l.mu.Lock()
