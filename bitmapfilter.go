@@ -22,6 +22,12 @@
 //		Dir:   bitmapfilter.Outgoing,
 //	})
 //
+// Packet sources that deliver bursts (NIC rings, pcap buffers) should use
+// the batched data plane instead — one call per burst, and with a reused
+// verdict buffer the steady state allocates nothing:
+//
+//	verdicts = f.ProcessBatchInto(pkts, verdicts) // see BatchFilter
+//
 // See examples/quickstart for a complete program, internal/core for the
 // implementation, and DESIGN.md for the experiment index.
 package bitmapfilter
@@ -62,6 +68,10 @@ type (
 	// PacketFilter is the interface shared by the bitmap filter and the
 	// SPI baselines in internal/flowtable.
 	PacketFilter = filtering.PacketFilter
+	// BatchFilter is a PacketFilter with a batched data plane:
+	// ProcessBatch plus the allocation-free ProcessBatchInto. Filter,
+	// Safe, and Sharded implement it natively.
+	BatchFilter = filtering.BatchFilter
 )
 
 // Re-exported enum values.
@@ -99,8 +109,26 @@ type Safe = core.Safe
 // Option configures a Filter.
 type Option = core.Option
 
+// Stats is the point-in-time introspection snapshot returned by
+// Filter.Stats and LiveFilter.Stats.
+type Stats = core.Stats
+
 // DropPolicy is an adaptive-packet-dropping indicator (§5.3).
 type DropPolicy = core.DropPolicy
+
+// BandwidthPolicy is the §5.3 APD design 1 indicator (drop probability =
+// link bandwidth utilization).
+type BandwidthPolicy = core.BandwidthPolicy
+
+// RatioPolicy is the §5.3 APD design 2 indicator (drop probability driven
+// by the in/out packet ratio).
+type RatioPolicy = core.RatioPolicy
+
+// AsBatch returns f's batched data plane: filters that implement
+// BatchFilter natively (Filter, Safe, Sharded) are returned unchanged,
+// anything else gets a generic per-packet fallback with identical
+// verdicts.
+func AsBatch(f PacketFilter) BatchFilter { return filtering.AsBatch(f) }
 
 // MarkPolicy and TuplePolicy select ablation variants of the filter.
 type (
@@ -148,13 +176,13 @@ func WithTuplePolicy(p TuplePolicy) Option    { return core.WithTuplePolicy(p) }
 
 // NewBandwidthPolicy returns the §5.3 APD design 1 (drop with probability
 // equal to the link's bandwidth utilization).
-func NewBandwidthPolicy(capacityBitsPerSec float64, window time.Duration) (*core.BandwidthPolicy, error) {
+func NewBandwidthPolicy(capacityBitsPerSec float64, window time.Duration) (*BandwidthPolicy, error) {
 	return core.NewBandwidthPolicy(capacityBitsPerSec, window)
 }
 
 // NewRatioPolicy returns the §5.3 APD design 2 (drop probability driven by
 // the in/out packet ratio between thresholds l and h).
-func NewRatioPolicy(low, high float64, window time.Duration) (*core.RatioPolicy, error) {
+func NewRatioPolicy(low, high float64, window time.Duration) (*RatioPolicy, error) {
 	return core.NewRatioPolicy(low, high, window)
 }
 

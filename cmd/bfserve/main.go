@@ -28,8 +28,10 @@ import (
 	"time"
 
 	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
 	"bitmapfilter/internal/httpapi"
 	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/packet"
 	"bitmapfilter/internal/trafficgen"
 )
 
@@ -125,6 +127,16 @@ func run() error {
 	return <-errCh
 }
 
+// Demo feed batching: packets due within demoBatchSlack of "now" are
+// coalesced and stamped through one live.ObserveBatchInto call, the same
+// way a NIC-ring poller delivers everything that arrived since the last
+// poll. Both buffers are reused, so the steady-state feed is
+// allocation-free.
+const (
+	demoBatchSize  = 256
+	demoBatchSlack = 2 * time.Millisecond
+)
+
 // runDemo replays the calibrated trace against the filter, pacing trace
 // time at `speedup` × wall-clock time, looping forever until ctx ends.
 func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) error {
@@ -132,6 +144,12 @@ func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) er
 		return fmt.Errorf("speedup must be positive")
 	}
 	seed := uint64(1)
+	batch := make([]packet.Packet, 0, demoBatchSize)
+	var verdicts []filtering.Verdict
+	flush := func() {
+		verdicts = filter.ObserveBatchInto(batch, verdicts)
+		batch = batch[:0]
+	}
 	for {
 		cfg := trafficgen.DefaultConfig()
 		cfg.Duration = 10 * time.Minute
@@ -149,17 +167,25 @@ func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) er
 				break
 			}
 			// Pace: the packet is due at epoch + traceTime/speedup.
+			// Anything due sooner than the slack rides in the current
+			// batch instead of sleeping.
 			due := epoch.Add(time.Duration(float64(pkt.Time) / speedup))
-			if wait := time.Until(due); wait > 0 {
+			if wait := time.Until(due); wait > demoBatchSlack {
+				flush()
 				select {
 				case <-ctx.Done():
 					return nil
 				case <-time.After(wait):
 				}
 			} else if ctx.Err() != nil {
+				flush()
 				return nil
 			}
-			filter.Observe(pkt.Tuple, pkt.Dir, pkt.Flags, pkt.Length)
+			batch = append(batch, pkt)
+			if len(batch) == demoBatchSize {
+				flush()
+			}
 		}
+		flush()
 	}
 }

@@ -42,6 +42,50 @@ func Example() {
 	// probe: drop
 }
 
+// ExampleFilter_ProcessBatch shows the batched data plane: one call per
+// packet burst, with ProcessBatchInto reusing the caller's verdict buffer
+// so a steady-state stream allocates nothing.
+func ExampleFilter_ProcessBatch() {
+	f, err := bitmapfilter.New(bitmapfilter.WithOrder(16))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	client := bitmapfilter.AddrFrom4(10, 0, 0, 42)
+	server := bitmapfilter.AddrFrom4(198, 51, 100, 7)
+	request := bitmapfilter.Tuple{
+		Src: client, Dst: server,
+		SrcPort: 40000, DstPort: 443,
+		Proto: bitmapfilter.TCP,
+	}
+	probe := bitmapfilter.Tuple{
+		Src: bitmapfilter.AddrFrom4(203, 0, 113, 66), Dst: client,
+		SrcPort: 4444, DstPort: 22,
+		Proto: bitmapfilter.TCP,
+	}
+
+	// One burst, as a packet source would deliver it: the client's
+	// request, the server's reply, and a stranger's probe.
+	burst := []bitmapfilter.Packet{
+		{Tuple: request, Dir: bitmapfilter.Outgoing},
+		{Time: time.Second, Tuple: request.Reverse(), Dir: bitmapfilter.Incoming},
+		{Time: time.Second, Tuple: probe, Dir: bitmapfilter.Incoming},
+	}
+
+	// Reuse one verdict buffer across batches (zero allocations at
+	// steady state).
+	verdicts := make([]bitmapfilter.Verdict, 0, 64)
+	verdicts = f.ProcessBatchInto(burst, verdicts)
+	for i, v := range verdicts {
+		fmt.Printf("packet %d: %v\n", i, v)
+	}
+	// Output:
+	// packet 0: pass
+	// packet 1: pass
+	// packet 2: drop
+}
+
 // ExampleFilter_PunchHole shows the §5.1 hole-punching technique that
 // makes active-mode-FTP-style inbound connections work.
 func ExampleFilter_PunchHole() {

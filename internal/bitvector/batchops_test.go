@@ -1,0 +1,66 @@
+package bitvector
+
+import (
+	"testing"
+
+	"bitmapfilter/internal/xrand"
+)
+
+// TestSetAllTestAllMatchScalar checks the multi-index fast path against the
+// scalar Set/Test loop it replaces, including duplicate indexes within one
+// group and the running popcount.
+func TestSetAllTestAllMatchScalar(t *testing.T) {
+	r := xrand.New(11)
+	fast := MustNew(10)
+	slow := MustNew(10)
+
+	idxs := make([]uint64, 0, 8)
+	for round := 0; round < 2000; round++ {
+		idxs = idxs[:0]
+		n := 1 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			h := r.Uint64()
+			if i > 0 && r.Bool(0.2) {
+				h = idxs[r.Intn(i)] // duplicate inside the group
+			}
+			idxs = append(idxs, h)
+		}
+
+		wantNew := 0
+		for _, h := range idxs {
+			if slow.Set(h) {
+				wantNew++
+			}
+		}
+		if got := fast.SetAll(idxs); got != wantNew {
+			t.Fatalf("round %d: SetAll = %d newly set, scalar %d", round, got, wantNew)
+		}
+
+		probe := r.Uint64()
+		if r.Bool(0.5) {
+			probe = idxs[r.Intn(len(idxs))]
+		}
+		group := []uint64{probe, r.Uint64()}
+		wantAll := slow.Test(group[0]) && slow.Test(group[1])
+		if got := fast.TestAll(group); got != wantAll {
+			t.Fatalf("round %d: TestAll(%v) = %v, scalar %v", round, group, got, wantAll)
+		}
+
+		if fast.PopCount() != slow.PopCount() {
+			t.Fatalf("round %d: popcount diverged: %d vs %d", round, fast.PopCount(), slow.PopCount())
+		}
+	}
+	if !fast.Equal(slow) {
+		t.Fatal("vectors diverged after interleaved SetAll/Set")
+	}
+}
+
+func TestTestAllEmpty(t *testing.T) {
+	v := MustNew(6)
+	if !v.TestAll(nil) {
+		t.Error("TestAll(nil) = false, want vacuous true")
+	}
+	if n := v.SetAll(nil); n != 0 {
+		t.Errorf("SetAll(nil) = %d", n)
+	}
+}

@@ -111,6 +111,41 @@ func (v *Vector) Test(i uint64) bool {
 	return v.words[i>>6]&(1<<(i&63)) != 0
 }
 
+// SetAll sets every bit named by idxs (each reduced modulo the vector
+// size) and returns how many were newly set. It is the multi-index
+// mark fast path of the batch data plane: the m hash outputs of one
+// packet are gathered into word/bit pairs and applied in a single pass,
+// with one running-popcount update for the whole group instead of one
+// per bit.
+func (v *Vector) SetAll(idxs []uint64) int {
+	newly := 0
+	for _, i := range idxs {
+		i &= v.mask
+		w := &v.words[i>>6]
+		b := uint64(1) << (i & 63)
+		old := *w
+		*w = old | b
+		if old&b == 0 {
+			newly++
+		}
+	}
+	v.count += uint64(newly)
+	return newly
+}
+
+// TestAll reports whether every bit named by idxs (each reduced modulo the
+// vector size) is set — the Bloom-filter membership test for one packet's
+// m hash outputs in a single pass.
+func (v *Vector) TestAll(idxs []uint64) bool {
+	for _, i := range idxs {
+		i &= v.mask
+		if v.words[i>>6]&(1<<(i&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Reset zeroes every bit. This is the b.rotate clean-up; it touches a fixed,
 // contiguous region and is therefore O(2^n / 64) word writes.
 func (v *Vector) Reset() {

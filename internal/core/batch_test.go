@@ -136,6 +136,93 @@ func TestSafeAndShardedBatchMatchSequential(t *testing.T) {
 	}
 }
 
+// TestBatchDifferentialMillion is the acceptance differential at scale:
+// a ≥1M-packet mixed trace (bursts, rotations, wholesale resets, APD coin
+// flips) must produce byte-identical verdict streams through the batch and
+// per-packet paths on all three flavors, with the batch side recycling one
+// verdict buffer the whole way.
+func TestBatchDifferentialMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-packet differential skipped in -short mode")
+	}
+	const n = 1_000_000
+	pkts := diffTrace(n, 1234)
+
+	mkAPD := func() Option {
+		rp, err := NewRatioPolicy(1, 3, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return WithAPD(rp)
+	}
+	type flavor struct {
+		name string
+		mk   func() intoFilter
+	}
+	flavors := []flavor{
+		{name: "filter", mk: func() intoFilter {
+			return MustNew(WithOrder(16), WithSeed(77), mkAPD())
+		}},
+		{name: "safe", mk: func() intoFilter {
+			return NewSafe(MustNew(WithOrder(16), WithSeed(77), mkAPD()))
+		}},
+		// No APD on the sharded flavor: a DropPolicy instance is
+		// per-filter state and must not be shared across shard locks
+		// (see NewSharded).
+		{name: "sharded", mk: func() intoFilter {
+			s, err := NewSharded(4, WithOrder(14), WithSeed(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, fl := range flavors {
+		t.Run(fl.name, func(t *testing.T) {
+			seq := fl.mk()
+			bat := fl.mk()
+			want := make([]filtering.Verdict, n)
+			for i := range pkts {
+				want[i] = seq.Process(pkts[i])
+			}
+			var out []filtering.Verdict
+			mismatches := 0
+			for off := 0; off < n; off += 613 { // deliberately unaligned chunk
+				end := min(off+613, n)
+				out = bat.ProcessBatchInto(pkts[off:end], out)
+				for i := off; i < end; i++ {
+					if out[i-off] != want[i] {
+						mismatches++
+						if mismatches <= 3 {
+							t.Errorf("verdict[%d] = %v, want %v (pkt %+v)",
+								i, out[i-off], want[i], pkts[i])
+						}
+					}
+				}
+			}
+			if mismatches > 0 {
+				t.Fatalf("%d/%d verdicts diverged", mismatches, n)
+			}
+			if seqC, batC := counters(seq), counters(bat); seqC != batC {
+				t.Errorf("counters diverged: %+v vs %+v", seqC, batC)
+			}
+		})
+	}
+}
+
+// counters fetches cumulative counters from any flavor.
+func counters(f intoFilter) filtering.Counters {
+	switch v := f.(type) {
+	case *Filter:
+		return v.Counters()
+	case *Safe:
+		return v.Counters()
+	case *Sharded:
+		return v.Counters()
+	}
+	panic("unknown flavor")
+}
+
 func TestProcessBatchEmpty(t *testing.T) {
 	f := small()
 	if out := f.ProcessBatch(nil); out != nil {
@@ -166,6 +253,7 @@ func TestConcurrentBatchStress(t *testing.T) {
 	}
 	safe := NewSafe(MustNew(WithOrder(12), WithSeed(5)))
 	run := func(t *testing.T, batch func([]packet.Packet) []filtering.Verdict,
+		batchInto func([]packet.Packet, []filtering.Verdict) []filtering.Verdict,
 		single func(packet.Packet) filtering.Verdict, inspect, reset func()) {
 		var wg sync.WaitGroup
 		for g := 0; g < 4; g++ {
@@ -176,6 +264,23 @@ func TestConcurrentBatchStress(t *testing.T) {
 					off := (g*37 + i*64) % (len(pkts) - 64)
 					if got := batch(pkts[off : off+64]); len(got) != 64 {
 						t.Errorf("batch returned %d verdicts", len(got))
+						return
+					}
+				}
+			}(g)
+		}
+		// Into-path pumps: each goroutine owns one dirty buffer it
+		// recycles across calls, the intended steady-state usage.
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				out := make([]filtering.Verdict, 0, 64)
+				for i := 0; i < 50; i++ {
+					off := (g*53 + i*64) % (len(pkts) - 64)
+					out = batchInto(pkts[off:off+64], out)
+					if len(out) != 64 {
+						t.Errorf("batchInto returned %d verdicts", len(out))
 						return
 					}
 				}
@@ -204,11 +309,11 @@ func TestConcurrentBatchStress(t *testing.T) {
 	}
 
 	t.Run("safe", func(t *testing.T) {
-		run(t, safe.ProcessBatch, safe.Process,
+		run(t, safe.ProcessBatch, safe.ProcessBatchInto, safe.Process,
 			func() { _ = safe.Stats(); _ = safe.Utilization() }, safe.Reset)
 	})
 	t.Run("sharded", func(t *testing.T) {
-		run(t, sh.ProcessBatch, sh.Process,
+		run(t, sh.ProcessBatch, sh.ProcessBatchInto, sh.Process,
 			func() { _ = sh.Counters(); _ = sh.MemoryBytes() }, sh.Reset)
 	})
 }

@@ -180,7 +180,7 @@ type Filter struct {
 	apdSpared uint64 // unmatched incoming packets admitted by APD
 }
 
-var _ filtering.PacketFilter = (*Filter)(nil)
+var _ filtering.BatchFilter = (*Filter)(nil)
 
 // New constructs a bitmap filter. With no options it is the paper's
 // {4×20}-bitmap with m=3 and Δt=5 s.
@@ -371,6 +371,17 @@ func (f *Filter) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 	return out
 }
 
+// ProcessBatchInto is ProcessBatch writing into a caller-provided buffer
+// per the filtering.BatchFilter contract: out's backing array is reused
+// when cap(out) >= len(pkts) — a steady-state batch stream then runs with
+// zero allocations — and grown otherwise. Every element of the returned
+// slice (length len(pkts)) is overwritten.
+func (f *Filter) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	out = filtering.GrowVerdicts(out, len(pkts))
+	f.processBatch(pkts, out)
+	return out
+}
+
 // processBatch is the allocation-free core of ProcessBatch; out must have
 // the same length as pkts.
 func (f *Filter) processBatch(pkts []packet.Packet, out []filtering.Verdict) {
@@ -471,18 +482,17 @@ func (f *Filter) keyFor(tup packet.Tuple, dir packet.Direction) []byte {
 }
 
 // mark sets the m hash bits of key. keyBytes escapes into the hash family
-// only; the scratch slice keeps the hot path allocation-free.
+// only; the scratch slice keeps the hot path allocation-free. The m
+// indexes are gathered once and applied per vector with the multi-word
+// SetAll pass, so a mark costs one hash evaluation and k grouped word
+// updates rather than k·m scalar Set calls.
 func (f *Filter) mark(keyBytes []byte) {
 	f.scratch = f.hashes.Indexes(f.scratch[:0], keyBytes)
 	if f.cfg.markPolicy == MarkCurrentOnly {
-		for _, h := range f.scratch {
-			f.vectors[f.idx].Set(h)
-		}
+		f.vectors[f.idx].SetAll(f.scratch)
 	} else {
 		for _, v := range f.vectors {
-			for _, h := range f.scratch {
-				v.Set(h)
-			}
+			v.SetAll(f.scratch)
 		}
 	}
 	f.marks++
@@ -491,11 +501,5 @@ func (f *Filter) mark(keyBytes []byte) {
 // lookup tests the m hash bits of key in the current vector only.
 func (f *Filter) lookup(keyBytes []byte) bool {
 	f.scratch = f.hashes.Indexes(f.scratch[:0], keyBytes)
-	cur := f.vectors[f.idx]
-	for _, h := range f.scratch {
-		if !cur.Test(h) {
-			return false
-		}
-	}
-	return true
+	return f.vectors[f.idx].TestAll(f.scratch)
 }

@@ -16,7 +16,7 @@ type Safe struct {
 	f  *Filter
 }
 
-var _ filtering.PacketFilter = (*Safe)(nil)
+var _ filtering.BatchFilter = (*Safe)(nil)
 
 // NewSafe wraps f. The wrapped filter must not be used directly afterwards.
 func NewSafe(f *Filter) *Safe {
@@ -39,6 +39,15 @@ func (s *Safe) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 		return nil
 	}
 	out := make([]filtering.Verdict, len(pkts))
+	s.processBatchInto(pkts, out)
+	return out
+}
+
+// ProcessBatchInto is ProcessBatch writing into a caller-provided buffer
+// (see the filtering.BatchFilter contract): one lock acquisition per batch
+// and zero allocations once out has capacity for the batch size.
+func (s *Safe) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	out = filtering.GrowVerdicts(out, len(pkts))
 	s.processBatchInto(pkts, out)
 	return out
 }

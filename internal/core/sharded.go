@@ -28,11 +28,18 @@ type Sharded struct {
 	mask   uint64
 }
 
-var _ filtering.PacketFilter = (*Sharded)(nil)
+var _ filtering.BatchFilter = (*Sharded)(nil)
 
 // NewSharded builds a filter with the given shard count (rounded up to a
 // power of two). Options apply to every shard; WithSeed is perturbed per
 // shard so the shards' hash families are independent.
+//
+// WithAPD caveat: a DropPolicy instance carries mutable sliding-window
+// state and is copied by reference into every shard, but shard locks are
+// independent — concurrent shards would race on it, and shard-grouped
+// batches would observe traffic in a different global order than
+// per-packet processing. Until per-shard policy cloning exists, attach APD
+// to a Safe filter instead of a Sharded one.
 func NewSharded(shardCount int, opts ...Option) (*Sharded, error) {
 	if shardCount < 1 {
 		return nil, fmt.Errorf("%w: shards=%d", ErrConfig, shardCount)
@@ -144,9 +151,25 @@ func (s *Sharded) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 		return nil
 	}
 	out := make([]filtering.Verdict, len(pkts))
+	s.processBatchInto(pkts, out)
+	return out
+}
+
+// ProcessBatchInto is ProcessBatch writing into a caller-provided buffer
+// (see the filtering.BatchFilter contract). Together with the pooled
+// grouping scratch this makes a steady-state batch stream allocation-free.
+func (s *Sharded) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	out = filtering.GrowVerdicts(out, len(pkts))
+	s.processBatchInto(pkts, out)
+	return out
+}
+
+// processBatchInto fills out (same length as pkts) with one locked batch
+// per touched shard.
+func (s *Sharded) processBatchInto(pkts []packet.Packet, out []filtering.Verdict) {
 	if len(s.shards) == 1 {
 		s.shards[0].processBatchInto(pkts, out)
-		return out
+		return
 	}
 
 	// Counting sort by shard: stable, O(len(pkts) + shards), and the
@@ -188,7 +211,6 @@ func (s *Sharded) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 		out[i] = sc.groupedOut[pos]
 	}
 	shardScratchPool.Put(sc)
-	return out
 }
 
 // Reset flushes every shard (bitmap, counters and any attached APD

@@ -170,7 +170,7 @@ func ablateRotation(cfg AblationConfig) ([]RotationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen.Drain(func(pkt packet.Packet) { f.Process(pkt) })
+		drainThrough(gen, f)
 		rows = append(rows, RotationRow{
 			K: s.k, Dt: s.dt,
 			DropRate:    f.Counters().DropRate(),
@@ -253,7 +253,7 @@ func ablateMarkPolicy(cfg AblationConfig) ([]PolicyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen.Drain(func(pkt packet.Packet) { f.Process(pkt) })
+		drainThrough(gen, f)
 		rows = append(rows, PolicyRow{
 			Name:           p.name,
 			BenignDropRate: f.Counters().DropRate(),

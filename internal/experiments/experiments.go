@@ -15,6 +15,8 @@ import (
 	"strings"
 	"time"
 
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
 	"bitmapfilter/internal/trafficgen"
 )
 
@@ -64,6 +66,17 @@ func (s Scale) TraceConfig() trafficgen.Config {
 	cfg.ConnRate = s.ConnRate
 	cfg.Seed = s.Seed
 	return cfg
+}
+
+// drainThrough runs a generator to completion through a filter's batch
+// data plane with one reused verdict buffer, for experiments that only
+// need the filter's cumulative counters afterwards. Verdict-for-verdict
+// identical to a per-packet Drain loop.
+func drainThrough(gen *trafficgen.Generator, f filtering.BatchFilter) {
+	var verdicts []filtering.Verdict
+	gen.DrainBatches(trafficgen.DefaultBatchSize, func(pkts []packet.Packet) {
+		verdicts = f.ProcessBatchInto(pkts, verdicts)
+	})
 }
 
 // table is a tiny fixed-width text table builder shared by the Format

@@ -83,20 +83,26 @@ func RunFig4(cfg Fig4Config) (Fig4Result, error) {
 	intervals := int(cfg.Scale.Duration.Seconds()/cfg.IntervalSec) + 1
 	buckets := make([]bucket, intervals)
 
-	gen.Drain(func(pkt packet.Packet) {
-		vs := spi.Process(pkt)
-		vb := bitmap.Process(pkt)
-		if pkt.Dir != packet.Incoming {
-			return
-		}
-		b := &buckets[int(pkt.Time.Seconds()/cfg.IntervalSec)]
-		b.spiIn++
-		b.bitmapIn++
-		if vs == filtering.Drop {
-			b.spiDrop++
-		}
-		if vb == filtering.Drop {
-			b.bitmapDrop++
+	// Both filters are driven through the batch data plane (the SPI table
+	// via the generic fallback) with reused verdict buffers, so the whole
+	// trace runs allocation-free past generation.
+	var spiV, bitmapV []filtering.Verdict
+	gen.DrainBatches(trafficgen.DefaultBatchSize, func(pkts []packet.Packet) {
+		spiV = spi.ProcessBatchInto(pkts, spiV)
+		bitmapV = bitmap.ProcessBatchInto(pkts, bitmapV)
+		for i := range pkts {
+			if pkts[i].Dir != packet.Incoming {
+				continue
+			}
+			b := &buckets[int(pkts[i].Time.Seconds()/cfg.IntervalSec)]
+			b.spiIn++
+			b.bitmapIn++
+			if spiV[i] == filtering.Drop {
+				b.spiDrop++
+			}
+			if bitmapV[i] == filtering.Drop {
+				b.bitmapDrop++
+			}
 		}
 	})
 

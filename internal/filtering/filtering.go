@@ -53,6 +53,82 @@ type PacketFilter interface {
 	Counters() Counters
 }
 
+// BatchFilter is a PacketFilter with a batched data plane. Batch processing
+// is behaviorally identical to calling Process per packet, in order — same
+// verdicts, counters and expiry work — but amortizes per-packet overheads
+// (lock acquisitions, clock reads, verdict-slice allocation) across the
+// whole batch. The bitmap filter implements it natively; the SPI baselines
+// satisfy it through the per-packet fallback in this package.
+type BatchFilter interface {
+	PacketFilter
+	// ProcessBatch processes pkts in order and returns one verdict per
+	// packet (nil for an empty batch). The returned slice is freshly
+	// allocated; use ProcessBatchInto on hot paths.
+	ProcessBatch(pkts []packet.Packet) []Verdict
+	// ProcessBatchInto processes pkts in order, storing one verdict per
+	// packet in out's backing array, and returns the verdict slice of
+	// length len(pkts). When cap(out) >= len(pkts) the backing array is
+	// reused and the call performs no allocation; otherwise a larger
+	// slice is allocated, exactly like append. Every element of the
+	// returned slice is overwritten, so dirty buffers from previous
+	// batches may be passed as-is. out may be nil.
+	ProcessBatchInto(pkts []packet.Packet, out []Verdict) []Verdict
+}
+
+// GrowVerdicts returns a verdict slice of length n backed by out's array
+// when cap(out) >= n, allocating only on growth. This is the resizing rule
+// every ProcessBatchInto implementation shares; contents are unspecified
+// until written.
+func GrowVerdicts(out []Verdict, n int) []Verdict {
+	if cap(out) < n {
+		return make([]Verdict, n)
+	}
+	return out[:n]
+}
+
+// ProcessBatch drives f per packet and returns freshly allocated verdicts —
+// the generic fallback for filters with no native batch path.
+func ProcessBatch(f PacketFilter, pkts []packet.Packet) []Verdict {
+	if len(pkts) == 0 {
+		return nil
+	}
+	return ProcessBatchInto(f, pkts, nil)
+}
+
+// ProcessBatchInto drives f per packet, filling out under the
+// BatchFilter.ProcessBatchInto contract.
+func ProcessBatchInto(f PacketFilter, pkts []packet.Packet, out []Verdict) []Verdict {
+	out = GrowVerdicts(out, len(pkts))
+	for i := range pkts {
+		out[i] = f.Process(pkts[i])
+	}
+	return out
+}
+
+// AsBatch returns f's batched data plane: filters that already implement
+// BatchFilter are returned unchanged, anything else is wrapped with the
+// generic per-packet fallback. Drivers (replay, experiments, daemons) call
+// this once and then speak batch everywhere.
+func AsBatch(f PacketFilter) BatchFilter {
+	if b, ok := f.(BatchFilter); ok {
+		return b
+	}
+	return fallbackBatcher{f}
+}
+
+// fallbackBatcher adapts a plain PacketFilter to BatchFilter by looping.
+type fallbackBatcher struct {
+	PacketFilter
+}
+
+func (b fallbackBatcher) ProcessBatch(pkts []packet.Packet) []Verdict {
+	return ProcessBatch(b.PacketFilter, pkts)
+}
+
+func (b fallbackBatcher) ProcessBatchInto(pkts []packet.Packet, out []Verdict) []Verdict {
+	return ProcessBatchInto(b.PacketFilter, pkts, out)
+}
+
 // Counters accumulates per-filter packet statistics.
 type Counters struct {
 	OutPackets uint64 // outgoing packets observed

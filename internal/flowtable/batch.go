@@ -1,0 +1,63 @@
+package flowtable
+
+import (
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// The SPI baselines have no batch-shaped inner loop to exploit — every
+// packet walks its own bucket, tree path or map probe — so they satisfy
+// filtering.BatchFilter through the generic per-packet fallback. That keeps
+// them drivable by the batch-first harnesses (replay, experiments, bench)
+// with verdicts identical to per-packet processing.
+
+var (
+	_ filtering.BatchFilter = (*HashList)(nil)
+	_ filtering.BatchFilter = (*AVLTable)(nil)
+	_ filtering.BatchFilter = (*MapTable)(nil)
+	_ filtering.BatchFilter = (*Naive)(nil)
+)
+
+// ProcessBatch implements filtering.BatchFilter via the per-packet fallback.
+func (h *HashList) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	return filtering.ProcessBatch(h, pkts)
+}
+
+// ProcessBatchInto implements filtering.BatchFilter via the per-packet
+// fallback.
+func (h *HashList) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	return filtering.ProcessBatchInto(h, pkts, out)
+}
+
+// ProcessBatch implements filtering.BatchFilter via the per-packet fallback.
+func (a *AVLTable) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	return filtering.ProcessBatch(a, pkts)
+}
+
+// ProcessBatchInto implements filtering.BatchFilter via the per-packet
+// fallback.
+func (a *AVLTable) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	return filtering.ProcessBatchInto(a, pkts, out)
+}
+
+// ProcessBatch implements filtering.BatchFilter via the per-packet fallback.
+func (m *MapTable) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	return filtering.ProcessBatch(m, pkts)
+}
+
+// ProcessBatchInto implements filtering.BatchFilter via the per-packet
+// fallback.
+func (m *MapTable) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	return filtering.ProcessBatchInto(m, pkts, out)
+}
+
+// ProcessBatch implements filtering.BatchFilter via the per-packet fallback.
+func (n *Naive) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	return filtering.ProcessBatch(n, pkts)
+}
+
+// ProcessBatchInto implements filtering.BatchFilter via the per-packet
+// fallback.
+func (n *Naive) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	return filtering.ProcessBatchInto(n, pkts, out)
+}

@@ -54,6 +54,44 @@ func TestObserveBatchStampsAndFilters(t *testing.T) {
 	}
 }
 
+// TestObserveBatchIntoReusesBuffer pins the live adapter's corner of the
+// ProcessBatchInto contract: dirty caller buffers are reused in place and
+// fully overwritten, short ones grow.
+func TestObserveBatchIntoReusesBuffer(t *testing.T) {
+	clock := newFakeClock()
+	l := newLive(t, clock)
+	clock.Advance(time.Second)
+
+	pkts := []packet.Packet{
+		{Tuple: tuple, Dir: packet.Outgoing, Flags: packet.ACK, Length: 60},
+		{Tuple: tuple.Reverse(), Dir: packet.Incoming, Flags: packet.ACK, Length: 60},
+		{Tuple: packet.Tuple{Src: server, Dst: client, SrcPort: 9, DstPort: 9, Proto: packet.TCP},
+			Dir: packet.Incoming, Flags: packet.ACK, Length: 60},
+	}
+	want := []filtering.Verdict{filtering.Pass, filtering.Pass, filtering.Drop}
+
+	dirty := make([]filtering.Verdict, len(pkts), len(pkts)+4)
+	for i := range dirty {
+		dirty[i] = filtering.Verdict(250)
+	}
+	got := l.ObserveBatchInto(pkts, dirty)
+	if &got[0] != &dirty[0] {
+		t.Error("buffer with sufficient cap not reused")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("verdict[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	if got := l.ObserveBatchInto(pkts, nil); len(got) != len(pkts) {
+		t.Errorf("nil out: got %d verdicts", len(got))
+	}
+	if got := l.ObserveBatchInto(nil, dirty); len(got) != 0 {
+		t.Errorf("empty batch: got %d verdicts", len(got))
+	}
+}
+
 // TestObserveBatchMatchesObserve checks the batched wall-clock path agrees
 // with per-packet Observe on a second, identically seeded filter.
 func TestObserveBatchMatchesObserve(t *testing.T) {

@@ -102,13 +102,23 @@ func (l *Filter) ObserveBatch(pkts []packet.Packet) []filtering.Verdict {
 	if len(pkts) == 0 {
 		return nil
 	}
+	return l.ObserveBatchInto(pkts, nil)
+}
+
+// ObserveBatchInto is ObserveBatch writing into a caller-provided buffer
+// under the filtering.BatchFilter ProcessBatchInto contract: out's backing
+// array is reused when cap(out) >= len(pkts) and grown otherwise, so a
+// packet pump that recycles its packet and verdict buffers runs the whole
+// wire-to-verdict path without allocating.
+func (l *Filter) ObserveBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	out = filtering.GrowVerdicts(out, len(pkts))
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.elapsed()
 	for i := range pkts {
 		pkts[i].Time = now
 	}
-	return l.inner.ProcessBatch(pkts)
+	return l.inner.ProcessBatchInto(pkts, out)
 }
 
 // PunchHole forwards to the wrapped filter under the lock (§5.1).

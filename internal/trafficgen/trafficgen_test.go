@@ -184,6 +184,51 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestBatchEmissionMatchesNext proves batch emission is a pure re-chunking
+// of the per-packet stream: same packets, same order, same totals.
+func TestBatchEmissionMatchesNext(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 30 * time.Second
+	cfg.ConnRate = 20
+
+	ref, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []packet.Packet
+	ref.Drain(func(p packet.Packet) { want = append(want, p) })
+
+	for _, batchSize := range []int{1, 7, 64, DefaultBatchSize} {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []packet.Packet
+		batches := 0
+		g.DrainBatches(batchSize, func(pkts []packet.Packet) {
+			if len(pkts) == 0 || len(pkts) > batchSize {
+				t.Fatalf("batch of %d packets (size %d)", len(pkts), batchSize)
+			}
+			got = append(got, pkts...)
+			batches++
+		})
+		if len(got) != len(want) {
+			t.Fatalf("size %d: %d packets, per-packet %d", batchSize, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: packet %d differs: %v vs %v", batchSize, i, got[i], want[i])
+			}
+		}
+		if wantBatches := (len(want) + batchSize - 1) / batchSize; batches != wantBatches {
+			t.Errorf("size %d: %d batches, want %d", batchSize, batches, wantBatches)
+		}
+		if g.Totals() != ref.Totals() {
+			t.Errorf("size %d: totals diverged: %+v vs %+v", batchSize, g.Totals(), ref.Totals())
+		}
+	}
+}
+
 func TestDifferentSeedsDiffer(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Duration = 10 * time.Second
