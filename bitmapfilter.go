@@ -116,6 +116,20 @@ type Stats = core.Stats
 // DropPolicy is an adaptive-packet-dropping indicator (§5.3).
 type DropPolicy = core.DropPolicy
 
+// PolicyResetter is the optional DropPolicy extension Filter.Reset uses to
+// flush indicator windows along with the bitmap.
+type PolicyResetter = core.PolicyResetter
+
+// PolicyCloner is the optional DropPolicy extension NewSharded uses to
+// give every shard its own policy instance; stateful policies that cannot
+// clone are rejected. Both built-in policies implement it.
+type PolicyCloner = core.PolicyCloner
+
+// PolicyShardScaler is the optional DropPolicy extension NewSharded uses
+// to rescale a per-shard clone to the 1/S traffic partition it observes
+// (BandwidthPolicy divides its link capacity by S).
+type PolicyShardScaler = core.PolicyShardScaler
+
 // BandwidthPolicy is the §5.3 APD design 1 indicator (drop probability =
 // link bandwidth utilization).
 type BandwidthPolicy = core.BandwidthPolicy
@@ -158,7 +172,10 @@ func NewSafe(f *Filter) *Safe { return core.NewSafe(f) }
 type Sharded = core.Sharded
 
 // NewSharded builds a sharded filter (shard count rounded up to a power of
-// two; each shard gets the configured per-filter memory).
+// two; each shard gets the configured per-filter memory). WithAPD works on
+// the sharded flavor too: the policy is cloned per shard (PolicyCloner),
+// with BandwidthPolicy capacity rescaled to each shard's 1/S traffic
+// partition, and Sharded.Stats/APDSpared aggregate the per-shard state.
 func NewSharded(shards int, opts ...Option) (*Sharded, error) {
 	return core.NewSharded(shards, opts...)
 }
@@ -204,9 +221,14 @@ type Clock = live.Clock
 // LiveOption configures NewLive.
 type LiveOption = live.Option
 
+// LiveInner is the filter surface NewLive accepts: *Filter, *Safe and
+// *Sharded all satisfy it, so a deployment picks its concurrency flavor
+// without changing the wall-clock adapter.
+type LiveInner = live.Inner
+
 // NewLive wraps a filter for wall-clock operation. The wrapped filter must
 // not be used directly afterwards.
-func NewLive(f *Filter, opts ...LiveOption) (*LiveFilter, error) {
+func NewLive(f LiveInner, opts ...LiveOption) (*LiveFilter, error) {
 	return live.New(f, opts...)
 }
 

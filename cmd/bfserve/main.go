@@ -52,17 +52,52 @@ func run() error {
 		vectors = flag.Int("vectors", 4, "bitmap vector count k")
 		hashes  = flag.Int("hashes", 3, "hash count m")
 		rotate  = flag.Duration("rotate", 5*time.Second, "rotation period Δt")
+		shards  = flag.Int("shards", 1, "shard count (>1 runs the sharded data plane)")
+		apd     = flag.String("apd", "", `adaptive packet dropping: "ratio" or "bandwidth" (§5.3)`)
+		apdCap  = flag.Float64("apd-capacity", 100e6, "link capacity in bits/s for -apd bandwidth")
 	)
 	flag.Parse()
 
-	inner, err := core.New(
+	opts := []core.Option{
 		core.WithOrder(*order),
 		core.WithVectors(*vectors),
 		core.WithHashes(*hashes),
 		core.WithRotateEvery(*rotate),
-	)
-	if err != nil {
-		return err
+	}
+	switch *apd {
+	case "":
+	case "ratio":
+		p, err := core.NewRatioPolicy(1, 3, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithAPD(p))
+	case "bandwidth":
+		p, err := core.NewBandwidthPolicy(*apdCap, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, core.WithAPD(p))
+	default:
+		return fmt.Errorf("unknown -apd policy %q (want ratio or bandwidth)", *apd)
+	}
+
+	// Any core flavor rides behind the same wall-clock adapter; a sharded
+	// filter clones the APD policy per shard and exposes per-shard gauges
+	// on /metrics.
+	var inner live.Inner
+	if *shards > 1 {
+		sh, err := core.NewSharded(*shards, opts...)
+		if err != nil {
+			return err
+		}
+		inner = sh
+	} else {
+		f, err := core.New(opts...)
+		if err != nil {
+			return err
+		}
+		inner = f
 	}
 	filter, err := live.New(inner)
 	if err != nil {

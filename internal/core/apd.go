@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"bitmapfilter/internal/packet"
@@ -49,6 +50,33 @@ type PolicyResetter interface {
 	Reset()
 }
 
+// PolicyCloner is an optional extension of DropPolicy. ClonePolicy returns
+// an independent policy with the same configuration and fresh (empty)
+// indicator state. NewSharded relies on it: every shard receives its own
+// clone, so independently locked shards never share mutable sliding-window
+// state. A policy that accumulates state (PolicyResetter) but cannot clone
+// is rejected by NewSharded with ErrConfig. Both built-in policies
+// implement it.
+type PolicyCloner interface {
+	// ClonePolicy returns a configuration-identical policy with zeroed
+	// indicator state.
+	ClonePolicy() DropPolicy
+}
+
+// PolicyShardScaler is an optional extension of DropPolicy for indicators
+// whose magnitude depends on how much of the traffic they observe.
+// NewSharded calls ScaleForShards(S) on every per-shard clone: the
+// flow-key routing spreads flows ~uniformly, so one shard sees a 1/S
+// partition of the load. BandwidthPolicy implements it by dividing the
+// link capacity by S, which keeps the per-shard U_b an estimator of the
+// global utilization; RatioPolicy needs no scaling because the in/out
+// ratio of a uniform partition already estimates the global ratio.
+type PolicyShardScaler interface {
+	// ScaleForShards rescales the indicator for a filter partitioned
+	// into the given number of shards.
+	ScaleForShards(shards int)
+}
+
 // slidingCounter accumulates values over a sliding time window using a ring
 // of sub-buckets, giving O(1) updates and queries on a virtual clock.
 type slidingCounter struct {
@@ -73,30 +101,53 @@ func newSlidingCounter(window time.Duration, buckets int) slidingCounter {
 	}
 }
 
+// maxDuration is the largest representable timestamp. A counter whose head
+// bucket has been saturated to this horizon stays frozen there: every later
+// timestamp already falls inside it.
+const maxDuration = time.Duration(math.MaxInt64)
+
 // advance rolls the ring forward so that now falls inside the head bucket.
 // An idle gap spanning the whole window fast-forwards in O(buckets)
 // instead of looping once per elapsed bucket width — without this, the
 // first packet after a multi-hour quiet period on a 1 s window would pay
 // millions of iterations.
 func (s *slidingCounter) advance(now time.Duration) {
-	if now < s.headEnd {
+	if now < s.headEnd || s.headEnd == maxDuration {
 		return
 	}
 	if now-s.headEnd >= s.window() {
 		// Every bucket would be zeroed on the way; jump the head in
 		// one modular step. steps is computed in bucket widths so the
-		// head lands exactly where the loop would leave it.
+		// head lands exactly where the loop would leave it, but headEnd
+		// is rebased from now rather than stepped forward — for a jump
+		// near the int64 horizon, steps*width wraps negative and would
+		// poison every later advance.
 		steps := (now-s.headEnd)/s.width + 1
 		clear(s.buckets)
 		s.head = (s.head + int(steps%time.Duration(len(s.buckets)))) % len(s.buckets)
-		s.headEnd += steps * s.width
+		s.headEnd = gridAbove(now, s.width)
 		return
 	}
 	for s.headEnd <= now {
 		s.head = (s.head + 1) % len(s.buckets)
 		s.buckets[s.head] = 0
+		if s.headEnd > maxDuration-s.width {
+			s.headEnd = maxDuration
+			return
+		}
 		s.headEnd += s.width
 	}
+}
+
+// gridAbove returns the smallest multiple of width strictly greater than
+// now — the bucket-grid point the incremental loop would reach — saturating
+// at maxDuration instead of overflowing.
+func gridAbove(now, width time.Duration) time.Duration {
+	base := now - now%width
+	if base > maxDuration-width {
+		return maxDuration
+	}
+	return base + width
 }
 
 func (s *slidingCounter) add(now time.Duration, v float64) {
@@ -141,8 +192,10 @@ type BandwidthPolicy struct {
 }
 
 var (
-	_ DropPolicy     = (*BandwidthPolicy)(nil)
-	_ PolicyResetter = (*BandwidthPolicy)(nil)
+	_ DropPolicy        = (*BandwidthPolicy)(nil)
+	_ PolicyResetter    = (*BandwidthPolicy)(nil)
+	_ PolicyCloner      = (*BandwidthPolicy)(nil)
+	_ PolicyShardScaler = (*BandwidthPolicy)(nil)
 )
 
 // NewBandwidthPolicy returns a bandwidth-utilization policy for a link of
@@ -175,6 +228,28 @@ func (p *BandwidthPolicy) Observe(pkt packet.Packet) {
 // Reset implements PolicyResetter: it discards the byte window.
 func (p *BandwidthPolicy) Reset() { p.bytes.reset() }
 
+// ClonePolicy implements PolicyCloner: the clone measures the same link
+// capacity over the same window, starting from an empty byte window.
+func (p *BandwidthPolicy) ClonePolicy() DropPolicy {
+	return &BandwidthPolicy{
+		capacityBits: p.capacityBits,
+		bytes:        newSlidingCounter(p.bytes.window(), len(p.bytes.buckets)),
+	}
+}
+
+// ScaleForShards implements PolicyShardScaler: a shard observes a 1/S
+// partition of the flows, so it measures its bytes against 1/S of the link
+// capacity. The per-shard U_b then estimates the global utilization, and
+// the mean across shards equals exactly the U_b one unsharded policy would
+// compute from the combined traffic (before the per-shard clamp at 1).
+func (p *BandwidthPolicy) ScaleForShards(shards int) {
+	p.capacityBits /= float64(shards)
+}
+
+// Capacity returns the link capacity in bits per second the policy
+// measures against. Per-shard clones report their 1/S share.
+func (p *BandwidthPolicy) Capacity() float64 { return p.capacityBits }
+
 // Utilization returns U_b, the observed fraction of link capacity in use.
 func (p *BandwidthPolicy) Utilization(now time.Duration) float64 {
 	bits := p.bytes.sum(now) * 8
@@ -201,6 +276,7 @@ type RatioPolicy struct {
 var (
 	_ DropPolicy     = (*RatioPolicy)(nil)
 	_ PolicyResetter = (*RatioPolicy)(nil)
+	_ PolicyCloner   = (*RatioPolicy)(nil)
 )
 
 // NewRatioPolicy returns an in/out-ratio policy with thresholds l < h over
@@ -236,6 +312,19 @@ func (p *RatioPolicy) Observe(pkt packet.Packet) {
 func (p *RatioPolicy) Reset() {
 	p.in.reset()
 	p.out.reset()
+}
+
+// ClonePolicy implements PolicyCloner: same thresholds and window, empty
+// packet-count windows. No PolicyShardScaler is needed: routing keeps a
+// flow's in and out packets in the same shard, so a shard's in/out ratio
+// over its 1/S flow partition estimates the global ratio unchanged.
+func (p *RatioPolicy) ClonePolicy() DropPolicy {
+	return &RatioPolicy{
+		low:  p.low,
+		high: p.high,
+		in:   newSlidingCounter(p.in.window(), len(p.in.buckets)),
+		out:  newSlidingCounter(p.out.window(), len(p.out.buckets)),
+	}
 }
 
 // Ratio returns r = P_in / P_out over the window. With no outgoing traffic

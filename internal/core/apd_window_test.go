@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -72,6 +73,62 @@ func TestSlidingCounterFastForwardMatchesSlowPath(t *testing.T) {
 					i, now, b, fast.buckets[b], slow.buckets[b])
 			}
 		}
+	}
+}
+
+// TestSlidingCounterExtremeTimestampOverflow is the regression test for
+// the int64-horizon overflow: a jump to the largest representable
+// timestamp used to step headEnd past MaxInt64 (headEnd += steps*width
+// wrapped negative), after which every later advance mis-rotated the
+// ring. The fast-forward now rebases headEnd from now and saturates at
+// maxDuration.
+func TestSlidingCounterExtremeTimestampOverflow(t *testing.T) {
+	s := newSlidingCounter(time.Second, apdBuckets)
+	s.add(0, 5)
+	s.add(maxDuration, 7)
+	if s.headEnd < 0 {
+		t.Fatalf("headEnd = %v; wrapped negative on extreme jump", s.headEnd)
+	}
+	if got := s.sum(maxDuration); got != 7 {
+		t.Errorf("sum at horizon = %v, want 7 (pre-jump samples must age out)", got)
+	}
+	// The head bucket is saturated at the horizon: further samples there
+	// must accumulate instead of rotating the ring once per call.
+	s.add(maxDuration, 3)
+	if got := s.sum(maxDuration); got != 10 {
+		t.Errorf("sum after second add at horizon = %v, want 10", got)
+	}
+}
+
+// TestSlidingCounterIncrementalSaturation covers the other overflow site:
+// a sub-window gap whose incremental catch-up would step headEnd past the
+// horizon. The loop must saturate at maxDuration, not wrap.
+func TestSlidingCounterIncrementalSaturation(t *testing.T) {
+	s := newSlidingCounter(time.Second, apdBuckets)
+	s.add(maxDuration-350*time.Millisecond, 2)
+	s.add(maxDuration, 4) // gap < window: incremental path
+	if s.headEnd != maxDuration {
+		t.Fatalf("headEnd = %v, want saturation at maxDuration", s.headEnd)
+	}
+	if got := s.sum(maxDuration); got != 6 {
+		t.Errorf("sum = %v, want 6 (both samples inside the window)", got)
+	}
+}
+
+// TestPolicyExtremeTimestamp drives the horizon case through a real
+// policy: observing a packet stamped MaxInt64 must neither hang nor
+// poison the utilization estimate.
+func TestPolicyExtremeTimestamp(t *testing.T) {
+	p, err := NewBandwidthPolicy(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(packet.Packet{Time: 0, Dir: packet.Incoming, Length: 1000})
+	p.Observe(packet.Packet{Time: maxDuration, Dir: packet.Incoming, Length: 500})
+	// Only the horizon packet is in the window: 500 B = 4000 bits against
+	// 1e6 bit/s over 1 s.
+	if got := p.Utilization(maxDuration); math.Abs(got-0.004) > 1e-12 {
+		t.Errorf("Utilization at horizon = %v, want 0.004", got)
 	}
 }
 

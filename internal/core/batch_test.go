@@ -166,11 +166,18 @@ func TestBatchDifferentialMillion(t *testing.T) {
 		{name: "safe", mk: func() intoFilter {
 			return NewSafe(MustNew(WithOrder(16), WithSeed(77), mkAPD()))
 		}},
-		// No APD on the sharded flavor: a DropPolicy instance is
-		// per-filter state and must not be shared across shard locks
-		// (see NewSharded).
 		{name: "sharded", mk: func() intoFilter {
 			s, err := NewSharded(4, WithOrder(14), WithSeed(77))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		// APD rides the sharded flavor too: NewSharded clones the policy
+		// per shard, and batch grouping preserves per-shard packet order,
+		// so every per-shard APD coin flip matches the sequential run.
+		{name: "sharded+apd", mk: func() intoFilter {
+			s, err := NewSharded(4, WithOrder(14), WithSeed(77), mkAPD())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -238,6 +245,63 @@ func TestProcessBatchEmpty(t *testing.T) {
 	}
 	if out := sh.ProcessBatch(nil); out != nil {
 		t.Errorf("Sharded.ProcessBatch(nil) = %v", out)
+	}
+}
+
+// TestConcurrentShardedAPDBatchInto hammers a sharded filter with an APD
+// policy attached: concurrent ProcessBatchInto pumps (each recycling its
+// own dirty buffer) race against Stats/APDSpared/ShardStats readers. Under
+// -race this proves each per-shard policy clone is touched only under its
+// shard's lock.
+func TestConcurrentShardedAPDBatchInto(t *testing.T) {
+	rp, err := NewRatioPolicy(1, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(4, WithOrder(12), WithSeed(5), WithAPD(rp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := diffTrace(512, 21)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]filtering.Verdict, 0, 64)
+			for i := 0; i < 80; i++ {
+				off := (g*41 + i*64) % (len(pkts) - 64)
+				out = sh.ProcessBatchInto(pkts[off:off+64], out)
+				if len(out) != 64 {
+					t.Errorf("batchInto returned %d verdicts", len(out))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = sh.Stats()
+			_ = sh.APDSpared()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = sh.ShardStats()
+			_ = sh.Utilization()
+		}
+	}()
+	wg.Wait()
+	// The caller's template policy is never wired into a shard — it must
+	// come out of the stampede untouched.
+	if got := rp.DropProbability(0); got != 0 {
+		t.Errorf("template policy mutated: DropProbability = %v", got)
+	}
+	if sh.APDSpared() == 0 {
+		t.Error("APDSpared = 0: policy clones saw no traffic")
 	}
 }
 

@@ -95,6 +95,21 @@ func (s *Safe) Utilization() float64 {
 	return s.f.Utilization()
 }
 
+// RotateEvery returns Δt (immutable after construction, but read under
+// the lock for consistency with the other forwards).
+func (s *Safe) RotateEvery() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.RotateEvery()
+}
+
+// APDSpared forwards to Filter.APDSpared under the lock.
+func (s *Safe) APDSpared() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.APDSpared()
+}
+
 // PunchHole forwards to Filter.PunchHole under the lock.
 func (s *Safe) PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto) {
 	s.mu.Lock()

@@ -34,12 +34,13 @@ var _ filtering.BatchFilter = (*Sharded)(nil)
 // power of two). Options apply to every shard; WithSeed is perturbed per
 // shard so the shards' hash families are independent.
 //
-// WithAPD caveat: a DropPolicy instance carries mutable sliding-window
-// state and is copied by reference into every shard, but shard locks are
-// independent — concurrent shards would race on it, and shard-grouped
-// batches would observe traffic in a different global order than
-// per-packet processing. Until per-shard policy cloning exists, attach APD
-// to a Safe filter instead of a Sharded one.
+// An APD policy (WithAPD) is cloned into every shard via PolicyCloner, so
+// the independently locked shards never share mutable indicator state;
+// clones implementing PolicyShardScaler (BandwidthPolicy) are rescaled to
+// the 1/S traffic partition each shard observes. A policy that accumulates
+// state (PolicyResetter) but does not implement PolicyCloner is rejected
+// with ErrConfig; a policy implementing neither is assumed stateless and
+// shared as-is — its methods must then tolerate concurrent calls.
 func NewSharded(shardCount int, opts ...Option) (*Sharded, error) {
 	if shardCount < 1 {
 		return nil, fmt.Errorf("%w: shards=%d", ErrConfig, shardCount)
@@ -48,14 +49,36 @@ func NewSharded(shardCount int, opts ...Option) (*Sharded, error) {
 	for n < shardCount {
 		n <<= 1
 	}
+	// Resolve the configured policy once; the per-shard WithAPD appended
+	// below overrides the caller's option with that shard's clone.
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	cloner, cloneable := cfg.apd.(PolicyCloner)
+	if _, stateful := cfg.apd.(PolicyResetter); stateful && !cloneable {
+		return nil, fmt.Errorf("%w: APD policy %q holds mutable state but implements no ClonePolicy; one instance cannot be shared across shard locks",
+			ErrConfig, cfg.apd.Name())
+	}
 	s := &Sharded{
 		shards: make([]*Safe, n),
 		router: hashfam.MustNew(1, 0x5ead5ead),
 		mask:   uint64(n - 1),
 	}
 	for i := range s.shards {
-		f, err := New(append(append([]Option(nil), opts...),
-			withSeedPerturbation(uint64(i)))...)
+		shardOpts := append(append([]Option(nil), opts...),
+			withSeedPerturbation(uint64(i)))
+		if cloneable {
+			p := cloner.ClonePolicy()
+			if p == nil {
+				return nil, fmt.Errorf("%w: APD policy %q cloned to nil", ErrConfig, cfg.apd.Name())
+			}
+			if sc, ok := p.(PolicyShardScaler); ok {
+				sc.ScaleForShards(n)
+			}
+			shardOpts = append(shardOpts, WithAPD(p))
+		}
+		f, err := New(shardOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +125,86 @@ func (s *Sharded) Counters() filtering.Counters {
 		total.InDropped += c.InDropped
 	}
 	return total
+}
+
+// RotateEvery returns Δt, identical across shards.
+func (s *Sharded) RotateEvery() time.Duration { return s.shards[0].RotateEvery() }
+
+// Utilization returns the mean current-vector fill fraction across shards.
+// Flow keys spread ~uniformly, so each shard's bitmap holds a 1/S
+// partition of the flows and the mean tracks the utilization one filter
+// with the same total traffic would report.
+func (s *Sharded) Utilization() float64 {
+	var sum float64
+	for _, sh := range s.shards {
+		sum += sh.Utilization()
+	}
+	return sum / float64(len(s.shards))
+}
+
+// APDSpared returns the total number of unmatched incoming packets the
+// per-shard APD policies chose to admit (sum over shards).
+func (s *Sharded) APDSpared() uint64 {
+	var total uint64
+	for _, sh := range s.shards {
+		total += sh.APDSpared()
+	}
+	return total
+}
+
+// ShardStats returns one introspection snapshot per shard, each taken
+// under that shard's lock. The composite is not frozen: traffic may land
+// between snapshots, so cross-shard sums are approximate under load.
+func (s *Sharded) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Stats aggregates a snapshot across shards. Additive fields
+// (MemoryBytes, Rotations, Marks, Counters, APDSpared) are summed;
+// fractional indicators (Utilization, VectorUtilization,
+// PenetrationProbability, APDDropProbability) are averaged — each shard
+// sees a 1/S partition of the flows, so the mean estimates the global
+// value. Clock fields report the most-advanced shard (Now) and the
+// earliest pending rotation (NextRotation); configuration fields,
+// CurrentIndex and the APD policy identity come from shard 0.
+func (s *Sharded) Stats() Stats {
+	per := s.ShardStats()
+	agg := per[0]
+	agg.VectorUtilization = append([]float64(nil), per[0].VectorUtilization...)
+	for _, st := range per[1:] {
+		agg.MemoryBytes += st.MemoryBytes
+		agg.Rotations += st.Rotations
+		agg.Marks += st.Marks
+		agg.Counters.OutPackets += st.Counters.OutPackets
+		agg.Counters.InPackets += st.Counters.InPackets
+		agg.Counters.InPassed += st.Counters.InPassed
+		agg.Counters.InDropped += st.Counters.InDropped
+		agg.APDSpared += st.APDSpared
+		if st.Now > agg.Now {
+			agg.Now = st.Now
+		}
+		if st.NextRotation < agg.NextRotation {
+			agg.NextRotation = st.NextRotation
+		}
+		agg.Utilization += st.Utilization
+		agg.PenetrationProbability += st.PenetrationProbability
+		agg.APDDropProbability += st.APDDropProbability
+		for i := range agg.VectorUtilization {
+			agg.VectorUtilization[i] += st.VectorUtilization[i]
+		}
+	}
+	invS := 1 / float64(len(per))
+	agg.Utilization *= invS
+	agg.PenetrationProbability *= invS
+	agg.APDDropProbability *= invS
+	for i := range agg.VectorUtilization {
+		agg.VectorUtilization[i] *= invS
+	}
+	return agg
 }
 
 // AdvanceTo implements filtering.PacketFilter.
@@ -173,8 +276,10 @@ func (s *Sharded) processBatchInto(pkts []packet.Packet, out []filtering.Verdict
 	}
 
 	// Counting sort by shard: stable, O(len(pkts) + shards), and the
-	// routing hash is computed once per packet.
+	// routing hash is computed once per packet. The scratch goes back to
+	// the pool via defer so a panicking shard cannot leak it.
 	sc := shardScratchPool.Get().(*shardScratch)
+	defer shardScratchPool.Put(sc)
 	sc.shardOf = scratchSlice(sc.shardOf, len(pkts))
 	sc.starts = scratchSlice(sc.starts, len(s.shards)+1)
 	sc.next = scratchSlice(sc.next, len(s.shards))
@@ -210,7 +315,6 @@ func (s *Sharded) processBatchInto(pkts []packet.Packet, out []filtering.Verdict
 	for pos, i := range sc.perm {
 		out[i] = sc.groupedOut[pos]
 	}
-	shardScratchPool.Put(sc)
 }
 
 // Reset flushes every shard (bitmap, counters and any attached APD

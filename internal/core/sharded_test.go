@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -140,6 +141,198 @@ func TestShardedPunchHoleAndWouldAdmit(t *testing.T) {
 	}
 	if v := s.Process(packet.Packet{Tuple: hole, Dir: packet.Incoming, Flags: packet.SYN}); v != filtering.Pass {
 		t.Error("punched connection dropped")
+	}
+}
+
+// statefulNoClonePolicy accumulates state (it implements PolicyResetter)
+// but cannot clone — NewSharded must refuse to share one instance across
+// shard locks.
+type statefulNoClonePolicy struct{ n int }
+
+func (p *statefulNoClonePolicy) Observe(packet.Packet)                 { p.n++ }
+func (p *statefulNoClonePolicy) DropProbability(time.Duration) float64 { return 0 }
+func (p *statefulNoClonePolicy) Name() string                          { return "stateful-no-clone" }
+func (p *statefulNoClonePolicy) Reset()                                { p.n = 0 }
+
+// statelessPolicy implements neither PolicyResetter nor PolicyCloner: it
+// holds no mutable state, so NewSharded shares it across shards as-is.
+type statelessPolicy struct{ p float64 }
+
+func (s statelessPolicy) Observe(packet.Packet)                 {}
+func (s statelessPolicy) DropProbability(time.Duration) float64 { return s.p }
+func (s statelessPolicy) Name() string                          { return "stateless" }
+
+func TestNewShardedAPDPolicyHandling(t *testing.T) {
+	if _, err := NewSharded(4, WithOrder(10), WithAPD(&statefulNoClonePolicy{})); !errors.Is(err, ErrConfig) {
+		t.Errorf("stateful no-clone policy: err = %v, want ErrConfig", err)
+	}
+	s, err := NewSharded(4, WithOrder(10), WithAPD(statelessPolicy{p: 1}))
+	if err != nil {
+		t.Fatalf("stateless policy rejected: %v", err)
+	}
+	if got := s.Stats().APDPolicy; got != "stateless" {
+		t.Errorf("APDPolicy = %q, want stateless", got)
+	}
+	// p = 1 everywhere: unmatched incoming packets still drop.
+	if v := s.Process(inPkt(0, server, client, 80, 4000)); v != filtering.Drop {
+		t.Error("unmatched packet admitted despite p=1 policy")
+	}
+}
+
+// TestShardedClonesAPDPolicyPerShard pins the cloning contract: the
+// caller's policy instance is a template only — shards accumulate
+// indicator state in their own clones and the template stays pristine.
+func TestShardedClonesAPDPolicyPerShard(t *testing.T) {
+	rp, err := NewRatioPolicy(1, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(4, WithOrder(12), WithAPD(rp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incoming-only probes across many flows: each shard's first admitted
+	// probe is an APD spare (ratio still 0), after which the shard's in/out
+	// ratio sits at the high threshold and every later probe drops.
+	var passed uint64
+	for i := 0; i < 256; i++ {
+		pkt := inPkt(0, packet.AddrFrom4(198, 51, 100, byte(i)), client, 80, uint16(5000+i))
+		if s.Process(pkt) == filtering.Pass {
+			passed++
+		}
+	}
+	if got := rp.DropProbability(0); got != 0 {
+		t.Errorf("template policy DropProbability = %v, want 0 (shards must use clones)", got)
+	}
+	if s.APDSpared() == 0 {
+		t.Fatal("APDSpared = 0: APD not active on the shards")
+	}
+	// No marks exist, so every admitted probe was an APD spare.
+	if got := s.APDSpared(); got != passed {
+		t.Errorf("APDSpared = %d, want %d (the admitted probes)", got, passed)
+	}
+	st := s.Stats()
+	if !st.APDEnabled || st.APDPolicy != "apd-ratio" {
+		t.Errorf("aggregate stats: enabled=%v policy=%q", st.APDEnabled, st.APDPolicy)
+	}
+	if st.APDDropProbability == 0 {
+		t.Error("aggregate APDDropProbability = 0 after an incoming-only flood")
+	}
+	per := s.ShardStats()
+	var sumSpared uint64
+	for _, ps := range per {
+		sumSpared += ps.APDSpared
+	}
+	if sumSpared != s.APDSpared() {
+		t.Errorf("per-shard spared sum = %d, APDSpared = %d", sumSpared, s.APDSpared())
+	}
+}
+
+// TestBandwidthPolicyShardScaling checks both halves of the 1/S capacity
+// rule: ClonePolicy+ScaleForShards divide the configured capacity, and
+// end-to-end the aggregate drop probability equals the U_b one unsharded
+// policy would compute from the combined traffic.
+func TestBandwidthPolicyShardScaling(t *testing.T) {
+	p, err := NewBandwidthPolicy(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := p.ClonePolicy().(*BandwidthPolicy)
+	clone.ScaleForShards(4)
+	if got := clone.Capacity(); got != 250000 {
+		t.Errorf("scaled clone capacity = %v, want 250000", got)
+	}
+	if got := p.Capacity(); got != 1e6 {
+		t.Errorf("template capacity = %v, want 1e6 (scaling must not leak back)", got)
+	}
+
+	bw, err := NewBandwidthPolicy(1e6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(4, WithOrder(14), WithAPD(bw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 matched flows, each reply carrying 500 admitted bytes:
+	// 64·500·8 = 256000 bits over a 1 s window on a 1e6 bit/s link, so the
+	// global U_b is 0.256. Per shard, U_b_i = 8·B_i/(C/S · win), and the
+	// mean over shards telescopes back to 8·ΣB_i/(C · win) exactly.
+	for i := 0; i < 64; i++ {
+		remote := packet.AddrFrom4(198, 51, 100, byte(i))
+		lport := uint16(4000 + i)
+		s.Process(outPkt(0, client, remote, lport, 80))
+		reply := inPkt(0, remote, client, 80, lport)
+		reply.Length = 500
+		if s.Process(reply) != filtering.Pass {
+			t.Fatalf("matched reply %d dropped", i)
+		}
+	}
+	if got := s.Stats().APDDropProbability; math.Abs(got-0.256) > 1e-9 {
+		t.Errorf("aggregate U_b = %v, want 0.256 (per-shard capacity must scale by 1/S)", got)
+	}
+}
+
+// TestShardedStatsAggregation pins the Stats contract: additive fields are
+// sums over ShardStats, fractional indicators are means, clocks take the
+// most-advanced shard and the earliest pending rotation.
+func TestShardedStatsAggregation(t *testing.T) {
+	rp, err := NewRatioPolicy(1, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(4, WithOrder(12), WithRotateEvery(5*time.Second), WithAPD(rp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ts := time.Duration(i) * time.Millisecond
+		remote := packet.AddrFrom4(198, 51, 100, byte(i))
+		lport := uint16(4000 + i)
+		s.Process(outPkt(ts, client, remote, lport, 80))
+		s.Process(inPkt(ts, remote, client, 80, lport))
+	}
+	s.AdvanceTo(6 * time.Second) // fire at least one rotation everywhere
+
+	per := s.ShardStats()
+	agg := s.Stats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats returned %d snapshots, want 4", len(per))
+	}
+	var want Stats
+	want.NextRotation = per[0].NextRotation
+	for _, st := range per {
+		want.MemoryBytes += st.MemoryBytes
+		want.Rotations += st.Rotations
+		want.Marks += st.Marks
+		want.APDSpared += st.APDSpared
+		want.Counters.OutPackets += st.Counters.OutPackets
+		want.Counters.InPackets += st.Counters.InPackets
+		want.Counters.InPassed += st.Counters.InPassed
+		want.Counters.InDropped += st.Counters.InDropped
+		want.Utilization += st.Utilization
+		if st.Now > want.Now {
+			want.Now = st.Now
+		}
+		if st.NextRotation < want.NextRotation {
+			want.NextRotation = st.NextRotation
+		}
+	}
+	if agg.MemoryBytes != want.MemoryBytes || agg.Rotations != want.Rotations ||
+		agg.Marks != want.Marks || agg.APDSpared != want.APDSpared ||
+		agg.Counters != want.Counters {
+		t.Errorf("additive fields:\nagg:  %+v\nwant: %+v", agg, want)
+	}
+	if math.Abs(agg.Utilization-want.Utilization/4) > 1e-12 {
+		t.Errorf("Utilization = %v, want mean %v", agg.Utilization, want.Utilization/4)
+	}
+	if agg.Now != want.Now || agg.NextRotation != want.NextRotation {
+		t.Errorf("clocks: now=%v next=%v, want now=%v next=%v",
+			agg.Now, agg.NextRotation, want.Now, want.NextRotation)
+	}
+	if len(agg.VectorUtilization) != len(per[0].VectorUtilization) {
+		t.Errorf("VectorUtilization length = %d, want %d",
+			len(agg.VectorUtilization), len(per[0].VectorUtilization))
 	}
 }
 

@@ -38,6 +38,14 @@ type Stats struct {
 	// Traffic counters.
 	Counters  filtering.Counters
 	APDSpared uint64
+
+	// APD state (§5.3). APDEnabled reports whether a DropPolicy is
+	// attached; APDPolicy is its Name; APDDropProbability is the
+	// policy's drop probability for an unmatched incoming packet at the
+	// snapshot's Now (on a Sharded aggregate, the mean across shards).
+	APDEnabled         bool
+	APDPolicy          string
+	APDDropProbability float64
 }
 
 // Stats collects a snapshot. It does not advance the clock; call AdvanceTo
@@ -64,6 +72,11 @@ func (f *Filter) Stats() Stats {
 	for i, v := range f.vectors {
 		s.VectorUtilization[i] = v.Utilization()
 	}
+	if f.cfg.apd != nil {
+		s.APDEnabled = true
+		s.APDPolicy = f.cfg.apd.Name()
+		s.APDDropProbability = f.cfg.apd.DropProbability(f.now)
+	}
 	return s
 }
 
@@ -85,5 +98,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "traffic: out=%d in=%d passed=%d dropped=%d apd-spared=%d",
 		s.Counters.OutPackets, s.Counters.InPackets,
 		s.Counters.InPassed, s.Counters.InDropped, s.APDSpared)
+	if s.APDEnabled {
+		fmt.Fprintf(&b, "\napd: policy=%s p(drop)=%.4f", s.APDPolicy, s.APDDropProbability)
+	}
 	return b.String()
 }

@@ -55,6 +55,11 @@ type APDResult struct {
 	// follow-up packets admitted because of those marks.
 	PlainFollowupAdmitted uint64
 	APDFollowupAdmitted   uint64
+	// ShardedAPDMarks / ShardedFollowupAdmitted repeat the APD run on a
+	// 4-shard filter: per-shard policy clones must preserve the §5.3
+	// marking and dropping behavior on the sharded data plane.
+	ShardedAPDMarks         uint64
+	ShardedFollowupAdmitted uint64
 	// RatioDropEarly / RatioDropLate are the ratio-APD drop
 	// probabilities before and during the flood.
 	RatioDropEarly float64
@@ -66,7 +71,13 @@ type APDResult struct {
 // every SYN probe that reaches a host elicits an outgoing SYN+ACK (open
 // port) — exactly the reflection a scanner exploits to pollute the filter.
 func RunAPD(cfg APDConfig) (APDResult, error) {
-	run := func(apd core.DropPolicy) (*core.Filter, uint64, uint64, error) {
+	// statser is the filter surface the scan loop needs; both the single
+	// filter and the sharded composite satisfy it.
+	type statser interface {
+		filtering.PacketFilter
+		Stats() core.Stats
+	}
+	baseOpts := func(apd core.DropPolicy) []core.Option {
 		opts := []core.Option{
 			core.WithOrder(16), core.WithVectors(4), core.WithHashes(3),
 			core.WithRotateEvery(5 * time.Second), core.WithSeed(cfg.Seed),
@@ -74,7 +85,10 @@ func RunAPD(cfg APDConfig) (APDResult, error) {
 		if apd != nil {
 			opts = append(opts, core.WithAPD(apd))
 		}
-		f, err := core.New(opts...)
+		return opts
+	}
+	run := func(mk func() (statser, error)) (statser, uint64, uint64, error) {
+		f, err := mk()
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -125,7 +139,9 @@ func RunAPD(cfg APDConfig) (APDResult, error) {
 		return f, probes, admittedFollowups, nil
 	}
 
-	plain, probes, plainAdmitted, err := run(nil)
+	plain, probes, plainAdmitted, err := run(func() (statser, error) {
+		return core.New(baseOpts(nil)...)
+	})
 	if err != nil {
 		return APDResult{}, fmt.Errorf("apd: %w", err)
 	}
@@ -135,17 +151,33 @@ func RunAPD(cfg APDConfig) (APDResult, error) {
 	if err != nil {
 		return APDResult{}, fmt.Errorf("apd: %w", err)
 	}
-	apdF, _, apdAdmitted, err := run(ratioForMarks)
+	apdF, _, apdAdmitted, err := run(func() (statser, error) {
+		return core.New(baseOpts(ratioForMarks)...)
+	})
+	if err != nil {
+		return APDResult{}, fmt.Errorf("apd: %w", err)
+	}
+	// Same APD policy on the sharded data plane: NewSharded clones it per
+	// shard, and the aggregate behavior must match the single filter's.
+	shardedRatio, err := core.NewRatioPolicy(0.0001, 0.0002, cfg.Window)
+	if err != nil {
+		return APDResult{}, fmt.Errorf("apd: %w", err)
+	}
+	shardedF, _, shardedAdmitted, err := run(func() (statser, error) {
+		return core.NewSharded(4, baseOpts(shardedRatio)...)
+	})
 	if err != nil {
 		return APDResult{}, fmt.Errorf("apd: %w", err)
 	}
 
 	res := APDResult{
-		PlainMarks:            plain.Marks(),
-		APDMarks:              apdF.Marks(),
-		PlainFollowupAdmitted: plainAdmitted,
-		APDFollowupAdmitted:   apdAdmitted,
-		Probes:                probes,
+		PlainMarks:              plain.Stats().Marks,
+		APDMarks:                apdF.Stats().Marks,
+		PlainFollowupAdmitted:   plainAdmitted,
+		APDFollowupAdmitted:     apdAdmitted,
+		ShardedAPDMarks:         shardedF.Stats().Marks,
+		ShardedFollowupAdmitted: shardedAdmitted,
+		Probes:                  probes,
 	}
 
 	// Ratio-policy dynamics: balanced traffic first, then an incoming
@@ -176,6 +208,7 @@ func (r APDResult) Format() string {
 	t.line()
 	t.row("bitmap marks from scan", fmt.Sprintf("%d", r.PlainMarks), fmt.Sprintf("%d", r.APDMarks))
 	t.row("attacker follow-ups admitted", fmt.Sprintf("%d", r.PlainFollowupAdmitted), fmt.Sprintf("%d", r.APDFollowupAdmitted))
+	t.row("4-shard APD marks / follow-ups", "", fmt.Sprintf("%d / %d", r.ShardedAPDMarks, r.ShardedFollowupAdmitted))
 	t.row("probes", fmt.Sprintf("%d", r.Probes), "")
 	t.line()
 	t.row("ratio-APD p(drop) balanced", pct(r.RatioDropEarly), "")

@@ -307,6 +307,14 @@ func TestAPDPolicyBlocksScanPollution(t *testing.T) {
 	if r.APDFollowupAdmitted != 0 {
 		t.Errorf("APD follow-ups admitted = %d, want 0", r.APDFollowupAdmitted)
 	}
+	// The per-shard policy clones must preserve both properties on the
+	// sharded data plane.
+	if r.ShardedAPDMarks != 0 {
+		t.Errorf("sharded APD marks = %d, want 0", r.ShardedAPDMarks)
+	}
+	if r.ShardedFollowupAdmitted != 0 {
+		t.Errorf("sharded APD follow-ups admitted = %d, want 0", r.ShardedFollowupAdmitted)
+	}
 	// Ratio policy: no drops when balanced, full drops when flooded.
 	if r.RatioDropEarly != 0 {
 		t.Errorf("balanced drop probability = %v", r.RatioDropEarly)

@@ -62,7 +62,8 @@ type PacketFilter interface {
 type BatchFilter interface {
 	PacketFilter
 	// ProcessBatch processes pkts in order and returns one verdict per
-	// packet (nil for an empty batch). The returned slice is freshly
+	// packet. For an empty batch (nil or zero-length) it returns nil,
+	// never a non-nil empty slice. The returned slice is freshly
 	// allocated; use ProcessBatchInto on hot paths.
 	ProcessBatch(pkts []packet.Packet) []Verdict
 	// ProcessBatchInto processes pkts in order, storing one verdict per
@@ -71,7 +72,12 @@ type BatchFilter interface {
 	// reused and the call performs no allocation; otherwise a larger
 	// slice is allocated, exactly like append. Every element of the
 	// returned slice is overwritten, so dirty buffers from previous
-	// batches may be passed as-is. out may be nil.
+	// batches may be passed as-is. out may be nil. For an empty batch
+	// the result is out[:0] — length 0 with out's backing array
+	// retained, so a packet pump that recycles its verdict buffer does
+	// not lose it across an idle poll (contrast ProcessBatch, which
+	// returns nil). The empty-batch behavior of every implementation is
+	// pinned by TestEmptyBatchContract in this package.
 	ProcessBatchInto(pkts []packet.Packet, out []Verdict) []Verdict
 }
 

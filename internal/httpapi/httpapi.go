@@ -21,16 +21,32 @@ import (
 	"strings"
 	"time"
 
-	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/core"
 	"bitmapfilter/internal/packet"
 )
 
 // ErrNilFilter is returned by New when no filter is supplied.
 var ErrNilFilter = errors.New("httpapi: nil filter")
 
+// Filter is the surface the API scrapes and controls. The wall-clock
+// adapter (*live.Filter) satisfies it, as do *core.Safe and
+// *core.Sharded for embedders that drive virtual time themselves.
+type Filter interface {
+	Stats() core.Stats
+	PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto)
+}
+
+// ShardStatser is the optional per-shard introspection extension.
+// *core.Sharded implements it natively and *live.Filter forwards it (nil
+// for an unsharded inner filter); when snapshots are present, /stats and
+// /metrics include per-shard breakdowns.
+type ShardStatser interface {
+	ShardStats() []core.Stats
+}
+
 // API serves the endpoints for one live filter.
 type API struct {
-	filter *live.Filter
+	filter Filter
 	mux    *http.ServeMux
 	start  time.Time
 }
@@ -38,7 +54,7 @@ type API struct {
 var _ http.Handler = (*API)(nil)
 
 // New builds the handler around f.
-func New(f *live.Filter) (*API, error) {
+func New(f Filter) (*API, error) {
 	if f == nil {
 		return nil, ErrNilFilter
 	}
@@ -88,29 +104,67 @@ type statsPayload struct {
 	InPassed   uint64 `json:"inPassed"`
 	InDropped  uint64 `json:"inDropped"`
 	APDSpared  uint64 `json:"apdSpared"`
+
+	APDEnabled         bool    `json:"apdEnabled"`
+	APDPolicy          string  `json:"apdPolicy,omitempty"`
+	APDDropProbability float64 `json:"apdDropProbability"`
+
+	// Shards holds per-shard breakdowns for sharded filters (absent
+	// otherwise). Top-level fields are then cross-shard aggregates.
+	Shards []shardPayload `json:"shards,omitempty"`
+}
+
+// shardPayload is the per-shard slice of /stats for sharded filters.
+type shardPayload struct {
+	Utilization        float64 `json:"utilization"`
+	APDDropProbability float64 `json:"apdDropProbability"`
+	APDSpared          uint64  `json:"apdSpared"`
+	InPackets          uint64  `json:"inPackets"`
+	InDropped          uint64  `json:"inDropped"`
+}
+
+// shardStats returns per-shard snapshots when the filter exposes them,
+// nil otherwise.
+func (a *API) shardStats() []core.Stats {
+	if ss, ok := a.filter.(ShardStatser); ok {
+		return ss.ShardStats()
+	}
+	return nil
 }
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s := a.filter.Stats()
 	payload := statsPayload{
-		UptimeSeconds:     time.Since(a.start).Seconds(),
-		Order:             s.Order,
-		Vectors:           s.Vectors,
-		Hashes:            s.Hashes,
-		RotateNs:          int64(s.RotateEvery),
-		ExpiryNs:          int64(s.ExpiryTimer),
-		MemoryBytes:       s.MemoryBytes,
-		Rotations:         s.Rotations,
-		CurrentIndex:      s.CurrentIndex,
-		Marks:             s.Marks,
-		Utilization:       s.Utilization,
-		VectorUtilization: s.VectorUtilization,
-		Penetration:       s.PenetrationProbability,
-		OutPackets:        s.Counters.OutPackets,
-		InPackets:         s.Counters.InPackets,
-		InPassed:          s.Counters.InPassed,
-		InDropped:         s.Counters.InDropped,
-		APDSpared:         s.APDSpared,
+		UptimeSeconds:      time.Since(a.start).Seconds(),
+		Order:              s.Order,
+		Vectors:            s.Vectors,
+		Hashes:             s.Hashes,
+		RotateNs:           int64(s.RotateEvery),
+		ExpiryNs:           int64(s.ExpiryTimer),
+		MemoryBytes:        s.MemoryBytes,
+		Rotations:          s.Rotations,
+		CurrentIndex:       s.CurrentIndex,
+		Marks:              s.Marks,
+		Utilization:        s.Utilization,
+		VectorUtilization:  s.VectorUtilization,
+		Penetration:        s.PenetrationProbability,
+		OutPackets:         s.Counters.OutPackets,
+		InPackets:          s.Counters.InPackets,
+		InPassed:           s.Counters.InPassed,
+		InDropped:          s.Counters.InDropped,
+		APDSpared:          s.APDSpared,
+		APDEnabled:         s.APDEnabled,
+		APDPolicy:          s.APDPolicy,
+		APDDropProbability: s.APDDropProbability,
+	}
+	for _, st := range a.shardStats() {
+		payload.Shards = append(payload.Shards, shardPayload{
+			Utilization:        st.Utilization,
+			APDDropProbability: st.APDDropProbability,
+			APDSpared:          st.APDSpared,
+			InPackets:          st.Counters.InPackets,
+			InDropped:          st.Counters.InDropped,
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
@@ -156,6 +210,33 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Incoming packets dropped")
 	counter("bitmapfilter_apd_spared_total", s.APDSpared,
 		"Unmatched incoming packets admitted by APD")
+	apdEnabled := 0.0
+	if s.APDEnabled {
+		apdEnabled = 1
+	}
+	gauge("bitmapfilter_apd_enabled", apdEnabled,
+		"Whether an adaptive-packet-dropping policy is attached (§5.3)")
+	gauge("bitmapfilter_apd_drop_probability", s.APDDropProbability,
+		"Drop probability for unmatched incoming packets; mean across shards on a sharded filter")
+	if per := a.shardStats(); len(per) > 0 {
+		shardGauge := func(name, help string, v func(core.Stats) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for i, st := range per {
+				fmt.Fprintf(&b, "%s{shard=\"%d\"} %g\n", name, i, v(st))
+			}
+		}
+		shardGauge("bitmapfilter_shard_apd_drop_probability",
+			"Per-shard APD drop probability (the shard's clone of the policy)",
+			func(st core.Stats) float64 { return st.APDDropProbability })
+		shardGauge("bitmapfilter_shard_utilization",
+			"Per-shard current-vector fill fraction",
+			func(st core.Stats) float64 { return st.Utilization })
+		fmt.Fprintf(&b, "# HELP bitmapfilter_shard_apd_spared_total Per-shard unmatched incoming packets admitted by APD\n"+
+			"# TYPE bitmapfilter_shard_apd_spared_total counter\n")
+		for i, st := range per {
+			fmt.Fprintf(&b, "bitmapfilter_shard_apd_spared_total{shard=\"%d\"} %d\n", i, st.APDSpared)
+		}
+	}
 	_, _ = w.Write([]byte(b.String()))
 }
 

@@ -133,6 +133,136 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestShardedAPDExposition mounts the API directly on a sharded filter
+// with an APD policy attached and checks that /stats carries the APD
+// fields plus the per-shard breakdown, and /metrics the aggregate and
+// per-shard gauges.
+func TestShardedAPDExposition(t *testing.T) {
+	rp, err := core.NewRatioPolicy(1, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := core.NewSharded(4, core.WithOrder(12), core.WithAPD(rp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := New(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incoming-only probes: each shard spares its first admitted probe and
+	// then saturates its clone's ratio indicator at p = 1.
+	for i := 0; i < 64; i++ {
+		sh.Process(packet.Packet{
+			Tuple: packet.Tuple{
+				Src: packet.AddrFrom4(203, 0, 113, byte(i)), Dst: packet.AddrFrom4(10, 0, 0, 1),
+				SrcPort: 80, DstPort: uint16(5000 + i), Proto: packet.TCP,
+			},
+			Dir: packet.Incoming, Flags: packet.SYN, Length: 60,
+		})
+	}
+
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got statsPayload
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.APDEnabled || got.APDPolicy != "apd-ratio" {
+		t.Errorf("apd fields: enabled=%v policy=%q", got.APDEnabled, got.APDPolicy)
+	}
+	if got.APDDropProbability == 0 {
+		t.Error("aggregate apdDropProbability = 0 after an incoming-only flood")
+	}
+	if len(got.Shards) != 4 {
+		t.Fatalf("shards payload has %d entries, want 4", len(got.Shards))
+	}
+	var inPackets, spared uint64
+	for _, sp := range got.Shards {
+		inPackets += sp.InPackets
+		spared += sp.APDSpared
+	}
+	if inPackets != got.InPackets {
+		t.Errorf("per-shard inPackets sum to %d, aggregate says %d", inPackets, got.InPackets)
+	}
+	if spared != got.APDSpared || spared == 0 {
+		t.Errorf("per-shard apdSpared sum to %d, aggregate says %d", spared, got.APDSpared)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, metric := range []string{
+		"bitmapfilter_apd_enabled 1",
+		"bitmapfilter_apd_drop_probability",
+		"# TYPE bitmapfilter_shard_apd_drop_probability gauge",
+		`bitmapfilter_shard_apd_drop_probability{shard="0"}`,
+		`bitmapfilter_shard_apd_drop_probability{shard="3"}`,
+		`bitmapfilter_shard_utilization{shard="0"}`,
+		"# TYPE bitmapfilter_shard_apd_spared_total counter",
+		`bitmapfilter_shard_apd_spared_total{shard="0"}`,
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics missing %q\n%s", metric, body)
+		}
+	}
+}
+
+// TestUnshardedHasNoShardBreakdown pins the inverse: a plain live filter
+// reports no shards array and no per-shard metrics.
+func TestUnshardedHasNoShardBreakdown(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got statsPayload
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != nil {
+		t.Errorf("unsharded filter reported shards: %+v", got.Shards)
+	}
+	if got.APDEnabled {
+		t.Error("APD reported enabled with no policy attached")
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "bitmapfilter_shard_") {
+		t.Error("unsharded filter exposed per-shard metrics")
+	}
+	if !strings.Contains(string(raw), "bitmapfilter_apd_enabled 0") {
+		t.Error("metrics missing bitmapfilter_apd_enabled 0")
+	}
+}
+
 func TestPunch(t *testing.T) {
 	api, lf := newAPI(t)
 	srv := httptest.NewServer(api)

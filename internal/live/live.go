@@ -22,6 +22,25 @@ import (
 // ErrNilFilter is returned by New when no filter is supplied.
 var ErrNilFilter = errors.New("live: nil filter")
 
+// Inner is the filter surface the adapter drives: the batched data plane
+// plus the introspection and control hooks the daemon endpoints need.
+// *core.Filter, *core.Safe and *core.Sharded all satisfy it, so a
+// wall-clock deployment picks its concurrency flavor (including
+// sharded+APD) without changing the adapter.
+type Inner interface {
+	filtering.BatchFilter
+	PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto)
+	Stats() core.Stats
+	Utilization() float64
+	RotateEvery() time.Duration
+}
+
+// shardStatser is the optional per-shard introspection surface
+// (*core.Sharded); see Filter.ShardStats.
+type shardStatser interface {
+	ShardStats() []core.Stats
+}
+
 // Clock abstracts wall time so tests can drive the adapter
 // deterministically.
 type Clock interface {
@@ -49,7 +68,7 @@ func WithClock(c Clock) Option { return clockOption{c: c} }
 // Filter is a goroutine-safe, wall-clock-driven bitmap filter.
 type Filter struct {
 	mu     sync.Mutex
-	inner  *core.Filter
+	inner  Inner
 	clock  Clock
 	start  time.Time
 	ticker struct {
@@ -58,9 +77,9 @@ type Filter struct {
 	}
 }
 
-// New wraps a core filter. The wrapped filter must not be used directly
-// afterwards.
-func New(f *core.Filter, opts ...Option) (*Filter, error) {
+// New wraps a core filter flavor (see Inner). The wrapped filter must not
+// be used directly afterwards.
+func New(f Inner, opts ...Option) (*Filter, error) {
 	if f == nil {
 		return nil, ErrNilFilter
 	}
@@ -145,12 +164,26 @@ func (l *Filter) Counters() filtering.Counters {
 }
 
 // Stats returns a full introspection snapshot at wall-clock time
-// (rotations due up to now fire first).
+// (rotations due up to now fire first). For a sharded inner filter this
+// is the cross-shard aggregate.
 func (l *Filter) Stats() core.Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.inner.AdvanceTo(l.elapsed())
 	return l.inner.Stats()
+}
+
+// ShardStats returns per-shard snapshots at wall-clock time when the
+// wrapped filter is sharded, and nil otherwise.
+func (l *Filter) ShardStats() []core.Stats {
+	ss, ok := l.inner.(shardStatser)
+	if !ok {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.AdvanceTo(l.elapsed())
+	return ss.ShardStats()
 }
 
 // StartRotations launches a background goroutine that advances the filter
