@@ -210,6 +210,34 @@ func ReadSnapshot(r io.Reader, opts ...Option) (*Filter, error) {
 	return core.ReadSnapshot(r, opts...)
 }
 
+// Snapshottable is the surface shared by every filter flavor that can be
+// checkpointed; *Filter, *Safe and *Sharded implement it.
+type Snapshottable = core.Snapshottable
+
+// ErrSnapshotKind is returned when a snapshot holds a different filter
+// flavor than the reader expects; ReadAnySnapshot accepts every flavor.
+var ErrSnapshotKind = core.ErrSnapshotKind
+
+// ReadSafeSnapshot is ReadSnapshot returning the filter already wrapped
+// for concurrent use.
+func ReadSafeSnapshot(r io.Reader, opts ...Option) (*Safe, error) {
+	return core.ReadSafeSnapshot(r, opts...)
+}
+
+// ReadShardedSnapshot reconstructs a sharded filter from a stream written
+// by Sharded.WriteSnapshot. The shard count comes from the snapshot (flow
+// routing depends on it); an APD policy passed via WithAPD is cloned per
+// shard exactly as NewSharded does.
+func ReadShardedSnapshot(r io.Reader, opts ...Option) (*Sharded, error) {
+	return core.ReadShardedSnapshot(r, opts...)
+}
+
+// ReadAnySnapshot reconstructs whichever filter flavor the stream holds —
+// the restore path for checkpoints whose flavor is not known in advance.
+func ReadAnySnapshot(r io.Reader, opts ...Option) (Snapshottable, error) {
+	return core.ReadAnySnapshot(r, opts...)
+}
+
 // LiveFilter is the wall-clock deployment adapter: goroutine-safe, stamps
 // packets with elapsed monotonic time, and can rotate in the background
 // while the link is quiet.
@@ -234,3 +262,11 @@ func NewLive(f LiveInner, opts ...LiveOption) (*LiveFilter, error) {
 
 // WithClock substitutes the LiveFilter's time source.
 func WithClock(c Clock) LiveOption { return live.WithClock(c) }
+
+// ReadLiveSnapshot reconstructs a wall-clock filter from a stream written
+// by LiveFilter.WriteSnapshot (or any flavor's WriteSnapshot): the inner
+// flavor comes from the snapshot and the adapter's clock is back-dated so
+// marks keep their residual lifetime across the restart.
+func ReadLiveSnapshot(r io.Reader, coreOpts []Option, liveOpts ...LiveOption) (*LiveFilter, error) {
+	return live.ReadSnapshot(r, coreOpts, liveOpts...)
+}

@@ -1,10 +1,18 @@
 // Command bfserve runs a live bitmap filter as a long-running daemon with
 // an HTTP monitoring and control plane:
 //
-//	GET  /healthz   liveness
-//	GET  /stats     filter introspection (JSON)
-//	GET  /metrics   Prometheus text exposition
-//	POST /punch     §5.1 hole punching
+//	GET  /healthz     liveness
+//	GET  /stats       filter introspection (JSON)
+//	GET  /metrics     Prometheus text exposition
+//	POST /punch       §5.1 hole punching
+//	POST /checkpoint  persist a snapshot now (with -checkpoint)
+//
+// With -checkpoint <path> the daemon becomes crash-safe: it restores
+// filter state from the newest good checkpoint on startup (falling back
+// to the .bak rotation and finally to a cold start), persists a snapshot
+// every -checkpoint-every (jittered) and once more on SIGTERM, so a
+// restarting edge router keeps admitting established flows instead of
+// blacking them out for up to T_e.
 //
 // In -demo mode (default) a calibrated synthetic workload is replayed
 // against the filter in wall-clock time at the configured speedup, so the
@@ -14,6 +22,7 @@
 // Usage:
 //
 //	bfserve [-listen :8080] [-demo] [-speedup 10] [-order 20]
+//	        [-checkpoint /var/lib/bfserve/state.bmf] [-checkpoint-every 30s]
 package main
 
 import (
@@ -21,12 +30,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"bitmapfilter/internal/checkpoint"
 	"bitmapfilter/internal/core"
 	"bitmapfilter/internal/filtering"
 	"bitmapfilter/internal/httpapi"
@@ -55,6 +66,8 @@ func run() error {
 		shards  = flag.Int("shards", 1, "shard count (>1 runs the sharded data plane)")
 		apd     = flag.String("apd", "", `adaptive packet dropping: "ratio" or "bandwidth" (§5.3)`)
 		apdCap  = flag.Float64("apd-capacity", 100e6, "link capacity in bits/s for -apd bandwidth")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file; restores state on startup and persists it periodically and on SIGTERM")
+		ckptDt  = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint; jittered ±10%)")
 	)
 	flag.Parse()
 
@@ -82,33 +95,43 @@ func run() error {
 		return fmt.Errorf("unknown -apd policy %q (want ratio or bandwidth)", *apd)
 	}
 
-	// Any core flavor rides behind the same wall-clock adapter; a sharded
-	// filter clones the APD policy per shard and exposes per-shard gauges
-	// on /metrics.
-	var inner live.Inner
-	if *shards > 1 {
-		sh, err := core.NewSharded(*shards, opts...)
-		if err != nil {
-			return err
-		}
-		inner = sh
-	} else {
-		f, err := core.New(opts...)
-		if err != nil {
-			return err
-		}
-		inner = f
-	}
-	filter, err := live.New(inner)
+	filter, restoreRes, err := buildLiveFilter(*ckpt, opts, *shards)
 	if err != nil {
 		return err
 	}
+	logRestore(*ckpt, restoreRes)
 	if err := filter.StartRotations(0); err != nil {
 		return err
 	}
 	defer filter.StopRotations()
 
-	api, err := httpapi.New(filter)
+	// With -checkpoint the daemon persists snapshots periodically (and on
+	// SIGTERM below); the API gains POST /checkpoint and the
+	// bitmapfilter_checkpoint_* series.
+	var (
+		cp      *checkpoint.Checkpointer
+		apiOpts []httpapi.Option
+	)
+	if *ckpt != "" {
+		cp, err = checkpoint.New(checkpoint.Config{
+			Path:     *ckpt,
+			Write:    filter.WriteSnapshot,
+			Interval: *ckptDt,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "bfserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := cp.Start(); err != nil {
+			return err
+		}
+		defer cp.Stop()
+		apiOpts = append(apiOpts, httpapi.WithCheckpointer(cp, restoreRes))
+	}
+
+	api, err := httpapi.New(filter, apiOpts...)
 	if err != nil {
 		return err
 	}
@@ -124,7 +147,7 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("bfserve: listening on http://%s (filter %s, %d KiB)\n",
-			*listen, inner.Name(), inner.MemoryBytes()/1024)
+			*listen, filter.Name(), filter.Stats().MemoryBytes/1024)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -147,6 +170,15 @@ func run() error {
 	select {
 	case <-ctx.Done():
 		fmt.Println("\nbfserve: shutting down")
+		// Persist the final state before the server goes away, so the
+		// next boot warm-starts from the very last marks.
+		if cp != nil {
+			if err := cp.CheckpointNow(); err != nil {
+				fmt.Fprintln(os.Stderr, "bfserve: final checkpoint:", err)
+			} else {
+				fmt.Printf("bfserve: final checkpoint saved to %s\n", *ckpt)
+			}
+		}
 	case err := <-errCh:
 		stop()
 		<-demoDone
@@ -160,6 +192,73 @@ func run() error {
 	}
 	<-demoDone
 	return <-errCh
+}
+
+// buildLiveFilter returns the wall-clock filter the daemon serves. With a
+// checkpoint path it walks the restore ladder first — primary file, .bak
+// rotation, cold start — and only builds a fresh filter from the flags
+// when no good snapshot exists; the snapshot is authoritative for the
+// filter geometry (order/vectors/shards), while APD policies, which are
+// deliberately not serialized, are re-attached from the flags via opts.
+func buildLiveFilter(ckptPath string, opts []core.Option, shards int) (*live.Filter, checkpoint.RestoreResult, error) {
+	if ckptPath != "" {
+		var restored *live.Filter
+		res := checkpoint.Restore(ckptPath, func(r io.Reader) error {
+			f, err := live.ReadSnapshot(r, opts)
+			if err != nil {
+				return err
+			}
+			restored = f
+			return nil
+		})
+		if res.Outcome.Restored() {
+			return restored, res, nil
+		}
+		f, err := coldFilter(opts, shards)
+		return f, res, err
+	}
+	f, err := coldFilter(opts, shards)
+	return f, checkpoint.RestoreResult{Outcome: checkpoint.OutcomeColdStartEmpty}, err
+}
+
+// coldFilter builds an empty filter from the flags. Any core flavor rides
+// behind the same wall-clock adapter; a sharded filter clones the APD
+// policy per shard and exposes per-shard gauges on /metrics.
+func coldFilter(opts []core.Option, shards int) (*live.Filter, error) {
+	var inner live.Inner
+	if shards > 1 {
+		sh, err := core.NewSharded(shards, opts...)
+		if err != nil {
+			return nil, err
+		}
+		inner = sh
+	} else {
+		f, err := core.New(opts...)
+		if err != nil {
+			return nil, err
+		}
+		inner = f
+	}
+	return live.New(inner)
+}
+
+// logRestore reports each restore-ladder outcome distinctly.
+func logRestore(ckptPath string, res checkpoint.RestoreResult) {
+	if ckptPath == "" {
+		return
+	}
+	switch res.Outcome {
+	case checkpoint.OutcomePrimary:
+		fmt.Printf("bfserve: restored filter state from %s\n", res.File)
+	case checkpoint.OutcomeBackup:
+		fmt.Fprintf(os.Stderr, "bfserve: checkpoint %s unusable (%v); restored from backup %s\n",
+			ckptPath, res.PrimaryErr, res.File)
+	case checkpoint.OutcomeColdStartEmpty:
+		fmt.Printf("bfserve: no checkpoint at %s; cold start\n", ckptPath)
+	case checkpoint.OutcomeColdStartCorrupt:
+		fmt.Fprintf(os.Stderr, "bfserve: checkpoint unusable (primary: %v; backup: %v); COLD START — established flows will drop for up to T_e\n",
+			res.PrimaryErr, res.BackupErr)
+	}
 }
 
 // Demo feed batching: packets due within demoBatchSlack of "now" are

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/checkpoint"
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+var testOpts = []core.Option{
+	core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+	core.WithRotateEvery(5 * time.Second),
+}
+
+// TestWarmRestartAdmitsEstablishedFlows is the daemon-level restart
+// drill: mark a flow, checkpoint, rebuild the filter from disk the way
+// run() does on boot, and verify the reply is still admitted.
+func TestWarmRestartAdmitsEstablishedFlows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bmf")
+
+	f1, res, err := buildLiveFilter(path, testOpts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != checkpoint.OutcomeColdStartEmpty {
+		t.Fatalf("first boot outcome = %v, want cold-start-empty", res.Outcome)
+	}
+	tup := packet.Tuple{
+		Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(198, 51, 100, 7),
+		SrcPort: 4000, DstPort: 80, Proto: packet.TCP,
+	}
+	f1.Observe(tup, packet.Outgoing, packet.SYN, 60)
+	if _, err := checkpoint.Save(path, f1.WriteSnapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, res, err := buildLiveFilter(path, testOpts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != checkpoint.OutcomePrimary {
+		t.Fatalf("restart outcome = %v, want primary", res.Outcome)
+	}
+	if v := f2.Observe(tup.Reverse(), packet.Incoming, packet.ACK, 60); v != filtering.Pass {
+		t.Error("established flow dropped after warm restart")
+	}
+}
+
+// TestWarmRestartShardedFlavor: the snapshot is authoritative for the
+// flavor — a daemon checkpointed with 4 shards restores 4 shards even if
+// the restart flags say otherwise.
+func TestWarmRestartShardedFlavor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bmf")
+
+	f1, _, err := buildLiveFilter(path, testOpts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Save(path, f1.WriteSnapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, res, err := buildLiveFilter(path, testOpts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != checkpoint.OutcomePrimary {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if ss := f2.ShardStats(); len(ss) != 4 {
+		t.Errorf("restored %d shards, want 4", len(ss))
+	}
+}
+
+// TestCorruptCheckpointColdStarts: a mangled checkpoint (no backup) must
+// come up empty rather than fail the boot or restore garbage.
+func TestCorruptCheckpointColdStarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bmf")
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, res, err := buildLiveFilter(path, testOpts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != checkpoint.OutcomeColdStartCorrupt {
+		t.Fatalf("outcome = %v, want cold-start-corrupt", res.Outcome)
+	}
+	if res.PrimaryErr == nil {
+		t.Error("corrupt primary error not reported")
+	}
+	if f.Stats().Marks != 0 {
+		t.Error("cold start carries marks")
+	}
+}
+
+// TestNoCheckpointPathColdStarts: without -checkpoint the daemon builds
+// from flags only.
+func TestNoCheckpointPathColdStarts(t *testing.T) {
+	f, res, err := buildLiveFilter("", testOpts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != checkpoint.OutcomeColdStartEmpty {
+		t.Errorf("outcome = %v", res.Outcome)
+	}
+	if ss := f.ShardStats(); len(ss) != 2 {
+		t.Errorf("flag shards ignored: got %d", len(ss))
+	}
+}

@@ -5,16 +5,21 @@
 //
 // The demo runs the calibrated trace, "restarts" the filter midway under
 // both strategies, and compares the benign drop rate in the window right
-// after the restart.
+// after the restart. The warm path goes through the crash-safe
+// checkpoint machinery the bfserve daemon uses — an atomic temp-file +
+// fsync + rename save and the restore fallback ladder — rather than an
+// in-memory buffer, so the demo exercises the real failover artifact.
 package main
 
 import (
-	"bytes"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"bitmapfilter"
+	"bitmapfilter/internal/checkpoint"
 	"bitmapfilter/internal/trafficgen"
 )
 
@@ -81,13 +86,25 @@ func runScenario(withSnapshot bool, restartAt, window time.Duration) (float64, f
 		if !restarted && pkt.Time >= restartAt {
 			restarted = true
 			if withSnapshot {
-				// The failing router streamed its state out; the
-				// standby restores from it.
-				var state bytes.Buffer
-				if err := filter.WriteSnapshot(&state); err != nil {
+				// The failing router checkpointed its state to disk
+				// (atomically: temp file, fsync, rename); the standby
+				// walks the restore ladder and picks it up.
+				dir, derr := os.MkdirTemp("", "failover")
+				if derr != nil {
+					return 0, 0, derr
+				}
+				defer os.RemoveAll(dir)
+				path := filepath.Join(dir, "state.bmf")
+				if _, err := checkpoint.Save(path, filter.WriteSnapshot); err != nil {
 					return 0, 0, err
 				}
-				filter, err = bitmapfilter.ReadSnapshot(&state)
+				res := checkpoint.Restore(path, func(r io.Reader) error {
+					filter, err = bitmapfilter.ReadSnapshot(r)
+					return err
+				})
+				if !res.Outcome.Restored() {
+					return 0, 0, fmt.Errorf("restore failed: %+v", res)
+				}
 			} else {
 				// Cold start: the standby comes up empty.
 				filter, err = bitmapfilter.New(bitmapfilter.WithOrder(16))

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// fileSystem abstracts the handful of filesystem operations the
+// checkpoint path needs, so the fault-injection tests can substitute an
+// in-memory implementation that crashes at arbitrary byte offsets and
+// metadata operations. Production code always uses osFS.
+type fileSystem interface {
+	// CreateTemp creates a new unique file in dir for writing.
+	CreateTemp(dir, pattern string) (writableFile, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; used only for cleanup of abandoned temps.
+	Remove(name string) error
+	// Open opens a file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// SyncDir fsyncs a directory so a preceding rename is durable.
+	SyncDir(dir string) error
+}
+
+// writableFile is the write side of a checkpoint temp file.
+type writableFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (writableFile, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,137 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"io/fs"
+)
+
+// memFS is an in-memory fileSystem with crash injection: it can kill the
+// process (modeled as a panic carrying crashSentinel) after a configured
+// number of payload bytes have been written, or immediately before a
+// configured metadata operation (create/rename/remove/sync). The
+// fault-injection suite drives a checkpoint Save into every possible
+// crash point and proves Restore never comes back with corrupt state.
+type memFS struct {
+	files   map[string][]byte
+	tempSeq int
+
+	// byteBudget counts remaining payload bytes; a write that would
+	// exceed it persists the prefix and crashes. -1 disables.
+	byteBudget int
+	// opBudget counts remaining metadata operations; when it reaches
+	// zero the next operation crashes before executing. -1 disables.
+	opBudget int
+}
+
+type crashSentinel struct{}
+
+func newMemFS() *memFS {
+	return &memFS{files: make(map[string][]byte), byteBudget: -1, opBudget: -1}
+}
+
+// clone deep-copies the filesystem state so each crash scenario starts
+// from the same disk image.
+func (m *memFS) clone() *memFS {
+	c := newMemFS()
+	c.tempSeq = m.tempSeq
+	for name, data := range m.files {
+		c.files[name] = bytes.Clone(data)
+	}
+	return c
+}
+
+// crash kills the simulated process.
+func (m *memFS) crash() {
+	panic(crashSentinel{})
+}
+
+// op spends one metadata-operation budget slot, crashing when exhausted.
+func (m *memFS) op() {
+	if m.opBudget < 0 {
+		return
+	}
+	if m.opBudget == 0 {
+		m.crash()
+	}
+	m.opBudget--
+}
+
+func (m *memFS) CreateTemp(dir, pattern string) (writableFile, error) {
+	m.op()
+	m.tempSeq++
+	name := fmt.Sprintf("%s/%s.%d", dir, pattern, m.tempSeq)
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *memFS) Rename(oldpath, newpath string) error {
+	m.op()
+	data, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", oldpath, fs.ErrNotExist)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = data
+	return nil
+}
+
+func (m *memFS) Remove(name string) error {
+	m.op()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *memFS) Open(name string) (io.ReadCloser, error) {
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("open %s: %w", name, fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+func (m *memFS) SyncDir(string) error {
+	m.op()
+	return nil
+}
+
+// names returns the current file set (for scenario assertions).
+func (m *memFS) names() []string {
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	return out
+}
+
+// memFile appends into its memFS entry, honoring the byte budget.
+type memFile struct {
+	fs   *memFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.fs.byteBudget >= 0 && f.fs.byteBudget < len(p) {
+		// Torn write: the crash persists only a prefix.
+		f.fs.files[f.name] = append(f.fs.files[f.name], p[:f.fs.byteBudget]...)
+		f.fs.crash()
+	}
+	if f.fs.byteBudget >= 0 {
+		f.fs.byteBudget -= len(p)
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.op()
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+func (f *memFile) Name() string { return f.name }

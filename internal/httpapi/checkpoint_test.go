@@ -1,0 +1,235 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/checkpoint"
+)
+
+// fakeCheckpointer records CheckpointNow calls and serves canned stats.
+type fakeCheckpointer struct {
+	calls int
+	err   error
+	stats checkpoint.Stats
+}
+
+func (f *fakeCheckpointer) CheckpointNow() error {
+	f.calls++
+	if f.err == nil {
+		f.stats.Successes++
+		f.stats.LastSuccess = time.Now()
+	}
+	return f.err
+}
+
+func (f *fakeCheckpointer) Stats() checkpoint.Stats { return f.stats }
+
+func newCheckpointAPI(t *testing.T, cp CheckpointControl, res checkpoint.RestoreResult) *httptest.Server {
+	t.Helper()
+	api, lf := newAPI(t)
+	_ = lf
+	api2, err := New(api.filter, WithCheckpointer(cp, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api2)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	cp := &fakeCheckpointer{stats: checkpoint.Stats{LastBytes: 1234}}
+	srv := newCheckpointAPI(t, cp, checkpoint.RestoreResult{
+		Outcome: checkpoint.OutcomePrimary, File: "/var/lib/bf/state.bmf",
+	})
+
+	resp, err := http.Post(srv.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if cp.calls != 1 {
+		t.Errorf("CheckpointNow called %d times, want 1", cp.calls)
+	}
+	if !strings.Contains(string(body), "1234 bytes") {
+		t.Errorf("body = %q, want byte count", body)
+	}
+
+	// GET must not trigger a save.
+	getResp, err := http.Get(srv.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode == http.StatusOK {
+		t.Error("GET /checkpoint succeeded, want method rejection")
+	}
+	if cp.calls != 1 {
+		t.Errorf("GET triggered a save (calls=%d)", cp.calls)
+	}
+}
+
+func TestCheckpointEndpointError(t *testing.T) {
+	cp := &fakeCheckpointer{err: errors.New("disk full")}
+	srv := newCheckpointAPI(t, cp, checkpoint.RestoreResult{})
+
+	resp, err := http.Post(srv.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "disk full") {
+		t.Errorf("body = %q, want failure reason", body)
+	}
+}
+
+func TestCheckpointAbsentWithoutOption(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /checkpoint without checkpointer = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatsIncludesCheckpoint(t *testing.T) {
+	cp := &fakeCheckpointer{stats: checkpoint.Stats{
+		Interval:  30 * time.Second,
+		Attempts:  7,
+		Successes: 5,
+		Failures:  2,
+		LastBytes: 4096,
+		LastError: "transient",
+	}}
+	srv := newCheckpointAPI(t, cp, checkpoint.RestoreResult{
+		Outcome: checkpoint.OutcomeBackup, File: "/s.bmf.bak",
+	})
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Checkpoint *struct {
+			RestoreOutcome        string  `json:"restoreOutcome"`
+			RestoredFrom          string  `json:"restoredFrom"`
+			IntervalNs            int64   `json:"intervalNs"`
+			Attempts              uint64  `json:"attempts"`
+			Successes             uint64  `json:"successes"`
+			Failures              uint64  `json:"failures"`
+			LastSuccessAgeSeconds float64 `json:"lastSuccessAgeSeconds"`
+			LastBytes             int64   `json:"lastBytes"`
+			LastError             string  `json:"lastError"`
+		} `json:"checkpoint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	c := payload.Checkpoint
+	if c == nil {
+		t.Fatal("stats payload has no checkpoint section")
+	}
+	if c.RestoreOutcome != "backup" || c.RestoredFrom != "/s.bmf.bak" {
+		t.Errorf("restore = %q from %q", c.RestoreOutcome, c.RestoredFrom)
+	}
+	if c.Attempts != 7 || c.Successes != 5 || c.Failures != 2 || c.LastBytes != 4096 {
+		t.Errorf("counters wrong: %+v", c)
+	}
+	if c.LastSuccessAgeSeconds != -1 {
+		t.Errorf("age before first success = %v, want -1", c.LastSuccessAgeSeconds)
+	}
+	if c.LastError != "transient" {
+		t.Errorf("lastError = %q", c.LastError)
+	}
+}
+
+func TestStatsOmitsCheckpointWhenDisabled(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "\"checkpoint\"") {
+		t.Error("stats includes checkpoint section without a checkpointer")
+	}
+}
+
+func TestMetricsCheckpointSeries(t *testing.T) {
+	cp := &fakeCheckpointer{stats: checkpoint.Stats{
+		Attempts: 3, Successes: 3, LastBytes: 512,
+		LastSuccess: time.Now().Add(-2 * time.Second),
+	}}
+	srv := newCheckpointAPI(t, cp, checkpoint.RestoreResult{
+		Outcome: checkpoint.OutcomePrimary, File: "/s.bmf",
+	})
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"bitmapfilter_checkpoint_enabled 1",
+		"bitmapfilter_checkpoint_attempts_total 3",
+		"bitmapfilter_checkpoint_success_total 3",
+		"bitmapfilter_checkpoint_failures_total 0",
+		"bitmapfilter_checkpoint_last_size_bytes 512",
+		`bitmapfilter_checkpoint_restore_outcome{outcome="primary"} 1`,
+		`bitmapfilter_checkpoint_restore_outcome{outcome="backup"} 0`,
+		`bitmapfilter_checkpoint_restore_outcome{outcome="cold-start-empty"} 0`,
+		`bitmapfilter_checkpoint_restore_outcome{outcome="cold-start-corrupt"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "bitmapfilter_checkpoint_last_success_age_seconds") {
+		t.Error("metrics missing last-success age gauge")
+	}
+
+	// Without a checkpointer the enabled gauge reads 0 and no other
+	// checkpoint series appear.
+	api, _ := newAPI(t)
+	plain := httptest.NewServer(api)
+	defer plain.Close()
+	resp2, err := http.Get(plain.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body2), "bitmapfilter_checkpoint_enabled 0") {
+		t.Error("disabled gauge missing")
+	}
+	if strings.Contains(string(body2), "bitmapfilter_checkpoint_attempts_total") {
+		t.Error("checkpoint counters exported without a checkpointer")
+	}
+}

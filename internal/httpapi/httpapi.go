@@ -2,11 +2,12 @@
 // bitmap filter over HTTP, the surface an operator integration would
 // scrape and script against:
 //
-//	GET  /healthz  liveness probe
-//	GET  /stats    full filter introspection as JSON
-//	GET  /metrics  Prometheus text exposition of the key gauges/counters
-//	POST /punch    §5.1 hole punching: ?local=10.0.0.5&port=20000
-//	               &remote=198.51.100.7&proto=tcp
+//	GET  /healthz     liveness probe
+//	GET  /stats       full filter introspection as JSON
+//	GET  /metrics     Prometheus text exposition of the key gauges/counters
+//	POST /punch       §5.1 hole punching: ?local=10.0.0.5&port=20000
+//	                  &remote=198.51.100.7&proto=tcp
+//	POST /checkpoint  persist a snapshot now (with WithCheckpointer)
 //
 // Everything is stdlib net/http; construct the handler with New and mount
 // it on any server.
@@ -21,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"bitmapfilter/internal/checkpoint"
 	"bitmapfilter/internal/core"
 	"bitmapfilter/internal/packet"
 )
@@ -44,17 +46,51 @@ type ShardStatser interface {
 	ShardStats() []core.Stats
 }
 
+// CheckpointControl is the checkpoint surface the API drives:
+// *checkpoint.Checkpointer implements it.
+type CheckpointControl interface {
+	// CheckpointNow persists one snapshot synchronously.
+	CheckpointNow() error
+	// Stats returns the checkpointer's counters for metrics export.
+	Stats() checkpoint.Stats
+}
+
+// Option configures optional API surfaces.
+type Option interface {
+	apply(*API)
+}
+
+type checkpointOption struct {
+	ctl     CheckpointControl
+	restore checkpoint.RestoreResult
+}
+
+func (o checkpointOption) apply(a *API) {
+	a.checkpoints = o.ctl
+	a.restore = o.restore
+}
+
+// WithCheckpointer enables the checkpoint control plane: POST
+// /checkpoint triggers an immediate save, and /stats and /metrics gain
+// the bitmapfilter_checkpoint_* series, including the startup restore
+// outcome.
+func WithCheckpointer(ctl CheckpointControl, restore checkpoint.RestoreResult) Option {
+	return checkpointOption{ctl: ctl, restore: restore}
+}
+
 // API serves the endpoints for one live filter.
 type API struct {
-	filter Filter
-	mux    *http.ServeMux
-	start  time.Time
+	filter      Filter
+	mux         *http.ServeMux
+	start       time.Time
+	checkpoints CheckpointControl
+	restore     checkpoint.RestoreResult
 }
 
 var _ http.Handler = (*API)(nil)
 
 // New builds the handler around f.
-func New(f Filter) (*API, error) {
+func New(f Filter, opts ...Option) (*API, error) {
 	if f == nil {
 		return nil, ErrNilFilter
 	}
@@ -63,10 +99,16 @@ func New(f Filter) (*API, error) {
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 	}
+	for _, o := range opts {
+		o.apply(a)
+	}
 	a.mux.HandleFunc("GET /healthz", a.handleHealthz)
 	a.mux.HandleFunc("GET /stats", a.handleStats)
 	a.mux.HandleFunc("GET /metrics", a.handleMetrics)
 	a.mux.HandleFunc("POST /punch", a.handlePunch)
+	if a.checkpoints != nil {
+		a.mux.HandleFunc("POST /checkpoint", a.handleCheckpoint)
+	}
 	return a, nil
 }
 
@@ -112,6 +154,23 @@ type statsPayload struct {
 	// Shards holds per-shard breakdowns for sharded filters (absent
 	// otherwise). Top-level fields are then cross-shard aggregates.
 	Shards []shardPayload `json:"shards,omitempty"`
+
+	// Checkpoint reports the durability subsystem (absent when the
+	// daemon runs without -checkpoint).
+	Checkpoint *checkpointPayload `json:"checkpoint,omitempty"`
+}
+
+// checkpointPayload is the /stats slice of the checkpoint subsystem.
+type checkpointPayload struct {
+	RestoreOutcome        string  `json:"restoreOutcome"`
+	RestoredFrom          string  `json:"restoredFrom,omitempty"`
+	IntervalNs            int64   `json:"intervalNs"`
+	Attempts              uint64  `json:"attempts"`
+	Successes             uint64  `json:"successes"`
+	Failures              uint64  `json:"failures"`
+	LastSuccessAgeSeconds float64 `json:"lastSuccessAgeSeconds"` // -1 before the first success
+	LastBytes             int64   `json:"lastBytes"`
+	LastError             string  `json:"lastError,omitempty"`
 }
 
 // shardPayload is the per-shard slice of /stats for sharded filters.
@@ -165,6 +224,24 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 			InPackets:          st.Counters.InPackets,
 			InDropped:          st.Counters.InDropped,
 		})
+	}
+	if a.checkpoints != nil {
+		cs := a.checkpoints.Stats()
+		age := -1.0
+		if !cs.LastSuccess.IsZero() {
+			age = time.Since(cs.LastSuccess).Seconds()
+		}
+		payload.Checkpoint = &checkpointPayload{
+			RestoreOutcome:        a.restore.Outcome.String(),
+			RestoredFrom:          a.restore.File,
+			IntervalNs:            int64(cs.Interval),
+			Attempts:              cs.Attempts,
+			Successes:             cs.Successes,
+			Failures:              cs.Failures,
+			LastSuccessAgeSeconds: age,
+			LastBytes:             cs.LastBytes,
+			LastError:             cs.LastError,
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
@@ -237,7 +314,54 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "bitmapfilter_shard_apd_spared_total{shard=\"%d\"} %d\n", i, st.APDSpared)
 		}
 	}
+	cpEnabled := 0.0
+	if a.checkpoints != nil {
+		cpEnabled = 1
+	}
+	gauge("bitmapfilter_checkpoint_enabled", cpEnabled,
+		"Whether crash-safe checkpointing is configured")
+	if a.checkpoints != nil {
+		cs := a.checkpoints.Stats()
+		age := -1.0
+		if !cs.LastSuccess.IsZero() {
+			age = time.Since(cs.LastSuccess).Seconds()
+		}
+		gauge("bitmapfilter_checkpoint_last_success_age_seconds", age,
+			"Seconds since the newest completed checkpoint (-1 before the first)")
+		gauge("bitmapfilter_checkpoint_last_size_bytes", float64(cs.LastBytes),
+			"Size of the newest completed checkpoint")
+		counter("bitmapfilter_checkpoint_attempts_total", cs.Attempts,
+			"Checkpoint save attempts, including retries")
+		counter("bitmapfilter_checkpoint_success_total", cs.Successes,
+			"Completed checkpoints")
+		counter("bitmapfilter_checkpoint_failures_total", cs.Failures,
+			"Failed checkpoint save attempts")
+		fmt.Fprintf(&b, "# HELP bitmapfilter_checkpoint_restore_outcome Which restore-ladder rung produced the running state (one-hot)\n"+
+			"# TYPE bitmapfilter_checkpoint_restore_outcome gauge\n")
+		for _, o := range []checkpoint.Outcome{
+			checkpoint.OutcomePrimary, checkpoint.OutcomeBackup,
+			checkpoint.OutcomeColdStartEmpty, checkpoint.OutcomeColdStartCorrupt,
+		} {
+			v := 0
+			if a.restore.Outcome == o {
+				v = 1
+			}
+			fmt.Fprintf(&b, "bitmapfilter_checkpoint_restore_outcome{outcome=%q} %d\n", o, v)
+		}
+	}
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleCheckpoint persists a snapshot immediately (operator-triggered,
+// e.g. ahead of a planned restart).
+func (a *API) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if err := a.checkpoints.CheckpointNow(); err != nil {
+		http.Error(w, "checkpoint failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	cs := a.checkpoints.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "checkpointed %d bytes\n", cs.LastBytes)
 }
 
 // handlePunch implements operator-driven §5.1 hole punching.

@@ -11,6 +11,7 @@ package live
 
 import (
 	"errors"
+	"io"
 	"sync"
 	"time"
 
@@ -140,6 +141,13 @@ func (l *Filter) ObserveBatchInto(pkts []packet.Packet, out []filtering.Verdict)
 	return l.inner.ProcessBatchInto(pkts, out)
 }
 
+// Name forwards to the wrapped filter under the lock.
+func (l *Filter) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Name()
+}
+
 // PunchHole forwards to the wrapped filter under the lock (§5.1).
 func (l *Filter) PunchHole(local packet.Addr, localPort uint16, remote packet.Addr, proto packet.Proto) {
 	l.mu.Lock()
@@ -184,6 +192,55 @@ func (l *Filter) ShardStats() []core.Stats {
 	defer l.mu.Unlock()
 	l.inner.AdvanceTo(l.elapsed())
 	return ss.ShardStats()
+}
+
+// ErrNotSnapshottable is returned by WriteSnapshot when the wrapped
+// filter does not support snapshot serialization.
+var ErrNotSnapshottable = errors.New("live: wrapped filter cannot write snapshots")
+
+// snapshotter is the optional snapshot surface of the wrapped filter;
+// every core flavor (Filter, Safe, Sharded) implements it.
+type snapshotter interface {
+	WriteSnapshot(w io.Writer) error
+}
+
+// WriteSnapshot quiesces the filter (the adapter lock is held for the
+// whole write, so no packet lands mid-stream), advances the rotation
+// clock to "now" and serializes the wrapped filter's state. The snapshot
+// records the filter clock — the elapsed monotonic time this adapter
+// stamps on packets — so ReadSnapshot can rebuild the wall-clock→
+// filter-clock offset on restore.
+func (l *Filter) WriteSnapshot(w io.Writer) error {
+	snap, ok := l.inner.(snapshotter)
+	if !ok {
+		return ErrNotSnapshottable
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.AdvanceTo(l.elapsed())
+	return snap.WriteSnapshot(w)
+}
+
+// ReadSnapshot reconstructs a live filter from a stream written by
+// WriteSnapshot (or by any core flavor's WriteSnapshot): the inner flavor
+// is taken from the snapshot, coreOpts (e.g. core.WithAPD) are applied on
+// top of the serialized configuration, and liveOpts configure the adapter
+// itself. The adapter's start time is back-dated so the filter clock
+// resumes exactly where the snapshot left it — marks keep their residual
+// lifetime across the restart instead of being aged (or reset) by the
+// downtime, which is the conservative choice for admitting established
+// flows.
+func ReadSnapshot(r io.Reader, coreOpts []core.Option, liveOpts ...Option) (*Filter, error) {
+	inner, err := core.ReadAnySnapshot(r, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	l, err := New(inner, liveOpts...)
+	if err != nil {
+		return nil, err
+	}
+	l.start = l.clock.Now().Add(-inner.Stats().Now)
+	return l, nil
 }
 
 // StartRotations launches a background goroutine that advances the filter
