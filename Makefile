@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench experiments examples clean
+.PHONY: all build test race vet lint fmt bench experiments examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet, staticcheck (when installed), and bflint — the
+# repo's own invariant suite (see internal/lint and DESIGN.md §8).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs the pinned version)" ; \
+	fi
+	$(GO) run ./cmd/bflint ./...
 
 fmt:
 	gofmt -l -w .

@@ -79,6 +79,8 @@ func (v *Vector) Mask(h uint64) uint64 { return h & v.mask }
 // Set sets bit i and reports whether it was newly set (false if the bit
 // was already 1). Indexes are reduced modulo the vector size so callers may
 // pass raw hash outputs directly.
+//
+//bf:hotpath
 func (v *Vector) Set(i uint64) bool {
 	i &= v.mask
 	w := &v.words[i>>6]
@@ -93,6 +95,8 @@ func (v *Vector) Set(i uint64) bool {
 
 // Clear clears bit i (reduced modulo the vector size) and reports whether
 // the bit was previously set.
+//
+//bf:hotpath
 func (v *Vector) Clear(i uint64) bool {
 	i &= v.mask
 	w := &v.words[i>>6]
@@ -106,6 +110,8 @@ func (v *Vector) Clear(i uint64) bool {
 }
 
 // Test reports whether bit i is set (index reduced modulo the vector size).
+//
+//bf:hotpath
 func (v *Vector) Test(i uint64) bool {
 	i &= v.mask
 	return v.words[i>>6]&(1<<(i&63)) != 0
@@ -117,6 +123,8 @@ func (v *Vector) Test(i uint64) bool {
 // packet are gathered into word/bit pairs and applied in a single pass,
 // with one running-popcount update for the whole group instead of one
 // per bit.
+//
+//bf:hotpath
 func (v *Vector) SetAll(idxs []uint64) int {
 	newly := 0
 	for _, i := range idxs {
@@ -136,6 +144,8 @@ func (v *Vector) SetAll(idxs []uint64) int {
 // TestAll reports whether every bit named by idxs (each reduced modulo the
 // vector size) is set — the Bloom-filter membership test for one packet's
 // m hash outputs in a single pass.
+//
+//bf:hotpath
 func (v *Vector) TestAll(idxs []uint64) bool {
 	for _, i := range idxs {
 		i &= v.mask

@@ -280,11 +280,11 @@ type Checkpointer struct {
 	// bytes with a periodic save.
 	runMu sync.Mutex
 
-	mu    sync.Mutex // guards stats, rng and the loop channels
-	stats Stats
-	rng   *xrand.Rand
-	stop  chan struct{}
-	done  chan struct{}
+	mu    sync.Mutex    // guards stats, rng and the loop channels
+	stats Stats         //bf:guardedby mu
+	rng   *xrand.Rand   //bf:guardedby mu
+	stop  chan struct{} //bf:guardedby mu
+	done  chan struct{} //bf:guardedby mu
 }
 
 // New validates cfg, applies defaults and returns a Checkpointer. The

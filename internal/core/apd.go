@@ -87,6 +87,12 @@ type slidingCounter struct {
 }
 
 func newSlidingCounter(window time.Duration, buckets int) slidingCounter {
+	if buckets < 1 {
+		// Zero would divide by zero below; negative would panic in make.
+		// The policy constructors validate their bucket counts, but the
+		// primitive must be safe standing alone.
+		buckets = 1
+	}
 	width := window / time.Duration(buckets)
 	if width <= 0 {
 		// A sub-bucket window would make advance spin forever on

@@ -221,7 +221,7 @@ func New(opts ...Option) (*Filter, error) {
 		cfg:        cfg,
 		vectors:    vectors,
 		hashes:     fam,
-		scratch:    make([]uint64, 0, cfg.hashes),
+		scratch:    make([]uint64, 0, cfg.hashes), //bf:allow boundedalloc cfg.hashes was validated by hashfam.New above
 		rng:        xrand.New(cfg.seed ^ 0xb17a9f11ce5),
 		nextRotate: cfg.rotateEvery,
 	}, nil
@@ -350,6 +350,8 @@ func (f *Filter) Rotate() {
 }
 
 // Process implements filtering.PacketFilter (Algorithm 2, b.filter).
+//
+//bf:hotpath
 func (f *Filter) Process(pkt packet.Packet) filtering.Verdict {
 	f.AdvanceTo(pkt.Time)
 	return f.process(pkt)
@@ -376,6 +378,8 @@ func (f *Filter) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 // when cap(out) >= len(pkts) — a steady-state batch stream then runs with
 // zero allocations — and grown otherwise. Every element of the returned
 // slice (length len(pkts)) is overwritten.
+//
+//bf:hotpath
 func (f *Filter) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
 	out = filtering.GrowVerdicts(out, len(pkts))
 	f.processBatch(pkts, out)
@@ -384,6 +388,8 @@ func (f *Filter) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict)
 
 // processBatch is the allocation-free core of ProcessBatch; out must have
 // the same length as pkts.
+//
+//bf:hotpath
 func (f *Filter) processBatch(pkts []packet.Packet, out []filtering.Verdict) {
 	for i := range pkts {
 		if pkts[i].Time > f.now {
@@ -395,6 +401,8 @@ func (f *Filter) processBatch(pkts []packet.Packet, out []filtering.Verdict) {
 
 // process applies Algorithm 2 to one packet, assuming the rotation clock
 // has already been advanced to pkt.Time.
+//
+//bf:hotpath
 func (f *Filter) process(pkt packet.Packet) filtering.Verdict {
 	if pkt.Dir == packet.Outgoing {
 		// Under APD the marking policy skips TCP signal packets so
@@ -455,12 +463,15 @@ func (f *Filter) WouldAdmit(tup packet.Tuple) bool {
 	return f.lookup(f.keyFor(tup, packet.Incoming))
 }
 
+//bf:hotpath
 func (f *Filter) key(pkt packet.Packet) []byte {
 	return f.keyFor(pkt.Tuple, pkt.Dir)
 }
 
 // keyFor encodes the hashed key into the filter's reusable buffer; the
 // returned slice is only valid until the next keyFor call.
+//
+//bf:hotpath
 func (f *Filter) keyFor(tup packet.Tuple, dir packet.Direction) []byte {
 	if f.cfg.tuplePolicy == FullTuple {
 		// Ablation: hash the complete 4-tuple, canonicalized to the
@@ -486,6 +497,8 @@ func (f *Filter) keyFor(tup packet.Tuple, dir packet.Direction) []byte {
 // indexes are gathered once and applied per vector with the multi-word
 // SetAll pass, so a mark costs one hash evaluation and k grouped word
 // updates rather than k·m scalar Set calls.
+//
+//bf:hotpath
 func (f *Filter) mark(keyBytes []byte) {
 	f.scratch = f.hashes.Indexes(f.scratch[:0], keyBytes)
 	if f.cfg.markPolicy == MarkCurrentOnly {
@@ -499,6 +512,8 @@ func (f *Filter) mark(keyBytes []byte) {
 }
 
 // lookup tests the m hash bits of key in the current vector only.
+//
+//bf:hotpath
 func (f *Filter) lookup(keyBytes []byte) bool {
 	f.scratch = f.hashes.Indexes(f.scratch[:0], keyBytes)
 	return f.vectors[f.idx].TestAll(f.scratch)

@@ -13,7 +13,7 @@ import (
 // the wrapped filter that are part of filtering.PacketFilter are exposed.
 type Safe struct {
 	mu sync.Mutex
-	f  *Filter
+	f  *Filter //bf:guardedby mu
 }
 
 var _ filtering.BatchFilter = (*Safe)(nil)
@@ -24,6 +24,8 @@ func NewSafe(f *Filter) *Safe {
 }
 
 // Process implements filtering.PacketFilter.
+//
+//bf:hotpath
 func (s *Safe) Process(pkt packet.Packet) filtering.Verdict {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -46,6 +48,8 @@ func (s *Safe) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 // ProcessBatchInto is ProcessBatch writing into a caller-provided buffer
 // (see the filtering.BatchFilter contract): one lock acquisition per batch
 // and zero allocations once out has capacity for the batch size.
+//
+//bf:hotpath
 func (s *Safe) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
 	out = filtering.GrowVerdicts(out, len(pkts))
 	s.processBatchInto(pkts, out)
@@ -54,6 +58,8 @@ func (s *Safe) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) [
 
 // processBatchInto fills out (same length as pkts) under one lock; Sharded
 // uses it to batch per shard without extra allocations.
+//
+//bf:hotpath
 func (s *Safe) processBatchInto(pkts []packet.Packet, out []filtering.Verdict) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

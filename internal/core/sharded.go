@@ -216,6 +216,8 @@ func (s *Sharded) AdvanceTo(now time.Duration) {
 
 // Process implements filtering.PacketFilter: the packet is handled
 // entirely by the shard its flow key routes to.
+//
+//bf:hotpath
 func (s *Sharded) Process(pkt packet.Packet) filtering.Verdict {
 	return s.shards[s.shardFor(pkt)].Process(pkt)
 }
@@ -261,6 +263,8 @@ func (s *Sharded) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 // ProcessBatchInto is ProcessBatch writing into a caller-provided buffer
 // (see the filtering.BatchFilter contract). Together with the pooled
 // grouping scratch this makes a steady-state batch stream allocation-free.
+//
+//bf:hotpath
 func (s *Sharded) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
 	out = filtering.GrowVerdicts(out, len(pkts))
 	s.processBatchInto(pkts, out)
@@ -269,6 +273,8 @@ func (s *Sharded) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict
 
 // processBatchInto fills out (same length as pkts) with one locked batch
 // per touched shard.
+//
+//bf:hotpath
 func (s *Sharded) processBatchInto(pkts []packet.Packet, out []filtering.Verdict) {
 	if len(s.shards) == 1 {
 		s.shards[0].processBatchInto(pkts, out)
@@ -279,7 +285,7 @@ func (s *Sharded) processBatchInto(pkts []packet.Packet, out []filtering.Verdict
 	// routing hash is computed once per packet. The scratch goes back to
 	// the pool via defer so a panicking shard cannot leak it.
 	sc := shardScratchPool.Get().(*shardScratch)
-	defer shardScratchPool.Put(sc)
+	defer shardScratchPool.Put(sc) //bf:allow hotpath pooled put must run even if a shard panics, or the scratch leaks
 	sc.shardOf = scratchSlice(sc.shardOf, len(pkts))
 	sc.starts = scratchSlice(sc.starts, len(s.shards)+1)
 	sc.next = scratchSlice(sc.next, len(s.shards))
@@ -341,6 +347,8 @@ func (s *Sharded) WouldAdmit(tup packet.Tuple) bool {
 }
 
 // shardFor routes by the direction-symmetric partial-tuple key.
+//
+//bf:hotpath
 func (s *Sharded) shardFor(pkt packet.Packet) uint64 {
 	var key packet.Key
 	if pkt.Dir == packet.Outgoing {

@@ -513,11 +513,18 @@ func readShardedSections(r io.Reader, n int, opts []Option) (*Sharded, error) {
 		return nil, fmt.Errorf("%w: APD policy %q holds mutable state but implements no ClonePolicy; one instance cannot be shared across shard locks",
 			ErrConfig, cfg.apd.Name())
 	}
+	// readContainerHeader already validated the section count, but n came
+	// off the wire: re-check locally so this allocation is bounded even if
+	// a future caller skips that validation.
+	if n < 1 || n > maxSnapshotShards || n&(n-1) != 0 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrSnapshotCorrupt, n)
+	}
 	s := &Sharded{
 		shards: make([]*Safe, n),
 		router: hashfam.MustNew(1, 0x5ead5ead),
 		mask:   uint64(n - 1),
 	}
+	var f0 *Filter // shard 0, for cross-shard configuration checks
 	for i := range s.shards {
 		shardOpts := opts
 		if cloneable {
@@ -534,8 +541,10 @@ func readShardedSections(r io.Reader, n int, opts []Option) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		if i > 0 {
-			a, b := s.shards[0].f.cfg, f.cfg
+		if i == 0 {
+			f0 = f
+		} else {
+			a, b := f0.cfg, f.cfg
 			if a.order != b.order || a.vectors != b.vectors || a.hashes != b.hashes ||
 				a.rotateEvery != b.rotateEvery || a.markPolicy != b.markPolicy ||
 				a.tuplePolicy != b.tuplePolicy {

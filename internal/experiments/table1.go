@@ -155,8 +155,12 @@ func RunTable1(connections int, seed uint64) (Table1Result, error) {
 }
 
 // nowNs is a monotonic nanosecond clock for coarse CLI-side timing (the
-// bench harness uses testing.B for precise numbers).
-func nowNs() int64 { return time.Now().UnixNano() }
+// bench harness uses testing.B for precise numbers). It is the one
+// deliberate wall-clock seam in this package — Table 1 reports measured
+// costs, not simulated ones — and a variable so tests can stub it.
+var nowNs = func() int64 {
+	return time.Now().UnixNano() //bf:allow wallclock Table 1 reports measured wall costs; everything else in this package is virtual-time
+}
 
 // Format renders the comparison.
 func (r Table1Result) Format() string {

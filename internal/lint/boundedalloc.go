@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundedAllocAnalyzer guards the untrusted decoders against
+// attacker-driven allocations.
+//
+// The snapshot readers (internal/core), the wire-format decoder
+// (internal/packet) and the pcap reader (internal/pcap) all consume
+// input an adversary may craft — the same posture the Bloom-filter DDoS
+// literature assumes for edge-router state. A length field lifted out of
+// such input must never reach make() unclamped: a 16-byte header claiming
+// a 4 GiB record would OOM the edge router before a single checksum is
+// verified (exactly what an unvalidated snapLen allowed in the pcap
+// reader before this analyzer landed).
+//
+// Within the decoder packages, every non-constant make() size must be
+// locally sanitized. A size expression is considered sanitized when each
+// non-constant leaf is one of:
+//
+//   - len(x) or cap(x) (bounded by memory that already exists)
+//   - a call to the min/max builtins with at least one constant bound
+//   - an expression that is compared in this function against a constant,
+//     a len/cap expression, or a plain local identifier
+//
+// Comparison against a struct field does NOT sanitize: fields carry
+// unvalidated decoded state across calls (r.snapLen was the concrete
+// case). Cross-function clamps that the analyzer cannot see locally are
+// either re-validated locally (preferred: defense in depth) or annotated
+// //bf:allow boundedalloc with a reason.
+var BoundedAllocAnalyzer = &Analyzer{
+	Name: "boundedalloc",
+	Doc:  "flag unclamped make() sizes derived from decoded input in untrusted decoder packages",
+	Run:  runBoundedAlloc,
+}
+
+// boundedAllocLeaves are the package-name leaves treated as untrusted
+// decoders.
+var boundedAllocLeaves = map[string]bool{
+	"core":   true,
+	"packet": true,
+	"pcap":   true,
+}
+
+func boundedAllocTarget(pkgPath string) bool {
+	segs := strings.Split(pkgPath, "/")
+	return boundedAllocLeaves[segs[len(segs)-1]]
+}
+
+func runBoundedAlloc(pass *Pass) error {
+	if !boundedAllocTarget(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcScopes(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			sanitized := collectSanitized(pass, body)
+			inspectShallow(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "make" {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				for _, sizeArg := range call.Args[1:] {
+					for _, leaf := range unsanitizedLeaves(pass, sanitized, sizeArg) {
+						pass.Reportf(leaf.Pos(),
+							"make size %s is not clamped in this function; untrusted decoder allocations must be bounded by a local comparison against a constant or len/cap (comparisons against struct fields do not count — fields may carry unvalidated decoded state)",
+							types.ExprString(leaf))
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// collectSanitized returns the printed form of every expression that a
+// comparison in body bounds against a trusted operand.
+func collectSanitized(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	sanitized := make(map[string]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		if trustedBound(pass, bin.Y) {
+			sanitized[types.ExprString(bin.X)] = true
+		}
+		if trustedBound(pass, bin.X) {
+			sanitized[types.ExprString(bin.Y)] = true
+		}
+		return true
+	})
+	return sanitized
+}
+
+// trustedBound reports whether a comparison operand is an acceptable
+// bound: a constant, len/cap, or a plain local identifier. Struct-field
+// selectors are rejected — they may hold unvalidated decoded values.
+func trustedBound(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.CallExpr:
+		return isLenCap(pass, e)
+	}
+	return false
+}
+
+func isLenCap(pass *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return ident.Name == "len" || ident.Name == "cap"
+}
+
+// unsanitizedLeaves decomposes a size expression through arithmetic and
+// conversions and returns the leaves that are neither constant nor
+// len/cap nor sanitized by a local comparison.
+func unsanitizedLeaves(pass *Pass, sanitized map[string]bool, e ast.Expr) []ast.Expr {
+	e = ast.Unparen(e)
+	// Whole-expression checks first: constants and locally compared
+	// expressions are fine regardless of shape.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return nil
+	}
+	if sanitized[types.ExprString(e)] {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		return append(unsanitizedLeaves(pass, sanitized, e.X),
+			unsanitizedLeaves(pass, sanitized, e.Y)...)
+	case *ast.CallExpr:
+		if isLenCap(pass, e) {
+			return nil
+		}
+		if ident, ok := e.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin &&
+				(ident.Name == "min" || ident.Name == "max") {
+				// min(x, CONST) is a clamp by construction.
+				for _, arg := range e.Args {
+					if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+						return nil
+					}
+				}
+			}
+		}
+		// Conversions unwrap to their operand; other calls are opaque.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return unsanitizedLeaves(pass, sanitized, e.Args[0])
+		}
+		return []ast.Expr{e}
+	default:
+		return []ast.Expr{e}
+	}
+}

@@ -1,0 +1,320 @@
+// Package lint is bflint's analysis engine: a small, self-contained
+// reimplementation of the golang.org/x/tools/go/analysis driver surface
+// (Analyzer, Pass, Diagnostic) built only on the standard library's go/ast
+// and go/types, plus the five domain analyzers that enforce this
+// repository's own invariants:
+//
+//   - wallclock:    deterministic packages must not read the wall clock
+//   - hotpath:      //bf:hotpath functions must stay allocation-free
+//   - lockguard:    //bf:guardedby fields are only touched under their mutex
+//   - boundedalloc: untrusted decoders must clamp attacker-controlled sizes
+//   - sentinelerr:  sentinel errors use errors.Is / %w, never == or %v
+//
+// Generic tooling (vet, staticcheck) cannot check any of these: they are
+// properties of this codebase's design — the batch hot path's 0 allocs/op
+// contract, the injected-clock determinism the experiments and the
+// checkpoint restore path rely on, the mutex discipline that already caught
+// one real race (the Sharded+APD shared-policy bug), and the adversarial
+// posture of the snapshot/packet/pcap decoders.
+//
+// # Annotation language
+//
+//	//bf:hotpath
+//	    On a function or method declaration: the body must not contain
+//	    allocation-forcing constructs (see hotpath.go).
+//
+//	//bf:guardedby <field>
+//	    On a struct field: every read or write of the field must happen in
+//	    a function that locks <field> (a sibling mutex field) on the same
+//	    receiver expression (see lockguard.go).
+//
+//	//bf:allow <analyzer> [reason...]
+//	    On the offending line, or in the doc comment of the enclosing
+//	    function: suppresses that analyzer's diagnostics there. Every
+//	    allow should carry a reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule. It mirrors the x/tools analysis.Analyzer
+// shape so the rules could be ported to a multichecker verbatim if a
+// vendored x/tools ever becomes available.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	lines *lineComments
+}
+
+// Diagnostic is one finding, positioned for file:line:col display.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless an //bf:allow comment for
+// this analyzer covers the position (same line, or the doc comment of the
+// enclosing function declaration).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowedAt(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full bflint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		HotpathAnalyzer,
+		LockguardAnalyzer,
+		BoundedAllocAnalyzer,
+		SentinelErrAnalyzer,
+	}
+}
+
+// Check runs every analyzer in the suite over pkg and returns the
+// diagnostics sorted by position.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	lines := newLineComments(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+			lines:     lines,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---- //bf: annotation plumbing ----
+
+const (
+	allowMarker     = "bf:allow"
+	hotpathMarker   = "bf:hotpath"
+	guardedByMarker = "bf:guardedby"
+)
+
+// lineComments indexes every comment by (file, line) so same-line
+// //bf:allow markers resolve in O(1), and records which lines each
+// function declaration spans so function-level allows cover their bodies.
+type lineComments struct {
+	fset *token.FileSet
+	// byLine maps file:line to the concatenated comment text on that line.
+	byLine map[string]string
+	// funcAllow maps file:line to the set of analyzers allowed for the
+	// function whose body covers that line.
+	funcAllow map[string]map[string]bool
+}
+
+func lineKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+func newLineComments(fset *token.FileSet, files []*ast.File) *lineComments {
+	lc := &lineComments{
+		fset:      fset,
+		byLine:    make(map[string]string),
+		funcAllow: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p := fset.Position(c.Pos())
+				lc.byLine[lineKey(p)] += " " + c.Text
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			// Read the raw comment list: CommentGroup.Text() drops
+			// directive-style comments (no space after //), which is
+			// exactly what //bf:allow is.
+			var doc strings.Builder
+			for _, c := range fd.Doc.List {
+				doc.WriteString(c.Text)
+				doc.WriteByte('\n')
+			}
+			allowed := allowedAnalyzers(doc.String())
+			if len(allowed) == 0 {
+				continue
+			}
+			start := fset.Position(fd.Pos())
+			end := fset.Position(fd.End())
+			for line := start.Line; line <= end.Line; line++ {
+				key := fmt.Sprintf("%s:%d", start.Filename, line)
+				if lc.funcAllow[key] == nil {
+					lc.funcAllow[key] = make(map[string]bool)
+				}
+				for name := range allowed {
+					lc.funcAllow[key][name] = true
+				}
+			}
+		}
+	}
+	return lc
+}
+
+// allowedAnalyzers extracts the analyzer names named by //bf:allow markers
+// in a block of comment text.
+func allowedAnalyzers(text string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := markerArgs(line, allowMarker)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) > 0 {
+			out[fields[0]] = true
+		}
+	}
+	return out
+}
+
+// markerArgs reports whether line carries the given //bf: marker and
+// returns the text following it.
+func markerArgs(line, marker string) (string, bool) {
+	line = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "//"))
+	if line == marker {
+		return "", true
+	}
+	if strings.HasPrefix(line, marker+" ") || strings.HasPrefix(line, marker+"\t") {
+		return strings.TrimSpace(line[len(marker):]), true
+	}
+	return "", false
+}
+
+// commentHasMarker reports whether any line of a comment group carries the
+// marker, returning its arguments.
+func commentHasMarker(doc *ast.CommentGroup, marker string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if args, ok := markerArgs(c.Text, marker); ok {
+			return args, true
+		}
+	}
+	return "", false
+}
+
+func (p *Pass) allowedAt(pos token.Pos) bool {
+	key := lineKey(p.Fset.Position(pos))
+	if allowed := allowedAnalyzers(p.lines.byLine[key]); allowed[p.Analyzer.Name] {
+		return true
+	}
+	return p.lines.funcAllow[key][p.Analyzer.Name]
+}
+
+// ---- shared AST / type helpers ----
+
+// pkgFunc resolves a call to a top-level function of a named package
+// (e.g. time.Now, fmt.Errorf), returning (package path, func name, true).
+// It resolves the qualifier through the type info, so import aliases are
+// handled.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isErrorType reports whether t is (or trivially implements) the built-in
+// error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}
+
+// funcScopes yields every function body in the file as an independent
+// scope: each FuncDecl, and each FuncLit nested anywhere (goroutine
+// bodies, callbacks). The enclosing decl is passed for annotation lookup
+// (nil for FuncLits outside any decl, which cannot happen in valid Go).
+func funcScopes(f *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+		// Each nested FuncLit (goroutine body, callback) is its own
+		// scope; Inspect finds them at any depth, each exactly once.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				visit(fd, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks body but does not descend into nested function
+// literals: those are separate scopes handled by funcScopes.
+func inspectShallow(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		return visit(n)
+	})
+}

@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bitmapfilter/internal/lint"
+	"bitmapfilter/internal/lint/linttest"
+)
+
+// The golden suites: each testdata package carries // want annotations
+// (or an explicit ok-marker), so every analyzer is proven both to fire
+// on violations and to stay silent on conforming code. The synthetic
+// import paths exercise the path-sensitive rules from both sides.
+
+func TestWallclockDeterministic(t *testing.T) {
+	linttest.Run(t, "testdata/wallclock/det", "example.com/internal/det", lint.WallclockAnalyzer)
+}
+
+func TestWallclockAllowlist(t *testing.T) {
+	// Same constructs as the det package, but under an allowlisted leaf:
+	// zero diagnostics expected.
+	linttest.Run(t, "testdata/wallclock/allowed", "example.com/internal/live", lint.WallclockAnalyzer)
+}
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata/hotpath/hot", "example.com/internal/hot", lint.HotpathAnalyzer)
+}
+
+func TestLockguard(t *testing.T) {
+	linttest.Run(t, "testdata/lockguard/guard", "example.com/internal/guard", lint.LockguardAnalyzer)
+}
+
+func TestBoundedAllocDecoder(t *testing.T) {
+	linttest.Run(t, "testdata/boundedalloc/dec", "example.com/internal/pcap", lint.BoundedAllocAnalyzer)
+}
+
+func TestBoundedAllocNonTarget(t *testing.T) {
+	// The same unclamped make in a non-decoder package is out of scope.
+	linttest.Run(t, "testdata/boundedalloc/other", "example.com/internal/render", lint.BoundedAllocAnalyzer)
+}
+
+func TestSentinelErr(t *testing.T) {
+	linttest.Run(t, "testdata/sentinelerr/sent", "example.com/internal/sent", lint.SentinelErrAnalyzer)
+}
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// gate as `go run ./cmd/bflint ./...` — so a new violation anywhere in
+// the tree fails `go test` too, not just the lint CI step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint skipped in -short mode")
+	}
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := lint.Check(pkg, lint.Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockguardAnalyzer checks mutex discipline declared with //bf:guardedby.
+//
+// A struct field annotated
+//
+//	f  *Filter //bf:guardedby mu
+//
+// may only be read or written through a selector (x.f) inside a function
+// that also locks the named sibling mutex on the same base expression
+// (x.mu.Lock() or x.mu.RLock()). This is exactly the class of bug behind
+// the PR 3 Sharded+APD race: state reachable from multiple goroutines
+// touched outside its lock.
+//
+// The check is intraprocedural and deliberately conservative in what it
+// accepts rather than what it flags:
+//
+//   - Composite literals (construction: &Safe{f: f}) never alias before
+//     they escape, so literal keys are exempt.
+//   - A lock call anywhere in the same function body sanctions accesses
+//     on that base expression; ordering within the body is not modelled.
+//   - Function literals are independent scopes: a goroutine body must
+//     take the lock itself (it runs concurrently with its creator).
+//   - Helpers documented to be called with the lock held, and
+//     single-goroutine construction code, use //bf:allow lockguard with
+//     a reason.
+var LockguardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc:  "check that //bf:guardedby fields are only accessed under their mutex",
+	Run:  runLockguard,
+}
+
+func runLockguard(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcScopes(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkLockScope(pass, guarded, body)
+		})
+	}
+	return nil
+}
+
+// collectGuardedFields maps each annotated field object to the name of
+// the mutex field guarding it.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutexName, ok := commentHasMarker(field.Doc, guardedByMarker)
+				if !ok {
+					mutexName, ok = commentHasMarker(field.Comment, guardedByMarker)
+				}
+				if !ok || mutexName == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = mutexName
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// checkLockScope verifies every guarded-field access in one function body
+// against the lock calls in the same body.
+func checkLockScope(pass *Pass, guarded map[types.Object]string, body *ast.BlockStmt) {
+	// locked["base.mu"] is true when base.mu.Lock() or .RLock() appears
+	// in this scope. Bases are compared by their printed expression, so
+	// receiver idents, range variables and nested selectors all work.
+	locked := make(map[string]bool)
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if mutexSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			locked[types.ExprString(mutexSel)] = true
+		}
+		return true
+	})
+
+	inspectShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mutexName, isGuarded := guarded[selection.Obj()]
+		if !isGuarded {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if !locked[base+"."+mutexName] {
+			pass.Reportf(sel.Pos(),
+				"%s.%s is guarded by %s.%s, but this function never locks it; lock the mutex, or annotate a lock-held helper //bf:allow lockguard with a reason",
+				base, sel.Sel.Name, base, mutexName)
+		}
+		return true
+	})
+}

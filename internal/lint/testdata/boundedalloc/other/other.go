@@ -1,0 +1,9 @@
+// Package render is not one of the untrusted decoder packages: unclamped
+// sizes are allowed here (its inputs come from this process, not the
+// wire).
+//
+// ok: no diagnostics expected
+package render
+
+// Grow allocates whatever the caller asks for.
+func Grow(n int) []byte { return make([]byte, n) }

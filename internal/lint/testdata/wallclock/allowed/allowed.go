@@ -1,0 +1,17 @@
+// Package live stands in for an allowlisted wall-clock-facing package
+// (live, checkpoint, httpapi, cmd/*, examples/*): the analyzer must stay
+// silent here.
+//
+// ok: no diagnostics expected
+package live
+
+import "time"
+
+// Now is this package's whole job.
+func Now() time.Time { return time.Now() }
+
+// Uptime reads the wall clock twice, and that is fine here.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+// Ticker backs a rotation loop.
+func Ticker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

@@ -1,0 +1,52 @@
+// Package det stands in for a deterministic package (core, experiments,
+// trafficgen, ...): reading the wall clock here is a reproducibility bug.
+package det
+
+import "time"
+
+// Bad: the classic stray wall-clock read.
+func Bad() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+// BadSince: Since is Now in disguise.
+func BadSince(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since in deterministic package"
+}
+
+// BadTicker: timers tie behavior to the scheduler's clock.
+func BadTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker in deterministic package"
+}
+
+// BadAfter: hides a timer allocation and a wall-clock read.
+func BadAfter() <-chan time.Time {
+	return time.After(time.Millisecond) // want "time.After in deterministic package"
+}
+
+// Good: virtual time is carried as a value; arithmetic on it is fine.
+func Good(now time.Duration) time.Duration {
+	return now + 5*time.Second
+}
+
+// GoodConstruction: durations and dates built from constants are
+// deterministic.
+func GoodConstruction() time.Time {
+	return time.Unix(0, 0)
+}
+
+// seamInline is a deliberate, documented wall-clock seam: the allow
+// marker on the offending line suppresses the diagnostic.
+func seamInline() int64 {
+	return time.Now().UnixNano() //bf:allow wallclock deliberate timing seam for this test
+}
+
+// seamWholeFunc demonstrates the function-doc form of the escape hatch.
+//
+//bf:allow wallclock whole function is a documented seam
+func seamWholeFunc() time.Time {
+	return time.Now()
+}
+
+var _ = seamInline
+var _ = seamWholeFunc

@@ -68,10 +68,11 @@ func WithClock(c Clock) Option { return clockOption{c: c} }
 
 // Filter is a goroutine-safe, wall-clock-driven bitmap filter.
 type Filter struct {
-	mu     sync.Mutex
-	inner  Inner
-	clock  Clock
-	start  time.Time
+	mu    sync.Mutex
+	inner Inner //bf:guardedby mu
+	clock Clock
+	start time.Time
+	//bf:guardedby mu
 	ticker struct {
 		stop chan struct{}
 		done chan struct{}
@@ -100,6 +101,8 @@ func (l *Filter) elapsed() time.Duration {
 // Observe runs one packet (described by its tuple, direction, TCP flags
 // and length) through the filter at the current wall-clock time and
 // returns the verdict.
+//
+//bf:hotpath
 func (l *Filter) Observe(tup packet.Tuple, dir packet.Direction, flags packet.Flags, length int) filtering.Verdict {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -130,6 +133,8 @@ func (l *Filter) ObserveBatch(pkts []packet.Packet) []filtering.Verdict {
 // array is reused when cap(out) >= len(pkts) and grown otherwise, so a
 // packet pump that recycles its packet and verdict buffers runs the whole
 // wire-to-verdict path without allocating.
+//
+//bf:hotpath
 func (l *Filter) ObserveBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
 	out = filtering.GrowVerdicts(out, len(pkts))
 	l.mu.Lock()

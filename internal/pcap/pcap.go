@@ -30,6 +30,13 @@ const (
 	// DefaultSnapLen is the snapshot length written into new files; it
 	// comfortably exceeds any simulated frame.
 	DefaultSnapLen = 65535
+
+	// maxRecordLen caps a single record's captured length no matter what
+	// snapLen the global header claims. The header is part of the
+	// untrusted input, so it cannot be the only bound on the per-record
+	// allocation: a crafted file declaring a 4 GiB snapLen must not let a
+	// 16-byte record header allocate 4 GiB.
+	maxRecordLen = 1 << 20
 )
 
 // Errors matchable with errors.Is.
@@ -150,7 +157,7 @@ func (r *Reader) ReadRecord() (Record, error) {
 	sec := r.order.Uint32(r.scratch[0:4])
 	frac := r.order.Uint32(r.scratch[4:8])
 	incl := r.order.Uint32(r.scratch[8:12])
-	if incl > r.snapLen {
+	if incl > r.snapLen || incl > maxRecordLen {
 		return rec, fmt.Errorf("%w: record claims %d bytes", ErrSnapLen, incl)
 	}
 	if r.nano {
