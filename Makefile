@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench experiments examples clean
+.PHONY: all build test race vet lint fmt bench bench-go experiments examples clean
 
 all: build lint test
 
@@ -31,7 +31,23 @@ lint: vet
 fmt:
 	gofmt -l -w .
 
+# The pinned, reproducible benchmark: the bfbench -json kernel+flavor
+# matrix (single/safe/sharded/live × scalar/coalesced ProcessBatchInto)
+# with a fixed batch size, run count and per-run duration, written to a
+# machine-readable BENCH_<pr>.json. Checked-in BENCH files are the repo's
+# perf trajectory; diff two of them with
+# `go run ./cmd/bfbench -compare OLD.json NEW.json`.
+BENCH_PR ?= dev
+BENCH_COUNT ?= 7
+BENCH_TIME ?= 300ms
+BENCH_BATCH ?= 512
+
 bench:
+	$(GO) run ./cmd/bfbench -json -label $(BENCH_PR) -count $(BENCH_COUNT) \
+		-benchtime $(BENCH_TIME) -batch $(BENCH_BATCH) -o BENCH_$(BENCH_PR).json
+
+# The raw go-test benchmarks (unpinned; exploratory use).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table/figure on stdout (see EXPERIMENTS.md).

@@ -1,0 +1,212 @@
+package bitvector
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+
+	"bitmapfilter/internal/xrand"
+)
+
+// sumPopCount recomputes the ground-truth popcount from the raw words.
+func sumPopCount(v *Vector) uint64 {
+	var n uint64
+	for i := 0; i < v.Words(); i++ {
+		n += uint64(bits.OnesCount64(v.Word(uint32(i))))
+	}
+	return n
+}
+
+// TestDuplicateIndexDifferential is the duplicate-index coherence
+// differential: the coalesced kernels (SetAll/TestAll/SetAllVectors) must
+// agree bit-for-bit and popcount-for-popcount with the scalar reference
+// kernels on index groups engineered to stress the merge logic —
+// duplicate indexes inside one group, distinct indexes landing in the
+// same 64-bit word, and every branch of the m=3 straight-line
+// specialization.
+func TestDuplicateIndexDifferential(t *testing.T) {
+	const order = 10
+	// sameWord returns an index in i's word with a (possibly) different bit.
+	sameWord := func(i uint64, bit uint64) uint64 { return (i &^ 63) | (bit & 63) }
+
+	i0 := uint64(0x1234567890abcdef)
+	i1 := uint64(0x0fedcba987654321)
+	i2 := uint64(0xdeadbeefcafef00d)
+	groups := [][]uint64{
+		{},                                     // empty
+		{i0},                                   // singleton
+		{i0, i0},                               // pure duplicate
+		{i0, sameWord(i0, 7)},                  // same word, different bit
+		{i0, i1, i2},                           // m=3: (likely) all-distinct branch
+		{i0, i0, i0},                           // m=3: all duplicate
+		{i0, i0, i1},                           // m=3: w1==w0
+		{i0, i1, i0},                           // m=3: w2==w0
+		{i0, i1, sameWord(i1, 9)},              // m=3: w2==w1
+		{i0, sameWord(i0, 1), sameWord(i0, 2)}, // m=3: one word, three bits
+		{i0, i1, i2, i0, sameWord(i2, 3)},      // general path with dups
+	}
+	r := xrand.New(21)
+	for round := 0; round < 500; round++ {
+		g := make([]uint64, 1+r.Intn(9))
+		for i := range g {
+			switch {
+			case i > 0 && r.Bool(0.3):
+				g[i] = g[r.Intn(i)] // duplicate
+			case i > 0 && r.Bool(0.3):
+				g[i] = sameWord(g[r.Intn(i)], r.Uint64()) // same-word sibling
+			default:
+				g[i] = r.Uint64()
+			}
+		}
+		groups = append(groups, g)
+	}
+
+	coal := MustNew(order)
+	scal := MustNew(order)
+	k := 3
+	coalVecs := make([]*Vector, k)
+	scalVecs := make([]*Vector, k)
+	for i := range coalVecs {
+		coalVecs[i] = MustNew(order)
+		scalVecs[i] = MustNew(order)
+	}
+
+	for gi, g := range groups {
+		if got, want := coal.SetAll(g), scal.SetAllScalar(g); got != want {
+			t.Fatalf("group %d %v: SetAll newly=%d, SetAllScalar newly=%d", gi, g, got, want)
+		}
+		if got, want := coal.TestAll(g), scal.TestAllScalar(g); got != want {
+			t.Fatalf("group %d %v: TestAll=%v, TestAllScalar=%v", gi, g, got, want)
+		}
+		SetAllVectors(coalVecs, g)
+		for _, v := range scalVecs {
+			v.SetAllScalar(g)
+		}
+
+		vecs := [][2]*Vector{{coal, scal}}
+		for i := range coalVecs {
+			vecs = append(vecs, [2]*Vector{coalVecs[i], scalVecs[i]})
+		}
+		for vi, pair := range vecs {
+			c, s := pair[0], pair[1]
+			if !c.Equal(s) {
+				t.Fatalf("group %d %v: vector %d bits diverged", gi, g, vi)
+			}
+			if c.PopCount() != s.PopCount() {
+				t.Fatalf("group %d %v: vector %d popcount %d vs %d", gi, g, vi, c.PopCount(), s.PopCount())
+			}
+			if got, want := c.PopCount(), sumPopCount(c); got != want {
+				t.Fatalf("group %d %v: vector %d running count %d, true popcount %d", gi, g, vi, got, want)
+			}
+		}
+	}
+}
+
+// TestSetAllVectorsMatchesPerVector pins the fused k-vector mark against
+// the unfused loop, including vectors whose prior contents differ (so the
+// per-vector popcount deltas differ too).
+func TestSetAllVectorsMatchesPerVector(t *testing.T) {
+	r := xrand.New(33)
+	const k = 4
+	fused := make([]*Vector, k)
+	loose := make([]*Vector, k)
+	for i := range fused {
+		fused[i] = MustNew(9)
+		loose[i] = MustNew(9)
+		// Desynchronize starting contents across vectors.
+		for j := 0; j < i*17; j++ {
+			h := r.Uint64()
+			fused[i].Set(h)
+			loose[i].Set(h)
+		}
+	}
+	g := make([]uint64, 0, 12)
+	for round := 0; round < 2000; round++ {
+		g = g[:0]
+		for i, n := 0, 1+r.Intn(12); i < n; i++ {
+			g = append(g, r.Uint64())
+		}
+		SetAllVectors(fused, g)
+		for _, v := range loose {
+			v.SetAll(g)
+		}
+		for i := range fused {
+			if !fused[i].Equal(loose[i]) || fused[i].PopCount() != loose[i].PopCount() {
+				t.Fatalf("round %d: vector %d diverged (counts %d vs %d)",
+					round, i, fused[i].PopCount(), loose[i].PopCount())
+			}
+		}
+	}
+}
+
+// FuzzCountCoherence drives a vector through an arbitrary interleaving of
+// every mutator and asserts the running count invariant the whole
+// accounting layer rests on: v.count == Σ OnesCount64(words) after every
+// operation. The ops byte string is the fuzz vector; each op consumes a
+// few bytes of operand.
+func FuzzCountCoherence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 0xff, 3, 3, 9})
+	f.Add([]byte{2, 2, 2, 7, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const order = 8
+		v := MustNew(order)
+		other := MustNew(order)
+		vecs := []*Vector{v, MustNew(order)}
+		r := xrand.New(5)
+		next := func(i *int) uint64 {
+			if *i >= len(ops) {
+				return r.Uint64()
+			}
+			b := uint64(ops[*i])
+			*i++
+			return b * 0x9e3779b97f4a7c15
+		}
+		group := make([]uint64, 0, 8)
+		for i := 0; i < len(ops); {
+			op := ops[i]
+			i++
+			group = group[:0]
+			for n := 0; n < int(op%5)+1; n++ {
+				group = append(group, next(&i))
+			}
+			switch op % 9 {
+			case 0:
+				v.Set(next(&i))
+			case 1:
+				v.Clear(next(&i))
+			case 2:
+				v.SetAll(group)
+			case 3:
+				v.SetAllScalar(group)
+			case 4:
+				SetAllVectors(vecs, group)
+			case 5:
+				other.Set(next(&i))
+				if err := v.Or(other); err != nil {
+					t.Fatal(err)
+				}
+			case 6:
+				if err := v.CopyFrom(other); err != nil {
+					t.Fatal(err)
+				}
+			case 7:
+				var buf bytes.Buffer
+				if _, err := other.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := v.ReadFrom(&buf); err != nil {
+					t.Fatal(err)
+				}
+			case 8:
+				v.Reset()
+			}
+			for vi, vec := range append([]*Vector{v, other}, vecs...) {
+				if got, want := vec.PopCount(), sumPopCount(vec); got != want {
+					t.Fatalf("op %d (#%d) vector %d: running count %d, true popcount %d",
+						op, i, vi, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bitmapfilter/internal/bitvector"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// This file implements the batch-coalesced data plane: inside a
+// rotation-free segment of a batch, every packet's m masked hash indexes
+// are flattened into (word, mask, position) entries, stably sorted by
+// word, and replayed as a single sequential sweep over the current
+// vector's word array. The sweep is exact — within one word, entries are
+// replayed in packet order, so an incoming packet observes precisely the
+// marks of the outgoing packets before it — but the bitmap is touched in
+// ascending word order, which turns the per-packet random walks of the
+// scalar path into a few prefetch-friendly passes (one sweep over the
+// current vector plus one SetWords pass per marked vector).
+//
+// Segmentation (see processBatch) guarantees no rotation fires inside a
+// sweep, so the current index and the vector contents seen by the sweep
+// are exactly those the per-packet path would see. Everything that is
+// order-sensitive but does not touch the bitmap — counters, APD
+// observations and coin flips, the marks counter — runs in a final
+// per-packet pass in input order, so verdicts, statistics and the APD
+// random stream stay byte-identical to sequential Process calls (pinned
+// by the kernel differential tests).
+
+// batchSortMin is the batch length below which processBatch stays on the
+// per-packet path: the sort only pays for itself once enough word/mask
+// pairs land on shared cache lines and pages.
+const batchSortMin = 32
+
+// sweepMinWords is the SweepAuto threshold: vectors below this word count
+// stay on the per-packet path. 2^22 words = 32 MiB per vector (order 28),
+// the regime where a per-packet random walk misses typical last-level
+// caches and the sort starts buying back DRAM latency. Measurement on the
+// growth machine (105 MiB L3): at order <= 24 the sorted sweep costs
+// ~40 ns/pkt against random accesses that are nearly free, so engaging it
+// for cache-resident bitmaps is a strict loss; see DESIGN.md and the
+// BENCH trajectory.
+const sweepMinWords = 1 << 22
+
+// sweepEnabled reports whether ProcessBatchInto should run eligible
+// batches through the sorted word-sweep. The sweep exists for coalesced
+// kernels only; scalar mode is the pinned per-packet reference.
+//
+//bf:hotpath
+func (f *Filter) sweepEnabled() bool {
+	if f.cfg.kernels != KernelCoalesced {
+		return false
+	}
+	switch f.cfg.sweep {
+	case SweepAlways:
+		return true
+	case SweepNever:
+		return false
+	default:
+		return f.vectors[f.idx].Words() >= sweepMinWords
+	}
+}
+
+// batchEntry is one (word, mask) touch of the current vector, tagged with
+// the packet that produced it: pos = packet index << 1 | isMark.
+type batchEntry struct {
+	mask uint64
+	word uint32
+	pos  uint32
+}
+
+// sweepScratch holds the per-segment buffers of processSegment. Each
+// Filter owns one and reuses it across batches, so the steady state
+// allocates nothing (the //bf:hotpath contract).
+type sweepScratch struct {
+	entries []batchEntry         // flattened (word, mask, pos) touches
+	aux     []batchEntry         // radix-sort ping-pong buffer
+	matched []bool               // per incoming packet: all bits present
+	marked  []bool               // per outgoing packet: marks the bitmap
+	pairs   []bitvector.WordMask // collapsed (word, mask) marks
+}
+
+// radixSortByWord stably sorts ents by word with LSD byte passes,
+// ping-ponging between ents and aux (len(aux) >= len(ents)), and returns
+// the slice holding the sorted result. Stability is what preserves packet
+// order within a word, which the sweep's correctness rests on. Passes
+// whose byte is constant across all entries (common for high bytes at
+// small orders) are skipped.
+//
+//bf:hotpath
+func radixSortByWord(ents, aux []batchEntry, maxWord uint32) []batchEntry {
+	if len(ents) == 0 {
+		return ents
+	}
+	var cnt [256]int
+	for shift := uint(0); maxWord>>shift != 0; shift += 8 {
+		clear(cnt[:])
+		for i := range ents {
+			cnt[(ents[i].word>>shift)&0xff]++
+		}
+		if cnt[(ents[0].word>>shift)&0xff] == len(ents) {
+			continue // every entry shares this byte: the pass is an identity
+		}
+		sum := 0
+		for b := 0; b < 256; b++ {
+			c := cnt[b]
+			cnt[b] = sum
+			sum += c
+		}
+		for i := range ents {
+			b := (ents[i].word >> shift) & 0xff
+			aux[cnt[b]] = ents[i]
+			cnt[b]++
+		}
+		ents, aux = aux, ents
+	}
+	return ents
+}
+
+// processSegment fills out (same length as pkts) for a rotation-free run
+// of packets: no packet's timestamp reaches f.nextRotate, so the current
+// index is fixed for the whole segment.
+//
+//bf:hotpath
+func (f *Filter) processSegment(pkts []packet.Packet, out []filtering.Verdict) {
+	sc := &f.sweep
+	m := f.cfg.hashes
+	sc.entries = scratchSlice(sc.entries, len(pkts)*m)
+	sc.aux = scratchSlice(sc.aux, len(pkts)*m)
+	sc.matched = scratchSlice(sc.matched, len(pkts))
+	sc.marked = scratchSlice(sc.marked, len(pkts))
+	sc.pairs = scratchSlice(sc.pairs, len(pkts)*m)
+
+	// Phase 1: hash every packet once and flatten its m index touches
+	// into tagged entries. Entries are emitted in packet order, which the
+	// stable sort below preserves within each word.
+	cur := f.vectors[f.idx]
+	maxTime := f.now
+	ne := 0
+	for i := range pkts {
+		p := &pkts[i]
+		if p.Time > maxTime {
+			maxTime = p.Time
+		}
+		var tag uint32
+		if p.Dir == packet.Outgoing {
+			// Under APD, TCP signal packets do not mark (§5.3).
+			sc.marked[i] = f.cfg.apd == nil || !p.IsSignal()
+			if !sc.marked[i] {
+				continue
+			}
+			tag = uint32(i)<<1 | 1
+		} else {
+			sc.matched[i] = true
+			tag = uint32(i) << 1
+		}
+		k := f.key(*p)
+		f.scratch = f.hashes.IndexesFixed(f.scratch[:0], k.lo, k.hi, k.n)
+		for _, h := range f.scratch {
+			w, b := cur.Split(h)
+			sc.entries[ne] = batchEntry{mask: b, word: w, pos: tag}
+			ne++
+		}
+	}
+
+	// Phase 2: sort by word and sweep the current vector once. Within a
+	// word group, marks accumulate into acc in packet order and lookups
+	// compare against acc, so each lookup sees exactly the marks of
+	// earlier packets. Marks also collapse into one WordMask per distinct
+	// word, applied afterwards with one sequential SetWords pass per
+	// vector (count deltas computed against each vector's own words).
+	sorted := radixSortByWord(sc.entries[:ne], sc.aux[:ne], uint32(cur.Words()-1))
+	np := 0
+	for e := 0; e < ne; {
+		w := sorted[e].word
+		acc := cur.Word(w)
+		markAcc := uint64(0)
+		for ; e < ne && sorted[e].word == w; e++ {
+			en := &sorted[e]
+			if en.pos&1 != 0 {
+				acc |= en.mask
+				markAcc |= en.mask
+			} else if acc&en.mask != en.mask {
+				sc.matched[en.pos>>1] = false
+			}
+		}
+		if markAcc != 0 {
+			sc.pairs[np] = bitvector.WordMask{Word: w, Mask: markAcc}
+			np++
+		}
+	}
+	if np > 0 {
+		if f.cfg.markPolicy == MarkCurrentOnly {
+			cur.SetWords(sc.pairs[:np])
+		} else {
+			for _, v := range f.vectors {
+				v.SetWords(sc.pairs[:np])
+			}
+		}
+	}
+
+	// Phase 3: verdicts, counters and APD in input order — the exact
+	// tail of process() with the bitmap touches factored out.
+	for i := range pkts {
+		p := pkts[i]
+		if p.Dir == packet.Outgoing {
+			if sc.marked[i] {
+				f.marks++
+			}
+			if f.cfg.apd != nil {
+				f.cfg.apd.Observe(p)
+			}
+			f.counters.Count(p, filtering.Pass)
+			out[i] = filtering.Pass
+			continue
+		}
+		v := filtering.Pass
+		if !sc.matched[i] {
+			v = filtering.Drop
+			if f.cfg.apd != nil {
+				if !f.rng.Bool(f.cfg.apd.DropProbability(p.Time)) {
+					v = filtering.Pass
+					f.apdSpared++
+				}
+			}
+		}
+		if v == filtering.Pass && f.cfg.apd != nil {
+			f.cfg.apd.Observe(p)
+		}
+		f.counters.Count(p, v)
+		out[i] = v
+	}
+
+	// The rotation clock advances exactly as far as the per-packet path
+	// would have moved it; maxTime < f.nextRotate by segment construction,
+	// so this never fires a rotation.
+	f.now = maxTime
+}

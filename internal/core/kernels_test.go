@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+)
+
+// TestKernelDifferential pins the central claim of the kernel rewrite:
+// the data-plane kernel mode and the batch sweep are pure performance
+// knobs. For the same trace and seed, every (kernel, sweep) combination
+// must produce byte-identical verdict streams and statistics — across the
+// bare filter, Safe, Sharded, and an APD-enabled filter (whose coin-flip
+// stream would expose any reordering of the random draws).
+func TestKernelDifferential(t *testing.T) {
+	pkts := diffTrace(60_000, 99)
+
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{name: "scalar", opts: []Option{WithKernels(KernelScalar)}},
+		{name: "coalesced", opts: []Option{WithKernels(KernelCoalesced), WithSweep(SweepNever)}},
+		{name: "coalesced+sweep", opts: []Option{WithKernels(KernelCoalesced), WithSweep(SweepAlways)}},
+	}
+	flavors := []struct {
+		name string
+		mk   func(t *testing.T, opts []Option) intoFilter
+	}{
+		{name: "filter", mk: func(t *testing.T, opts []Option) intoFilter {
+			return MustNew(append([]Option{WithOrder(13), WithSeed(5)}, opts...)...)
+		}},
+		{name: "safe", mk: func(t *testing.T, opts []Option) intoFilter {
+			return NewSafe(MustNew(append([]Option{WithOrder(13), WithSeed(5)}, opts...)...))
+		}},
+		{name: "sharded", mk: func(t *testing.T, opts []Option) intoFilter {
+			s, err := NewSharded(4, append([]Option{WithOrder(12), WithSeed(5)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{name: "filter+apd", mk: func(t *testing.T, opts []Option) intoFilter {
+			rp, err := NewRatioPolicy(1, 3, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return MustNew(append([]Option{WithOrder(13), WithSeed(5), WithAPD(rp)}, opts...)...)
+		}},
+	}
+
+	for _, fl := range flavors {
+		t.Run(fl.name, func(t *testing.T) {
+			var ref []filtering.Verdict
+			var refStats string
+			for _, va := range variants {
+				f := fl.mk(t, va.opts)
+				var got []filtering.Verdict
+				var out []filtering.Verdict
+				for off := 0; off < len(pkts); off += 379 { // unaligned chunks
+					end := min(off+379, len(pkts))
+					out = f.ProcessBatchInto(pkts[off:end], out)
+					got = append(got, out...)
+				}
+				stats := statsString(f)
+				if ref == nil {
+					ref = got
+					refStats = stats
+					continue
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s: verdict[%d] = %v, %s said %v (pkt %+v)",
+							va.name, i, got[i], variants[0].name, ref[i], pkts[i])
+					}
+				}
+				if stats != refStats {
+					t.Errorf("%s: stats diverged:\n%s\nvs %s:\n%s", va.name, stats, variants[0].name, refStats)
+				}
+			}
+		})
+	}
+}
+
+// statsString renders whichever statistics a flavor exposes into a
+// comparable form.
+func statsString(f intoFilter) string {
+	switch v := f.(type) {
+	case *Filter:
+		return fmt.Sprintf("%+v", v.Stats())
+	case *Safe:
+		return fmt.Sprintf("%+v", v.Stats())
+	case *Sharded:
+		return fmt.Sprintf("%+v", v.Counters())
+	}
+	panic("unknown flavor")
+}

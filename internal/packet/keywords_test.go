@@ -1,0 +1,52 @@
+package packet
+
+import (
+	"testing"
+
+	"bitmapfilter/internal/xrand"
+)
+
+func packLEBytes(b []byte) (lo, hi uint64) {
+	for i, c := range b {
+		if i < 8 {
+			lo |= uint64(c) << (8 * uint(i))
+		} else {
+			hi |= uint64(c) << (8 * uint(i-8))
+		}
+	}
+	return lo, hi
+}
+
+// TestKeyWordsMatchBytes pins the packed key words to the byte encodings:
+// OutgoingKeyWords/IncomingKeyWords/FullKeyWords must equal the
+// little-endian packing of OutgoingKey/IncomingKey/FullKey for arbitrary
+// tuples. The filter hot path hashes the word forms; any divergence here
+// would silently change every hash the filter computes.
+func TestKeyWordsMatchBytes(t *testing.T) {
+	r := xrand.New(11)
+	for trial := 0; trial < 5000; trial++ {
+		tup := Tuple{
+			Src:     Addr(r.Uint32()),
+			Dst:     Addr(r.Uint32()),
+			SrcPort: uint16(r.Uint32()),
+			DstPort: uint16(r.Uint32()),
+			Proto:   Proto(r.Uint32()),
+		}
+		check := func(name string, gotLo, gotHi uint64, key []byte) {
+			t.Helper()
+			wantLo, wantHi := packLEBytes(key)
+			if gotLo != wantLo || gotHi != wantHi {
+				t.Fatalf("%s(%v) = (%#x, %#x), want (%#x, %#x)", name, tup, gotLo, gotHi, wantLo, wantHi)
+			}
+		}
+		ok := tup.OutgoingKey()
+		lo, hi := tup.OutgoingKeyWords()
+		check("OutgoingKeyWords", lo, hi, ok[:])
+		ik := tup.IncomingKey()
+		lo, hi = tup.IncomingKeyWords()
+		check("IncomingKeyWords", lo, hi, ik[:])
+		fk := tup.FullKey()
+		lo, hi = tup.FullKeyWords()
+		check("FullKeyWords", lo, hi, fk[:])
+	}
+}

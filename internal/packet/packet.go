@@ -12,6 +12,7 @@ package packet
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -206,10 +207,14 @@ func (t Tuple) IncomingKey() Key {
 	return makeKey(t.Dst, t.DstPort, t.Src, t.Proto)
 }
 
+// FullKeySize is the byte length of FullKey: the complete 4-tuple plus
+// protocol.
+const FullKeySize = 13
+
 // FullKey encodes the complete 4-tuple plus protocol. It is what exact
 // (SPI-style) flow tables key on, and what the full-tuple ablation hashes.
-func (t Tuple) FullKey() [13]byte {
-	var k [13]byte
+func (t Tuple) FullKey() [FullKeySize]byte {
+	var k [FullKeySize]byte
 	put32(k[0:], uint32(t.Src))
 	put16(k[4:], t.SrcPort)
 	put32(k[6:], uint32(t.Dst))
@@ -225,6 +230,61 @@ func makeKey(local Addr, localPort uint16, remote Addr, proto Proto) Key {
 	put32(k[6:], uint32(remote))
 	k[10] = byte(proto)
 	return k
+}
+
+// The *KeyWords forms below pack the exact bytes of the corresponding key
+// into two little-endian 64-bit words (lo = bytes 0..7, hi = the rest),
+// the fixed-width representation hashfam's short-key kernels consume. They
+// exist so the per-packet hot path never materializes a byte slice: the
+// key goes from tuple fields to hash lanes entirely in registers. Pinned
+// against the byte encodings by TestKeyWordsMatchBytes.
+
+// OutgoingKeyWords is OutgoingKey packed into (lo, hi); hash it with
+// length KeySize.
+//
+//bf:hotpath
+func (t Tuple) OutgoingKeyWords() (lo, hi uint64) {
+	return keyWords(t.Src, t.SrcPort, t.Dst, t.Proto)
+}
+
+// IncomingKeyWords is IncomingKey packed into (lo, hi); hash it with
+// length KeySize.
+//
+//bf:hotpath
+func (t Tuple) IncomingKeyWords() (lo, hi uint64) {
+	return keyWords(t.Dst, t.DstPort, t.Src, t.Proto)
+}
+
+// FullKeyWords is FullKey packed into (lo, hi); hash it with length
+// FullKeySize.
+//
+//bf:hotpath
+func (t Tuple) FullKeyWords() (lo, hi uint64) {
+	lo, r := keyHead(t.Src, t.SrcPort, t.Dst)
+	hi = r>>16 |
+		uint64(bits.ReverseBytes16(t.DstPort))<<16 |
+		uint64(t.Proto)<<32
+	return lo, hi
+}
+
+// keyHead packs the shared 10-byte prefix {local BE, localPort BE, remote
+// BE} of every key layout: lo holds bytes 0..7, and the returned r is the
+// byte-reversed remote address whose low half already sits in lo's top 16
+// bits (bytes 8..9 of the key are r>>16).
+//
+//bf:hotpath
+func keyHead(local Addr, localPort uint16, remote Addr) (lo, r uint64) {
+	r = uint64(bits.ReverseBytes32(uint32(remote)))
+	lo = uint64(bits.ReverseBytes32(uint32(local))) |
+		uint64(bits.ReverseBytes16(localPort))<<32 |
+		r<<48
+	return lo, r
+}
+
+//bf:hotpath
+func keyWords(local Addr, localPort uint16, remote Addr, proto Proto) (lo, hi uint64) {
+	lo, r := keyHead(local, localPort, remote)
+	return lo, r>>16 | uint64(proto)<<16
 }
 
 func put32(b []byte, v uint32) {
