@@ -144,6 +144,16 @@ type RatioPolicy = core.RatioPolicy
 // verdicts.
 func AsBatch(f PacketFilter) BatchFilter { return filtering.AsBatch(f) }
 
+// Chain composes filter stages into one BatchFilter: packets flow through
+// the stages in order and the first Drop short-circuits, so later stages
+// never observe a dropped packet. The batch path feeds each stage only
+// its predecessor's survivors (compacted in order, pooled scratch), which
+// keeps stage state evolution identical to per-packet chaining. This is
+// the composition point for layered defenses — e.g. a SYN-validation
+// stage in front of the bitmap filter, or a TenantSet behind a rate
+// limiter. Chain() passes everything; Chain(f) returns f unchanged.
+func Chain(stages ...BatchFilter) BatchFilter { return filtering.Chain(stages...) }
+
 // MarkPolicy and TuplePolicy select ablation variants of the filter.
 type (
 	MarkPolicy  = core.MarkPolicy
@@ -174,9 +184,60 @@ const (
 	SweepNever      = core.SweepNever
 )
 
+// Build is the unified constructor: one option bundle describes a
+// complete deployment, with flavor selectors riding in the same slice as
+// the bitmap parameters. It composes, inside-out:
+//
+//	Build(WithOrder(20))                          == New(...)
+//	Build(WithConcurrencySafe(), ...)             == NewSafe(New(...))
+//	Build(WithShards(8), ...)                     == NewSharded(8, ...)
+//	Build(WithLiveClock(nil), ...)                == NewLive(<inner>, ...)
+//	Build(WithShards(8), WithLiveClock(clk), ...) == NewLive(NewSharded(8, ...), WithClock(clk))
+//
+// The classic constructors below remain as thin wrappers and return their
+// concrete types; Build is the surface that can be stored as
+// configuration and applied uniformly — TenantSet construction takes the
+// same bundle per tenant. The result always implements BatchFilter; it is
+// goroutine-safe unless the bundle selected a bare single filter.
+func Build(opts ...Option) (BatchFilter, error) {
+	plan := core.PlanBuild(opts...)
+	if !plan.Live {
+		return core.Build(opts...)
+	}
+	// Wall-clock deployments: compose the core flavor with the live
+	// request cancelled (core.Build rejects it otherwise), then wrap it
+	// in the adapter driven by the requested clock.
+	inner, err := core.Build(append(append(make([]Option, 0, len(opts)+1), opts...), core.ClearLive())...)
+	if err != nil {
+		return nil, err
+	}
+	var lopts []LiveOption
+	if plan.Clock != nil {
+		lopts = append(lopts, live.WithClock(plan.Clock))
+	}
+	return live.New(inner, lopts...)
+}
+
+// Flavor selectors for Build. They are ordinary Options, but only Build
+// honors them: New and the other classic constructors reject bundles that
+// carry flavor requests rather than silently ignoring them.
+
+// WithShards selects the sharded flavor with the given shard count
+// (rounded up to a power of two, exactly as NewSharded).
+func WithShards(n int) Option { return core.WithShards(n) }
+
+// WithConcurrencySafe selects a goroutine-safe filter (the Safe wrapper).
+// It is implied for WithShards and WithLiveClock.
+func WithConcurrencySafe() Option { return core.WithConcurrencySafe() }
+
+// WithLiveClock selects the wall-clock adapter (LiveFilter) around the
+// composed filter, driven by c; nil selects the real clock.
+func WithLiveClock(c Clock) Option { return core.WithLiveClock(c) }
+
 // New constructs a bitmap filter. With no options it is the paper's
 // {4×20}-bitmap with m = 3 hash functions rotated every 5 seconds
-// (512 KiB, T_e = 20 s).
+// (512 KiB, T_e = 20 s). Equivalent to Build with no flavor selectors,
+// typed as the concrete *Filter.
 func New(opts ...Option) (*Filter, error) { return core.New(opts...) }
 
 // NewSafe wraps a filter for concurrent use.

@@ -12,6 +12,7 @@ import (
 	"bitmapfilter/internal/filtering"
 	"bitmapfilter/internal/live"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/tenant"
 	"bitmapfilter/internal/xrand"
 )
 
@@ -77,6 +78,33 @@ func benchWorkload(n int, seed uint64) []packet.Packet {
 	return pkts[:n]
 }
 
+// tenantWorkload is benchWorkload with the client side spread uniformly
+// across the tenants flavor's 64 /16 prefixes, so a batch exercises the
+// full route→group→dispatch path (LPM per packet, counting sort, ~64
+// grouped sub-batches) rather than collapsing into one tenant.
+func tenantWorkload(n int, seed uint64) []packet.Packet {
+	r := xrand.New(seed)
+	pkts := make([]packet.Packet, 0, n)
+	for i := 0; len(pkts) < n; i++ {
+		tup := packet.Tuple{
+			Src:     packet.AddrFrom4(10, byte(i%benchTenants), byte(i>>8), byte(i)),
+			Dst:     packet.Addr(r.Uint32() | 1),
+			SrcPort: uint16(1024 + i%60000),
+			DstPort: 80,
+			Proto:   packet.TCP,
+		}
+		pkts = append(pkts,
+			packet.Packet{Tuple: tup, Dir: packet.Outgoing, Flags: packet.ACK, Length: 60},
+			packet.Packet{Tuple: tup.Reverse(), Dir: packet.Incoming, Flags: packet.ACK, Length: 60})
+	}
+	return pkts[:n]
+}
+
+// benchTenants is the pinned fleet size of the tenants flavor; the
+// ns/pkt gap between the tenants and single rows is the routing +
+// grouped-dispatch overhead the multi-tenant data plane costs.
+const benchTenants = 64
+
 // batchIntoFunc is the one method every measured flavor exposes.
 type batchIntoFunc func([]packet.Packet, []filtering.Verdict) []filtering.Verdict
 
@@ -115,6 +143,22 @@ func mkFlavor(flavor string, kernels core.KernelMode) (batchIntoFunc, error) {
 			return nil, err
 		}
 		return l.ObserveBatchInto, nil
+	case "tenants":
+		cfgs := make([]tenant.Config, benchTenants)
+		for t := range cfgs {
+			cfgs[t] = tenant.Config{
+				ID:     fmt.Sprintf("t%02d", t),
+				Prefix: packet.PrefixFrom(packet.AddrFrom4(10, byte(t), 0, 0), 16),
+				Options: []core.Option{
+					core.WithOrder(14), core.WithSeed(uint64(t) + 1), opt,
+				},
+			}
+		}
+		s, err := tenant.NewSet(tenant.SetConfig{Tenants: cfgs})
+		if err != nil {
+			return nil, err
+		}
+		return s.ProcessBatchInto, nil
 	}
 	return nil, fmt.Errorf("unknown flavor %q", flavor)
 }
@@ -170,32 +214,40 @@ func runJSONBench(w io.Writer, label string, batch, count int, benchtime time.Du
 		{name: "coalesced", mode: core.KernelCoalesced},
 	}
 	type cell struct {
-		res benchResult
-		run batchIntoFunc
-		out []filtering.Verdict
+		res  benchResult
+		run  batchIntoFunc
+		pkts []packet.Packet
+		out  []filtering.Verdict
 	}
 	var cells []*cell
-	for _, flavor := range []string{"single", "safe", "sharded", "live"} {
+	for _, flavor := range []string{"single", "safe", "sharded", "live", "tenants"} {
 		for _, k := range kernels {
 			run, err := mkFlavor(flavor, k.mode)
 			if err != nil {
 				return err
 			}
 			c := &cell{
-				res: benchResult{Flavor: flavor, Kernel: k.name, Samples: make([]float64, 0, count)},
-				run: run,
+				res:  benchResult{Flavor: flavor, Kernel: k.name, Samples: make([]float64, 0, count)},
+				run:  run,
+				pkts: pkts,
+			}
+			// The tenants flavor routes by client prefix, so its batch
+			// spreads clients across the fleet; every other flavor shares
+			// the standard workload, keeping row shapes identical.
+			if flavor == "tenants" {
+				c.pkts = tenantWorkload(batch, 8)
 			}
 			// Warm up: grow the verdict buffer and scratch pools, prime
 			// caches and branch predictors.
 			for j := 0; j < 32; j++ {
-				c.out = run(pkts, c.out)
+				c.out = run(c.pkts, c.out)
 			}
 			cells = append(cells, c)
 		}
 	}
 	for s := 0; s < count; s++ {
 		for _, c := range cells {
-			ns, allocs, o := measure(c.run, pkts, c.out, benchtime)
+			ns, allocs, o := measure(c.run, c.pkts, c.out, benchtime)
 			c.out = o
 			c.res.Samples = append(c.res.Samples, ns)
 			if s == 0 || ns < c.res.NsPerPkt {

@@ -14,6 +14,15 @@
 // restarting edge router keeps admitting established flows instead of
 // blacking them out for up to T_e.
 //
+// With -tenants <file> the daemon serves a multi-tenant fleet instead of
+// a single filter: the JSON file maps client prefixes to per-tenant
+// filter plans (see internal/tenant.ParseConfig for the schema), packets
+// route to their tenant by longest-prefix match, /stats and /metrics
+// grow per-tenant series, and — when the file configures a shared memory
+// budget — a background ticker re-plans per-tenant geometry from
+// observed flow counts every -rebalance interval. Checkpointing persists
+// and restores the whole fleet atomically.
+//
 // In -demo mode (default) a calibrated synthetic workload is replayed
 // against the filter in wall-clock time at the configured speedup, so the
 // endpoints show live numbers; a real deployment would instead feed
@@ -22,6 +31,7 @@
 // Usage:
 //
 //	bfserve [-listen :8080] [-demo] [-speedup 10] [-order 20]
+//	        [-tenants fleet.json] [-rebalance 10s]
 //	        [-checkpoint /var/lib/bfserve/state.bmf] [-checkpoint-every 30s]
 package main
 
@@ -43,6 +53,7 @@ import (
 	"bitmapfilter/internal/httpapi"
 	"bitmapfilter/internal/live"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/tenant"
 	"bitmapfilter/internal/trafficgen"
 )
 
@@ -66,38 +77,51 @@ func run() error {
 		shards  = flag.Int("shards", 1, "shard count (>1 runs the sharded data plane)")
 		apd     = flag.String("apd", "", `adaptive packet dropping: "ratio" or "bandwidth" (§5.3)`)
 		apdCap  = flag.Float64("apd-capacity", 100e6, "link capacity in bits/s for -apd bandwidth")
+		tenants = flag.String("tenants", "", "multi-tenant fleet config (JSON); replaces the single-filter geometry flags")
+		rebal   = flag.Duration("rebalance", 0, "budget rebalance interval for a -tenants fleet (0 = every fleet rotation period)")
 		ckpt    = flag.String("checkpoint", "", "checkpoint file; restores state on startup and persists it periodically and on SIGTERM")
 		ckptDt  = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint; jittered ±10%)")
 	)
 	flag.Parse()
 
-	opts := []core.Option{
-		core.WithOrder(*order),
-		core.WithVectors(*vectors),
-		core.WithHashes(*hashes),
-		core.WithRotateEvery(*rotate),
-	}
-	switch *apd {
-	case "":
-	case "ratio":
-		p, err := core.NewRatioPolicy(1, 3, 5*time.Second)
-		if err != nil {
-			return err
-		}
-		opts = append(opts, core.WithAPD(p))
-	case "bandwidth":
-		p, err := core.NewBandwidthPolicy(*apdCap, 5*time.Second)
-		if err != nil {
-			return err
-		}
-		opts = append(opts, core.WithAPD(p))
-	default:
-		return fmt.Errorf("unknown -apd policy %q (want ratio or bandwidth)", *apd)
-	}
-
-	filter, restoreRes, err := buildLiveFilter(*ckpt, opts, *shards)
+	mkAPD, err := apdFactory(*apd, *apdCap)
 	if err != nil {
 		return err
+	}
+
+	var (
+		filter     *live.Filter
+		restoreRes checkpoint.RestoreResult
+		fleetCfg   *tenant.SetConfig
+	)
+	if *tenants != "" {
+		data, err := os.ReadFile(*tenants)
+		if err != nil {
+			return err
+		}
+		cfg, err := tenant.ParseConfig(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *tenants, err)
+		}
+		fleetCfg = &cfg
+		filter, restoreRes, err = buildTenantFleet(*ckpt, cfg, mkAPD)
+		if err != nil {
+			return err
+		}
+	} else {
+		opts := []core.Option{
+			core.WithOrder(*order),
+			core.WithVectors(*vectors),
+			core.WithHashes(*hashes),
+			core.WithRotateEvery(*rotate),
+		}
+		if mkAPD != nil {
+			opts = append(opts, core.WithAPD(mkAPD()))
+		}
+		filter, restoreRes, err = buildLiveFilter(*ckpt, opts, *shards)
+		if err != nil {
+			return err
+		}
 	}
 	logRestore(*ckpt, restoreRes)
 	if err := filter.StartRotations(0); err != nil {
@@ -143,6 +167,38 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// A budgeted fleet re-plans per-tenant geometry in the background.
+	// Resizes only land at rotation boundaries (tenant.Set.Rebalance), so
+	// the default cadence is the fleet's fastest rotation period.
+	rebalDone := make(chan struct{})
+	if fleetCfg != nil && fleetCfg.Budget != nil {
+		interval := *rebal
+		if interval <= 0 {
+			interval = filter.RotateEvery()
+		}
+		go func() {
+			defer close(rebalDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n, err := filter.Rebalance(); err != nil {
+						fmt.Fprintln(os.Stderr, "bfserve: rebalance:", err)
+					} else if n > 0 {
+						fmt.Printf("bfserve: rebalanced %d tenant filters (fleet %d KiB)\n",
+							n, filter.MemoryBytes()/1024)
+					}
+				}
+			}
+		}()
+	} else {
+		close(rebalDone)
+	}
+	defer func() { <-rebalDone }()
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -192,6 +248,89 @@ func run() error {
 	}
 	<-demoDone
 	return <-errCh
+}
+
+// apdFactory validates the -apd flags once and returns a constructor
+// minting an independent policy instance per call — each tenant (and
+// each snapshot restore) must get its own policy state, never a shared
+// one. A nil factory means APD is off.
+func apdFactory(name string, capacity float64) (func() core.DropPolicy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "ratio":
+		if _, err := core.NewRatioPolicy(1, 3, 5*time.Second); err != nil {
+			return nil, err
+		}
+		return func() core.DropPolicy {
+			p, _ := core.NewRatioPolicy(1, 3, 5*time.Second)
+			return p
+		}, nil
+	case "bandwidth":
+		if _, err := core.NewBandwidthPolicy(capacity, 5*time.Second); err != nil {
+			return nil, err
+		}
+		return func() core.DropPolicy {
+			p, _ := core.NewBandwidthPolicy(capacity, 5*time.Second)
+			return p
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -apd policy %q (want ratio or bandwidth)", name)
+	}
+}
+
+// buildTenantFleet returns the wall-clock multi-tenant data plane. The
+// restore ladder mirrors buildLiveFilter: the snapshot is authoritative
+// for fleet membership and per-tenant geometry, while the config file's
+// budget and the -apd policy — neither of which serializes — are
+// re-attached on top. live.Adopt back-dates the adapter start so every
+// tenant's marks keep their residual lifetime across the restart.
+func buildTenantFleet(ckptPath string, cfg tenant.SetConfig, mkAPD func() core.DropPolicy) (*live.Filter, checkpoint.RestoreResult, error) {
+	extra := func(string) []core.Option {
+		if mkAPD == nil {
+			return nil
+		}
+		return []core.Option{core.WithAPD(mkAPD())}
+	}
+	cold := func() (*live.Filter, error) {
+		if mkAPD != nil {
+			for i := range cfg.Tenants {
+				cfg.Tenants[i].Options = append(cfg.Tenants[i].Options, core.WithAPD(mkAPD()))
+			}
+		}
+		set, err := tenant.NewSet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return live.New(set)
+	}
+	if ckptPath == "" {
+		f, err := cold()
+		return f, checkpoint.RestoreResult{Outcome: checkpoint.OutcomeColdStartEmpty}, err
+	}
+	var restored *live.Filter
+	res := checkpoint.Restore(ckptPath, func(r io.Reader) error {
+		set, err := tenant.ReadSnapshot(r, extra)
+		if err != nil {
+			return err
+		}
+		if cfg.Budget != nil {
+			if err := set.AttachBudget(cfg.Budget); err != nil {
+				return err
+			}
+		}
+		f, err := live.Adopt(set)
+		if err != nil {
+			return err
+		}
+		restored = f
+		return nil
+	})
+	if res.Outcome.Restored() {
+		return restored, res, nil
+	}
+	f, err := cold()
+	return f, res, err
 }
 
 // buildLiveFilter returns the wall-clock filter the daemon serves. With a

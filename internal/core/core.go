@@ -131,6 +131,7 @@ type config struct {
 	kernels     KernelMode
 	sweep       SweepMode
 	apd         DropPolicy
+	build       buildConfig
 }
 
 func defaultConfig() config {
@@ -251,6 +252,14 @@ func New(opts ...Option) (*Filter, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	if cfg.build != (buildConfig{}) {
+		// Flavor selectors (WithShards, WithConcurrencySafe,
+		// WithLiveClock) describe compositions above the single filter;
+		// only Build honors them. Rejecting them here keeps a misplaced
+		// bundle from silently degrading to an unsharded, unlocked
+		// filter.
+		return nil, fmt.Errorf("%w: flavor options (WithShards/WithConcurrencySafe/WithLiveClock) require Build, not New", ErrConfig)
 	}
 	if cfg.vectors < 1 {
 		return nil, fmt.Errorf("%w: k=%d", ErrConfig, cfg.vectors)

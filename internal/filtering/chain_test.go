@@ -1,0 +1,242 @@
+package filtering_test
+
+import (
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// recordingStage wraps a BatchFilter and records every packet it is fed,
+// so tests can prove what a downstream stage did and did not observe.
+type recordingStage struct {
+	filtering.BatchFilter
+	seen []packet.Packet
+}
+
+func (r *recordingStage) Process(pkt packet.Packet) filtering.Verdict {
+	r.seen = append(r.seen, pkt)
+	return r.BatchFilter.Process(pkt)
+}
+
+func (r *recordingStage) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	r.seen = append(r.seen, pkts...)
+	return r.BatchFilter.ProcessBatch(pkts)
+}
+
+func (r *recordingStage) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	r.seen = append(r.seen, pkts...)
+	return r.BatchFilter.ProcessBatchInto(pkts, out)
+}
+
+// chainTrace builds a deterministic mixed trace: outgoing packets from a
+// client prefix establish flows, incoming packets split between replies
+// (admitted) and random scans (dropped by a warm filter).
+func chainTrace(n int) []packet.Packet {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	pkts := make([]packet.Packet, 0, n)
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * time.Millisecond
+		r := next()
+		client := packet.AddrFrom4(10, 0, byte(r>>8), byte(r))
+		remote := packet.AddrFrom4(198, 51, byte(r>>24), byte(r>>16))
+		tup := packet.Tuple{
+			Src: client, SrcPort: uint16(r>>32)%1024 + 1024,
+			Dst: remote, DstPort: 80, Proto: packet.TCP,
+		}
+		if r%3 == 0 {
+			pkts = append(pkts, packet.Packet{Time: t, Tuple: tup, Dir: packet.Outgoing, Length: 100})
+		} else if r%3 == 1 {
+			// Reply to the flow just opened (if any previous outgoing
+			// used this tuple it is admitted; otherwise it scans).
+			pkts = append(pkts, packet.Packet{Time: t, Tuple: tup.Reverse(), Dir: packet.Incoming, Length: 100})
+		} else {
+			scan := packet.Tuple{
+				Src: remote, SrcPort: 443,
+				Dst: client, DstPort: uint16(r >> 40), Proto: packet.TCP,
+			}
+			pkts = append(pkts, packet.Packet{Time: t, Tuple: scan, Dir: packet.Incoming, Length: 60})
+		}
+	}
+	return pkts
+}
+
+func mustFilter(t *testing.T, opts ...core.Option) *core.Filter {
+	t.Helper()
+	f, err := core.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestChainShortCircuit proves the defining property: a packet dropped by
+// stage i is never observed by stage i+1 — on both the per-packet and the
+// batch paths, which must agree packet for packet.
+func TestChainShortCircuit(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		name := "per-packet"
+		if batched {
+			name = "batch"
+		}
+		t.Run(name, func(t *testing.T) {
+			front := mustFilter(t, core.WithOrder(12), core.WithSeed(1))
+			rec := &recordingStage{BatchFilter: mustFilter(t, core.WithOrder(12), core.WithSeed(2))}
+			ch := filtering.Chain(front, rec)
+
+			// Reference copy of the front stage decides expectations.
+			ref := mustFilter(t, core.WithOrder(12), core.WithSeed(1))
+			pkts := chainTrace(20_000)
+			var wantSeen []packet.Packet
+			wantVerdicts := make([]filtering.Verdict, len(pkts))
+			for i, p := range pkts {
+				wantVerdicts[i] = ref.Process(p)
+				if wantVerdicts[i] == filtering.Pass {
+					wantSeen = append(wantSeen, p)
+				}
+			}
+
+			var got []filtering.Verdict
+			if batched {
+				for off := 0; off < len(pkts); off += 700 {
+					end := off + 700
+					if end > len(pkts) {
+						end = len(pkts)
+					}
+					got = append(got, ch.ProcessBatch(pkts[off:end])...)
+				}
+			} else {
+				for _, p := range pkts {
+					got = append(got, ch.Process(p))
+				}
+			}
+
+			if len(rec.seen) != len(wantSeen) {
+				t.Fatalf("stage 2 saw %d packets, want %d", len(rec.seen), len(wantSeen))
+			}
+			for i := range wantSeen {
+				if rec.seen[i] != wantSeen[i] {
+					t.Fatalf("stage 2 packet %d = %+v, want %+v", i, rec.seen[i], wantSeen[i])
+				}
+			}
+			drops := 0
+			for i := range got {
+				if wantVerdicts[i] == filtering.Drop && got[i] != filtering.Drop {
+					t.Fatalf("packet %d: front dropped but chain returned %v", i, got[i])
+				}
+				if wantVerdicts[i] == filtering.Drop {
+					drops++
+				}
+			}
+			if drops == 0 {
+				t.Fatal("trace exercised no drops; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestChainBatchMatchesPerPacket is the chain differential: the batched
+// chain must be verdict- and state-identical to per-packet chaining over
+// the same trace.
+func TestChainBatchMatchesPerPacket(t *testing.T) {
+	mk := func() filtering.BatchFilter {
+		return filtering.Chain(
+			mustFilter(t, core.WithOrder(12), core.WithSeed(7)),
+			mustFilter(t, core.WithOrder(11), core.WithSeed(8)),
+			mustFilter(t, core.WithOrder(10), core.WithSeed(9)),
+		)
+	}
+	seq, bat := mk(), mk()
+	pkts := chainTrace(50_000)
+
+	want := make([]filtering.Verdict, 0, len(pkts))
+	for _, p := range pkts {
+		want = append(want, seq.Process(p))
+	}
+	var got, buf []filtering.Verdict
+	for off := 0; off < len(pkts); off += 513 { // unaligned chunks
+		end := off + 513
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		buf = bat.ProcessBatchInto(pkts[off:end], buf)
+		got = append(got, buf...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verdict %d: batch %v, per-packet %v", i, got[i], want[i])
+		}
+	}
+	if seq.Counters() != bat.Counters() {
+		t.Errorf("counters diverged: %+v vs %+v", seq.Counters(), bat.Counters())
+	}
+}
+
+// TestChainIdentities pins the degenerate forms: no stages passes
+// everything, one stage is returned unchanged.
+func TestChainIdentities(t *testing.T) {
+	empty := filtering.Chain()
+	if empty.Name() != "chain()" {
+		t.Errorf("Name = %q", empty.Name())
+	}
+	pkts := chainTrace(100)
+	for _, p := range pkts {
+		if v := empty.Process(p); v != filtering.Pass {
+			t.Fatalf("empty chain dropped %+v", p)
+		}
+	}
+	out := empty.ProcessBatchInto(pkts, nil)
+	for i, v := range out {
+		if v != filtering.Pass {
+			t.Fatalf("empty chain batch verdict %d = %v", i, v)
+		}
+	}
+	if c := empty.Counters(); c.InDropped != 0 || c.InPackets == 0 {
+		t.Errorf("empty chain counters: %+v", c)
+	}
+	if empty.MemoryBytes() != 0 {
+		t.Errorf("empty chain MemoryBytes = %d", empty.MemoryBytes())
+	}
+
+	f := mustFilter(t, core.WithOrder(10))
+	if got := filtering.Chain(f); got != filtering.BatchFilter(f) {
+		t.Error("Chain(f) did not return f unchanged")
+	}
+}
+
+// TestChainSurfaces covers the aggregate PacketFilter surface: Name,
+// MemoryBytes sums stages, AdvanceTo reaches every stage (even ones a
+// short-circuit would starve), and the empty-batch contract holds.
+func TestChainSurfaces(t *testing.T) {
+	a := mustFilter(t, core.WithOrder(12), core.WithSeed(1))
+	b := mustFilter(t, core.WithOrder(10), core.WithSeed(2))
+	ch := filtering.Chain(a, b)
+
+	if want := a.MemoryBytes() + b.MemoryBytes(); ch.MemoryBytes() != want {
+		t.Errorf("MemoryBytes = %d, want %d", ch.MemoryBytes(), want)
+	}
+	if ch.Name() != "chain("+a.Name()+","+b.Name()+")" {
+		t.Errorf("Name = %q", ch.Name())
+	}
+
+	ch.AdvanceTo(47 * time.Second)
+	if a.Rotations() == 0 || b.Rotations() == 0 {
+		t.Errorf("AdvanceTo did not reach both stages: %d, %d", a.Rotations(), b.Rotations())
+	}
+
+	if got := ch.ProcessBatch(nil); got != nil {
+		t.Errorf("ProcessBatch(nil) = %v", got)
+	}
+	buf := make([]filtering.Verdict, 3, 8)
+	if got := ch.ProcessBatchInto(nil, buf); len(got) != 0 || cap(got) != cap(buf) {
+		t.Errorf("ProcessBatchInto(nil, buf): len %d cap %d", len(got), cap(got))
+	}
+}

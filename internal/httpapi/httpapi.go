@@ -25,6 +25,7 @@ import (
 	"bitmapfilter/internal/checkpoint"
 	"bitmapfilter/internal/core"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/tenant"
 )
 
 // ErrNilFilter is returned by New when no filter is supplied.
@@ -44,6 +45,16 @@ type Filter interface {
 // /metrics include per-shard breakdowns.
 type ShardStatser interface {
 	ShardStats() []core.Stats
+}
+
+// TenantStatser is the optional per-tenant introspection extension.
+// *tenant.Set implements it natively and *live.Filter forwards it (nil
+// for a single-tenant inner filter); when snapshots are present, /stats
+// gains a per-tenant array and /metrics the bitmapfilter_tenant_*
+// series, each labeled with the tenant id.
+type TenantStatser interface {
+	TenantStats() []tenant.Stat
+	UnroutedPackets() uint64
 }
 
 // CheckpointControl is the checkpoint surface the API drives:
@@ -155,6 +166,13 @@ type statsPayload struct {
 	// otherwise). Top-level fields are then cross-shard aggregates.
 	Shards []shardPayload `json:"shards,omitempty"`
 
+	// Tenants holds per-tenant breakdowns for multi-tenant sets (absent
+	// otherwise). Top-level fields are then cross-tenant aggregates,
+	// and UnroutedPackets counts the pass-through traffic no tenant
+	// prefix claimed.
+	Tenants         []tenantPayload `json:"tenants,omitempty"`
+	UnroutedPackets uint64          `json:"unroutedPackets,omitempty"`
+
 	// Checkpoint reports the durability subsystem (absent when the
 	// daemon runs without -checkpoint).
 	Checkpoint *checkpointPayload `json:"checkpoint,omitempty"`
@@ -180,6 +198,42 @@ type shardPayload struct {
 	APDSpared          uint64  `json:"apdSpared"`
 	InPackets          uint64  `json:"inPackets"`
 	InDropped          uint64  `json:"inDropped"`
+}
+
+// tenantPayload is the per-tenant slice of /stats for multi-tenant sets:
+// the identity plus the same introspection a single filter reports.
+type tenantPayload struct {
+	ID     string `json:"id"`
+	Prefix string `json:"prefix"`
+
+	Order       uint   `json:"order"`
+	Vectors     int    `json:"vectors"`
+	Hashes      int    `json:"hashes"`
+	MemoryBytes uint64 `json:"memoryBytes"`
+	Rotations   uint64 `json:"rotations"`
+	Marks       uint64 `json:"marks"`
+
+	Utilization float64 `json:"utilization"`
+	Penetration float64 `json:"penetrationProbability"`
+
+	OutPackets uint64 `json:"outPackets"`
+	InPackets  uint64 `json:"inPackets"`
+	InPassed   uint64 `json:"inPassed"`
+	InDropped  uint64 `json:"inDropped"`
+
+	APDEnabled         bool    `json:"apdEnabled"`
+	APDPolicy          string  `json:"apdPolicy,omitempty"`
+	APDDropProbability float64 `json:"apdDropProbability"`
+	APDSpared          uint64  `json:"apdSpared"`
+}
+
+// tenantStats returns per-tenant snapshots when the filter exposes them,
+// nil otherwise.
+func (a *API) tenantStats() ([]tenant.Stat, uint64) {
+	if ts, ok := a.filter.(TenantStatser); ok {
+		return ts.TenantStats(), ts.UnroutedPackets()
+	}
+	return nil, 0
 }
 
 // shardStats returns per-shard snapshots when the filter exposes them,
@@ -224,6 +278,31 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 			InPackets:          st.Counters.InPackets,
 			InDropped:          st.Counters.InDropped,
 		})
+	}
+	if tenants, unrouted := a.tenantStats(); len(tenants) > 0 {
+		payload.UnroutedPackets = unrouted
+		for _, ts := range tenants {
+			payload.Tenants = append(payload.Tenants, tenantPayload{
+				ID:                 ts.ID,
+				Prefix:             ts.Prefix.String(),
+				Order:              ts.Stats.Order,
+				Vectors:            ts.Stats.Vectors,
+				Hashes:             ts.Stats.Hashes,
+				MemoryBytes:        ts.Stats.MemoryBytes,
+				Rotations:          ts.Stats.Rotations,
+				Marks:              ts.Stats.Marks,
+				Utilization:        ts.Stats.Utilization,
+				Penetration:        ts.Stats.PenetrationProbability,
+				OutPackets:         ts.Stats.Counters.OutPackets,
+				InPackets:          ts.Stats.Counters.InPackets,
+				InPassed:           ts.Stats.Counters.InPassed,
+				InDropped:          ts.Stats.Counters.InDropped,
+				APDEnabled:         ts.Stats.APDEnabled,
+				APDPolicy:          ts.Stats.APDPolicy,
+				APDDropProbability: ts.Stats.APDDropProbability,
+				APDSpared:          ts.Stats.APDSpared,
+			})
+		}
 	}
 	if a.checkpoints != nil {
 		cs := a.checkpoints.Stats()
@@ -313,6 +392,49 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		for i, st := range per {
 			fmt.Fprintf(&b, "bitmapfilter_shard_apd_spared_total{shard=\"%d\"} %d\n", i, st.APDSpared)
 		}
+	}
+	if tenants, unrouted := a.tenantStats(); len(tenants) > 0 {
+		tenantGauge := func(name, help string, v func(tenant.Stat) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, ts := range tenants {
+				fmt.Fprintf(&b, "%s{tenant=%q} %g\n", name, ts.ID, v(ts))
+			}
+		}
+		tenantCounter := func(name, help string, v func(tenant.Stat) uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, ts := range tenants {
+				fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, ts.ID, v(ts))
+			}
+		}
+		tenantGauge("bitmapfilter_tenant_utilization",
+			"Per-tenant current-vector fill fraction",
+			func(ts tenant.Stat) float64 { return ts.Stats.Utilization })
+		tenantGauge("bitmapfilter_tenant_penetration_probability",
+			"Per-tenant random-packet penetration probability U^m",
+			func(ts tenant.Stat) float64 { return ts.Stats.PenetrationProbability })
+		tenantGauge("bitmapfilter_tenant_memory_bytes",
+			"Per-tenant bitmap footprint (changes when the budget rebalances)",
+			func(ts tenant.Stat) float64 { return float64(ts.Stats.MemoryBytes) })
+		tenantGauge("bitmapfilter_tenant_order",
+			"Per-tenant bitmap order n (vector size 2^n bits)",
+			func(ts tenant.Stat) float64 { return float64(ts.Stats.Order) })
+		tenantGauge("bitmapfilter_tenant_apd_drop_probability",
+			"Per-tenant APD drop probability for unmatched incoming packets",
+			func(ts tenant.Stat) float64 { return ts.Stats.APDDropProbability })
+		tenantCounter("bitmapfilter_tenant_out_packets_total",
+			"Per-tenant outgoing packets observed",
+			func(ts tenant.Stat) uint64 { return ts.Stats.Counters.OutPackets })
+		tenantCounter("bitmapfilter_tenant_in_packets_total",
+			"Per-tenant incoming packets observed",
+			func(ts tenant.Stat) uint64 { return ts.Stats.Counters.InPackets })
+		tenantCounter("bitmapfilter_tenant_in_dropped_total",
+			"Per-tenant incoming packets dropped",
+			func(ts tenant.Stat) uint64 { return ts.Stats.Counters.InDropped })
+		tenantCounter("bitmapfilter_tenant_apd_spared_total",
+			"Per-tenant unmatched incoming packets admitted by APD",
+			func(ts tenant.Stat) uint64 { return ts.Stats.APDSpared })
+		counter("bitmapfilter_unrouted_packets_total", unrouted,
+			"Packets passed through unfiltered because no tenant prefix matched")
 	}
 	cpEnabled := 0.0
 	if a.checkpoints != nil {

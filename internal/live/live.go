@@ -18,6 +18,7 @@ import (
 	"bitmapfilter/internal/core"
 	"bitmapfilter/internal/filtering"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/tenant"
 )
 
 // ErrNilFilter is returned by New when no filter is supplied.
@@ -43,11 +44,10 @@ type shardStatser interface {
 }
 
 // Clock abstracts wall time so tests can drive the adapter
-// deterministically.
-type Clock interface {
-	// Now returns the current time.
-	Now() time.Time
-}
+// deterministically. It is an alias of core.Clock so the unified builder's
+// WithLiveClock option and this package's WithClock accept the same
+// implementations.
+type Clock = core.Clock
 
 // realClock is the default Clock.
 type realClock struct{}
@@ -90,6 +90,21 @@ func New(f Inner, opts ...Option) (*Filter, error) {
 		o.apply(l)
 	}
 	l.start = l.clock.Now()
+	return l, nil
+}
+
+// Adopt wraps a filter that already carries state — its rotation clock
+// stands at some non-zero virtual time — and back-dates the adapter's
+// start so the wall clock resumes exactly where the filter clock left
+// off. Restores (ReadSnapshot, the tenant fleet restore in bfserve) use
+// it so downtime neither ages nor extends marks; for a fresh filter it is
+// identical to New.
+func Adopt(f Inner, opts ...Option) (*Filter, error) {
+	l, err := New(f, opts...)
+	if err != nil {
+		return nil, err
+	}
+	l.start = l.clock.Now().Add(-f.Stats().Now)
 	return l, nil
 }
 
@@ -146,6 +161,61 @@ func (l *Filter) ObserveBatchInto(pkts []packet.Packet, out []filtering.Verdict)
 	return l.inner.ProcessBatchInto(pkts, out)
 }
 
+// The adapter is itself a filtering.BatchFilter, so wall-clock
+// deployments compose with everything that speaks the batch contract
+// (Chain stages, benchmarks, the replay drivers). The wall clock stays
+// authoritative: the Process* methods stamp packets with the elapsed
+// monotonic time exactly like Observe*, overwriting any Time already set,
+// and AdvanceTo ignores the caller's timestamp in favor of "now".
+var _ filtering.BatchFilter = (*Filter)(nil)
+
+// Process implements filtering.PacketFilter: it is Observe for a packet
+// already materialized as a packet.Packet. pkt.Time is overwritten with
+// the current wall-clock elapsed time.
+//
+//bf:hotpath
+func (l *Filter) Process(pkt packet.Packet) filtering.Verdict {
+	return l.Observe(pkt.Tuple, pkt.Dir, pkt.Flags, pkt.Length)
+}
+
+// ProcessBatch implements filtering.BatchFilter; it is ObserveBatch (all
+// packet timestamps are overwritten with "now").
+func (l *Filter) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
+	return l.ObserveBatch(pkts)
+}
+
+// ProcessBatchInto implements filtering.BatchFilter; it is
+// ObserveBatchInto (all packet timestamps are overwritten with "now").
+//
+//bf:hotpath
+func (l *Filter) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	return l.ObserveBatchInto(pkts, out)
+}
+
+// AdvanceTo implements filtering.PacketFilter. The wall clock is
+// authoritative for a live filter, so the argument is ignored and the
+// wrapped filter advances to the current elapsed time — the same firing
+// StartRotations performs on its ticks.
+func (l *Filter) AdvanceTo(time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.AdvanceTo(l.elapsed())
+}
+
+// MemoryBytes forwards to the wrapped filter under the lock.
+func (l *Filter) MemoryBytes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.MemoryBytes()
+}
+
+// RotateEvery returns the wrapped filter's rotation period.
+func (l *Filter) RotateEvery() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.RotateEvery()
+}
+
 // Name forwards to the wrapped filter under the lock.
 func (l *Filter) Name() string {
 	l.mu.Lock()
@@ -199,6 +269,59 @@ func (l *Filter) ShardStats() []core.Stats {
 	return ss.ShardStats()
 }
 
+// tenantStatser is the optional per-tenant introspection surface
+// (*tenant.Set); see Filter.TenantStats.
+type tenantStatser interface {
+	TenantStats() []tenant.Stat
+	UnroutedPackets() uint64
+}
+
+// TenantStats returns per-tenant snapshots at wall-clock time when the
+// wrapped filter is a multi-tenant set, and nil otherwise.
+func (l *Filter) TenantStats() []tenant.Stat {
+	ts, ok := l.inner.(tenantStatser)
+	if !ok {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.AdvanceTo(l.elapsed())
+	return ts.TenantStats()
+}
+
+// UnroutedPackets reports the wrapped tenant set's pass-through count,
+// or 0 for any other inner filter.
+func (l *Filter) UnroutedPackets() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ts, ok := l.inner.(tenantStatser); ok {
+		return ts.UnroutedPackets()
+	}
+	return 0
+}
+
+// rebalancer is the optional budget surface (*tenant.Set).
+type rebalancer interface {
+	Rebalance(now time.Duration) (int, error)
+}
+
+// ErrNoRebalance is returned by Rebalance when the wrapped filter is not
+// a budgeted tenant set.
+var ErrNoRebalance = errors.New("live: wrapped filter has no budget to rebalance")
+
+// Rebalance re-plans a wrapped tenant set's shared memory budget at the
+// current wall-clock instant (see tenant.Set.Rebalance). The adapter
+// lock is held: the resize swap and the dispatch path never interleave.
+func (l *Filter) Rebalance() (int, error) {
+	rb, ok := l.inner.(rebalancer)
+	if !ok {
+		return 0, ErrNoRebalance
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return rb.Rebalance(l.elapsed())
+}
+
 // ErrNotSnapshottable is returned by WriteSnapshot when the wrapped
 // filter does not support snapshot serialization.
 var ErrNotSnapshottable = errors.New("live: wrapped filter cannot write snapshots")
@@ -240,12 +363,7 @@ func ReadSnapshot(r io.Reader, coreOpts []core.Option, liveOpts ...Option) (*Fil
 	if err != nil {
 		return nil, err
 	}
-	l, err := New(inner, liveOpts...)
-	if err != nil {
-		return nil, err
-	}
-	l.start = l.clock.Now().Add(-inner.Stats().Now)
-	return l, nil
+	return Adopt(inner, liveOpts...)
 }
 
 // StartRotations launches a background goroutine that advances the filter

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -43,12 +44,22 @@ type PlanInput struct {
 	RotateEvery time.Duration
 	// MaxMemoryBytes optionally caps the bitmap footprint; zero means
 	// unlimited. If the capacity target cannot be met within the cap,
-	// PlanFor returns ErrArgs.
+	// PlanFor returns ErrInfeasible.
 	MaxMemoryBytes uint64
 }
 
-// PlanFor runs the procedure. It returns ErrArgs for infeasible or
-// out-of-domain inputs.
+// ErrInfeasible is returned by PlanFor when the inputs are valid but no
+// order in the planner's range satisfies the target penetration — because
+// the memory cap bites first, or because the workload exceeds even the
+// largest bitmap. Callers that degrade gracefully (the tenant Budget
+// relaxes its target and retries) distinguish it from ErrArgs, which
+// signals out-of-domain inputs no retry can fix. Wrapped errors carry
+// context; test with errors.Is.
+var ErrInfeasible = errors.New("model: no feasible plan for the target")
+
+// PlanFor runs the procedure. It returns ErrArgs for out-of-domain
+// inputs, and ErrInfeasible when the inputs are valid but the target
+// cannot be satisfied (see ErrInfeasible).
 func PlanFor(in PlanInput) (Plan, error) {
 	if in.ActiveConnections <= 0 {
 		return Plan{}, fmt.Errorf("%w: connections %v", ErrArgs, in.ActiveConnections)
@@ -89,7 +100,7 @@ func PlanFor(in PlanInput) (Plan, error) {
 		if in.MaxMemoryBytes > 0 && memory > in.MaxMemoryBytes {
 			return Plan{}, fmt.Errorf(
 				"%w: order %d needs %d bytes, cap is %d",
-				ErrArgs, order, memory, in.MaxMemoryBytes)
+				ErrInfeasible, order, memory, in.MaxMemoryBytes)
 		}
 		// Equation 4's real-valued optimum must be rounded to an
 		// integer m; near the capacity boundary that rounding can push
@@ -115,7 +126,7 @@ func PlanFor(in PlanInput) (Plan, error) {
 			PredictedPenetration: p,
 		}, nil
 	}
-	return Plan{}, fmt.Errorf("%w: no order up to %d satisfies the target", ErrArgs, maxOrder)
+	return Plan{}, fmt.Errorf("%w: no order up to %d satisfies the target", ErrInfeasible, maxOrder)
 }
 
 // bestIntHashes picks the integer hash count around the real-valued

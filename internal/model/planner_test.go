@@ -61,14 +61,31 @@ func TestPlanForSmallestSufficientOrder(t *testing.T) {
 }
 
 func TestPlanForMemoryCap(t *testing.T) {
-	// A 16 KiB cap cannot host 15 K connections at 1%.
+	// A 16 KiB cap cannot host 15 K connections at 1%: the inputs are
+	// valid but the plan is infeasible — the distinction the tenant
+	// Budget's relax-and-retry loop relies on.
 	_, err := PlanFor(PlanInput{
 		ActiveConnections: 15000,
 		TargetPenetration: 0.01,
 		MaxMemoryBytes:    16 * 1024,
 	})
-	if !errors.Is(err, ErrArgs) {
-		t.Errorf("error = %v", err)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+	if errors.Is(err, ErrArgs) {
+		t.Errorf("memory-cap infeasibility must not alias ErrArgs: %v", err)
+	}
+}
+
+func TestPlanForInfeasibleWorkload(t *testing.T) {
+	// More connections than even order 32 covers at a tight target: no
+	// memory cap involved, still ErrInfeasible (not ErrArgs).
+	_, err := PlanFor(PlanInput{
+		ActiveConnections: 1e12,
+		TargetPenetration: 0.001,
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
 	}
 }
 

@@ -1,0 +1,77 @@
+package tenant
+
+import (
+	"fmt"
+
+	"bitmapfilter/internal/packet"
+)
+
+// lpm is a longest-prefix-match table over IPv4 prefixes: a binary trie
+// flattened into one node slice, walked bit by bit from the MSB. Each
+// node optionally terminates a prefix (tenant >= 0); a lookup remembers
+// the deepest terminal it passes, so overlapping prefixes resolve to the
+// most specific tenant — a /24 carved out of a customer's /16 routes to
+// the /24's filter.
+//
+// The table is built once (or rebuilt wholesale) and then read-only, so
+// lookups need no synchronization of their own; the Set's RWMutex guards
+// the swap.
+type lpm struct {
+	nodes []lpmNode
+}
+
+// lpmNode is one trie vertex. child[b] is the node index to follow for
+// bit b, or -1; tenant is the tenant index terminating here, or -1.
+type lpmNode struct {
+	child  [2]int32
+	tenant int32
+}
+
+// newLPM builds the trie for prefixes[i] -> tenant i. Duplicate prefixes
+// are rejected (two tenants cannot own the same subnet).
+func newLPM(prefixes []packet.Prefix) (lpm, error) {
+	t := lpm{nodes: make([]lpmNode, 1, 2*len(prefixes)+1)}
+	t.nodes[0] = lpmNode{child: [2]int32{-1, -1}, tenant: -1}
+	for i, p := range prefixes {
+		n := int32(0)
+		for depth := uint8(0); depth < p.Bits; depth++ {
+			b := (uint32(p.Base) >> (31 - depth)) & 1
+			next := t.nodes[n].child[b]
+			if next < 0 {
+				next = int32(len(t.nodes))
+				t.nodes = append(t.nodes, lpmNode{child: [2]int32{-1, -1}, tenant: -1})
+				t.nodes[n].child[b] = next
+			}
+			n = next
+		}
+		if t.nodes[n].tenant >= 0 {
+			return lpm{}, fmt.Errorf("%w: duplicate prefix %v", ErrConfig, p)
+		}
+		t.nodes[n].tenant = int32(i)
+	}
+	return t, nil
+}
+
+// lookup returns the tenant index of the longest prefix containing a, or
+// -1 if no configured prefix covers it.
+//
+//bf:hotpath
+func (t *lpm) lookup(a packet.Addr) int32 {
+	best := int32(-1)
+	n := int32(0)
+	for depth := 0; depth < 32; depth++ {
+		node := &t.nodes[n]
+		if node.tenant >= 0 {
+			best = node.tenant
+		}
+		b := (uint32(a) >> (31 - depth)) & 1
+		n = node.child[b]
+		if n < 0 {
+			return best
+		}
+	}
+	if tn := t.nodes[n].tenant; tn >= 0 {
+		best = tn
+	}
+	return best
+}

@@ -1,0 +1,250 @@
+package tenant
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+// Fleet snapshot format ("BMFT", version 1, little-endian): one framed
+// section per tenant wrapping the tenant filter's ordinary v2 snapshot,
+// so the whole multi-tenant data plane persists and restores atomically
+// through internal/checkpoint like a single filter would.
+//
+//	header    magic "BMFT" | version u32 | tenantCount u32 | reserved u32
+//	          | unroutedOut u64 | unroutedIn u64 | CRC32C(header) u32
+//	section   idLen u32 | prefixBase u32 | prefixBits u32 | flavor u32
+//	          | snapLen u64 | baseline {out,in,passed,dropped} u64×4
+//	          | id bytes | CRC32C(section so far) u32
+//	          | inner v2 snapshot (snapLen bytes) | CRC32C(inner) u32
+//
+// flavor bit 0 records a Safe wrapper (the inner snapshot alone cannot:
+// a Safe serializes as its wrapped Filter); sharding needs no flag — a
+// sharded tenant's inner snapshot is itself a multi-section container
+// that restores as a Sharded. Every integrity failure is detected by a
+// CRC or bound check before any tenant filter is constructed.
+const (
+	tenantMagic     = "BMFT"
+	tenantVersion   = 1
+	tenantHeaderLen = 4 + 4 + 4 + 4 + 8 + 8
+	sectionFixedLen = 4 + 4 + 4 + 4 + 8 + 8*4
+
+	flavorSafe = 1 << 0
+)
+
+var tenantCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxTenantSnapLen bounds one tenant's inner snapshot length field so a
+// corrupt value is rejected up front; 16 GiB comfortably covers any
+// geometry the core reader itself would accept, and the LimitReader
+// means the bound never turns into an allocation.
+const maxTenantSnapLen = 1 << 34
+
+// WriteSnapshot serializes the whole fleet. It takes the write lock, so
+// the snapshot is a consistent point-in-time image: no dispatch or
+// rebalance interleaves.
+func (s *Set) WriteSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var hdr [tenantHeaderLen + 4]byte
+	le := binary.LittleEndian
+	copy(hdr[:4], tenantMagic)
+	le.PutUint32(hdr[4:], tenantVersion)
+	le.PutUint32(hdr[8:], uint32(len(s.tenants)))
+	le.PutUint32(hdr[12:], 0)
+	le.PutUint64(hdr[16:], s.unroutedOut.Load())
+	le.PutUint64(hdr[24:], s.unroutedIn.Load())
+	le.PutUint32(hdr[tenantHeaderLen:], crc32.Checksum(hdr[:tenantHeaderLen], tenantCastagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	var inner bytes.Buffer
+	for _, st := range s.tenants {
+		inner.Reset()
+		if err := st.filter.WriteSnapshot(&inner); err != nil {
+			return fmt.Errorf("tenant %q: %w", st.id, err)
+		}
+		var flavor uint32
+		if st.safe {
+			flavor |= flavorSafe
+		}
+		fixed := make([]byte, sectionFixedLen, sectionFixedLen+len(st.id)+4)
+		le.PutUint32(fixed[0:], uint32(len(st.id)))
+		le.PutUint32(fixed[4:], uint32(st.prefix.Base))
+		le.PutUint32(fixed[8:], uint32(st.prefix.Bits))
+		le.PutUint32(fixed[12:], flavor)
+		le.PutUint64(fixed[16:], uint64(inner.Len()))
+		le.PutUint64(fixed[24:], st.baseline.OutPackets)
+		le.PutUint64(fixed[32:], st.baseline.InPackets)
+		le.PutUint64(fixed[40:], st.baseline.InPassed)
+		le.PutUint64(fixed[48:], st.baseline.InDropped)
+		fixed = append(fixed, st.id...)
+		fixed = le.AppendUint32(fixed, crc32.Checksum(fixed, tenantCastagnoli))
+		if _, err := w.Write(fixed); err != nil {
+			return err
+		}
+		if _, err := w.Write(inner.Bytes()); err != nil {
+			return err
+		}
+		var crc [4]byte
+		le.PutUint32(crc[:], crc32.Checksum(inner.Bytes(), tenantCastagnoli))
+		if _, err := w.Write(crc[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot restores a fleet written by WriteSnapshot. Like the core
+// reader, it rebuilds everything serializable from the stream; extra
+// supplies the per-tenant options that never serialize — seeds, APD
+// policies, mark/tuple policies — keyed by tenant id (nil for none).
+// The restored Set carries no Budget; see AttachBudget.
+func ReadSnapshot(r io.Reader, extra func(id string) []core.Option) (*Set, error) {
+	le := binary.LittleEndian
+	var hdr [tenantHeaderLen + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tenant snapshot: header: %w", err)
+	}
+	if string(hdr[:4]) != tenantMagic {
+		return nil, fmt.Errorf("tenant snapshot: bad magic %q", hdr[:4])
+	}
+	if v := le.Uint32(hdr[4:]); v != tenantVersion {
+		return nil, fmt.Errorf("tenant snapshot: unsupported version %d", v)
+	}
+	if crc32.Checksum(hdr[:tenantHeaderLen], tenantCastagnoli) != le.Uint32(hdr[tenantHeaderLen:]) {
+		return nil, fmt.Errorf("tenant snapshot: header checksum mismatch")
+	}
+	count := le.Uint32(hdr[8:])
+	if count == 0 || count > maxTenants {
+		return nil, fmt.Errorf("tenant snapshot: tenant count %d outside [1, %d]", count, maxTenants)
+	}
+	unroutedOut := le.Uint64(hdr[16:])
+	unroutedIn := le.Uint64(hdr[24:])
+
+	states := make([]*tenantState, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var fixed [sectionFixedLen]byte
+		if _, err := io.ReadFull(r, fixed[:]); err != nil {
+			return nil, fmt.Errorf("tenant snapshot: section %d: %w", i, err)
+		}
+		idLen := le.Uint32(fixed[0:])
+		if idLen == 0 || idLen > maxIDLen {
+			return nil, fmt.Errorf("tenant snapshot: section %d: id length %d outside [1, %d]", i, idLen, maxIDLen)
+		}
+		bits := le.Uint32(fixed[8:])
+		if bits > 32 {
+			return nil, fmt.Errorf("tenant snapshot: section %d: prefix length %d", i, bits)
+		}
+		flavor := le.Uint32(fixed[12:])
+		if flavor&^flavorSafe != 0 {
+			return nil, fmt.Errorf("tenant snapshot: section %d: unknown flavor bits %#x", i, flavor)
+		}
+		snapLen := le.Uint64(fixed[16:])
+		if snapLen == 0 || snapLen > maxTenantSnapLen {
+			return nil, fmt.Errorf("tenant snapshot: section %d: snapshot length %d outside [1, %d]", i, snapLen, uint64(maxTenantSnapLen))
+		}
+		idAndCRC := make([]byte, idLen+4)
+		if _, err := io.ReadFull(r, idAndCRC); err != nil {
+			return nil, fmt.Errorf("tenant snapshot: section %d: %w", i, err)
+		}
+		sum := crc32.Checksum(fixed[:], tenantCastagnoli)
+		sum = crc32.Update(sum, tenantCastagnoli, idAndCRC[:idLen])
+		if sum != le.Uint32(idAndCRC[idLen:]) {
+			return nil, fmt.Errorf("tenant snapshot: section %d: header checksum mismatch", i)
+		}
+		id := string(idAndCRC[:idLen])
+		prefix := packet.Prefix{Base: packet.Addr(le.Uint32(fixed[4:])), Bits: uint8(bits)}
+		if canon := packet.PrefixFrom(prefix.Base, prefix.Bits); canon != prefix {
+			return nil, fmt.Errorf("tenant snapshot: section %d: non-canonical prefix %v", i, prefix)
+		}
+		baseline := filtering.Counters{
+			OutPackets: le.Uint64(fixed[24:]),
+			InPackets:  le.Uint64(fixed[32:]),
+			InPassed:   le.Uint64(fixed[40:]),
+			InDropped:  le.Uint64(fixed[48:]),
+		}
+
+		var opts []core.Option
+		if extra != nil {
+			opts = extra(id)
+		}
+		crc := crc32.New(tenantCastagnoli)
+		lr := io.LimitReader(r, int64(snapLen))
+		inner, err := core.ReadAnySnapshot(io.TeeReader(lr, crc), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("tenant snapshot: tenant %q: %w", id, err)
+		}
+		var want [4]byte
+		if _, err := io.ReadFull(r, want[:]); err != nil {
+			return nil, fmt.Errorf("tenant snapshot: tenant %q: %w", id, err)
+		}
+		if crc.Sum32() != le.Uint32(want[:]) {
+			return nil, fmt.Errorf("tenant snapshot: tenant %q: snapshot checksum mismatch", id)
+		}
+
+		st := &tenantState{id: id, prefix: prefix, baseline: baseline, filter: inner}
+		// Rebuild the option bundle Rebalance replays: the caller's
+		// non-serializable extras plus the flavor recorded here. (The
+		// geometry options are pinned from the live filter at rebuild
+		// time, so they need not appear in the base bundle.)
+		st.opts = append(st.opts, opts...)
+		if sh, ok := inner.(*core.Sharded); ok {
+			st.shards = sh.Shards()
+			st.opts = append(st.opts, core.WithShards(st.shards))
+		}
+		if flavor&flavorSafe != 0 {
+			f, ok := inner.(*core.Filter)
+			if !ok {
+				return nil, fmt.Errorf("tenant snapshot: tenant %q: safe flavor on a %s snapshot", id, inner.Name())
+			}
+			st.filter = core.NewSafe(f)
+			st.safe = true
+			st.opts = append(st.opts, core.WithConcurrencySafe())
+		}
+		states = append(states, st)
+	}
+	if err := expectEOF(r); err != nil {
+		return nil, fmt.Errorf("tenant snapshot: %w", err)
+	}
+
+	s, err := newSetFromStates(states, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.unroutedOut.Store(unroutedOut)
+	s.unroutedIn.Store(unroutedIn)
+	return s, nil
+}
+
+// expectEOF rejects trailing bytes after a well-formed snapshot, exactly
+// like the core reader does.
+func expectEOF(r io.Reader) error {
+	var b [1]byte
+	if n, err := r.Read(b[:]); n != 0 || err != io.EOF {
+		return fmt.Errorf("trailing bytes after snapshot")
+	}
+	return nil
+}
+
+// AttachBudget attaches (or replaces) the shared-memory planner —
+// primarily for snapshot-restored sets, which never persist a Budget.
+func (s *Set) AttachBudget(b *Budget) error {
+	if b != nil {
+		if err := b.validate(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget = b
+	return nil
+}

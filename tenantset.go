@@ -1,0 +1,64 @@
+package bitmapfilter
+
+import (
+	"io"
+
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/tenant"
+)
+
+// TenantSet is the multi-tenant data plane: one BatchFilter routing each
+// packet to the per-subnet bitmap filter owning its client-side address
+// via longest-prefix match, dispatching batches as one grouped
+// sub-batch per touched tenant (zero steady-state allocations), and
+// optionally rebalancing a shared memory budget across tenants from
+// their observed flow counts. It implements Snapshottable, so a whole
+// fleet checkpoints and restores atomically, and it satisfies LiveInner,
+// so NewLive (or Build's WithLiveClock on each tenant being rejected —
+// wrap the Set itself) turns it into a wall-clock deployment.
+type TenantSet = tenant.Set
+
+// TenantConfig describes one tenant: identifier, owned client prefix,
+// and the same option bundle Build accepts (WithShards and
+// WithConcurrencySafe select per-tenant flavors; WithLiveClock is
+// rejected — tenants share the set's clock).
+type TenantConfig = tenant.Config
+
+// TenantSetConfig configures NewTenantSet.
+type TenantSetConfig = tenant.SetConfig
+
+// TenantBudget is the shared-memory planner: a global byte pool carved
+// into per-tenant bitmap geometries in proportion to observed flow
+// counts, applied at rotation boundaries by TenantSet.Rebalance.
+type TenantBudget = tenant.Budget
+
+// TenantStat is one tenant's introspection snapshot (identity + Stats).
+type TenantStat = tenant.Stat
+
+// ErrTenantConfig is returned for invalid tenant-set configurations.
+var ErrTenantConfig = tenant.ErrConfig
+
+// ErrNoTenantBudget is returned by Rebalance on a Set without a budget.
+var ErrNoTenantBudget = tenant.ErrNoBudget
+
+// NewTenantSet builds the fleet; see TenantSetConfig.
+func NewTenantSet(cfg TenantSetConfig) (*TenantSet, error) { return tenant.NewSet(cfg) }
+
+// ParseTenantConfig parses the JSON fleet description used by
+// `bfserve -tenants` into a TenantSetConfig; see internal/tenant for the
+// schema and README for an example.
+func ParseTenantConfig(data []byte) (TenantSetConfig, error) { return tenant.ParseConfig(data) }
+
+// ReadTenantSnapshot restores a fleet written by TenantSet.WriteSnapshot.
+// extra supplies per-tenant options that never serialize (APD and
+// mark/tuple policies), keyed by tenant id; nil means none.
+func ReadTenantSnapshot(r io.Reader, extra func(id string) []Option) (*TenantSet, error) {
+	return tenant.ReadSnapshot(r, extra)
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return packet.ParseAddr(s) }
+
+// ParsePrefix parses CIDR notation ("10.1.0.0/16"), rejecting
+// non-canonical bases with host bits set.
+func ParsePrefix(s string) (Prefix, error) { return packet.ParsePrefix(s) }
