@@ -2,12 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench bench-go experiments examples clean
+.PHONY: all build build-tags test race vet lint fmt bench bench-go experiments examples clean
 
-all: build lint test
+all: build build-tags lint test
 
 build:
 	$(GO) build ./...
+
+# The live-capture backend (internal/capture AF_PACKET, cmd/bfwall -iface)
+# only compiles behind `linux && afpacket`; this keeps the gated files from
+# bit-rotting on any development platform.
+build-tags:
+	GOOS=linux $(GO) build -tags afpacket ./...
+	GOOS=linux $(GO) vet -tags afpacket ./...
 
 test:
 	$(GO) test ./...

@@ -93,6 +93,29 @@ const (
 	URG = packet.URG
 )
 
+// Wire-decode sentinel errors, re-exported for callers feeding the filter
+// from raw frames (compare with errors.Is).
+var (
+	// ErrFragmented rejects non-initial IPv4 fragments: their transport
+	// header is absent, so no 4-tuple exists to judge.
+	ErrFragmented = packet.ErrFragmented
+	// ErrTooLong rejects packets whose encoded IP length would overflow
+	// the 16-bit total-length field.
+	ErrTooLong = packet.ErrTooLong
+)
+
+// DecodeTuple extracts the address tuple and direction from a raw
+// Ethernet/IPv4/TCP-or-UDP frame without materializing a Frame — the
+// zero-copy entry point of the live packet plane (cmd/bfwall). It applies
+// the same structural validation as the full decoder but skips the
+// transport checksum, which the filter never consults.
+func DecodeTuple(frame []byte) (Tuple, Direction, error) { return packet.DecodeTuple(frame) }
+
+// DecodeInto fills pkt's Tuple, Dir, Flags and Length from a raw frame
+// with zero allocations, leaving pkt.Time for the caller (capture
+// timestamp). pkt is unmodified on error.
+func DecodeInto(pkt *Packet, frame []byte) error { return packet.DecodeInto(pkt, frame) }
+
 // AddrFrom4 builds an Addr from four octets.
 func AddrFrom4(a, b, c, d byte) Addr { return packet.AddrFrom4(a, b, c, d) }
 

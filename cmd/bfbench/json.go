@@ -108,6 +108,12 @@ const benchTenants = 64
 // batchIntoFunc is the one method every measured flavor exposes.
 type batchIntoFunc func([]packet.Packet, []filtering.Verdict) []filtering.Verdict
 
+// cellFunc is one measured operation: process the cell's pinned workload
+// once, reusing the verdict buffer. Filter flavors close over a packet
+// batch; wire cells close over encoded frames and decode them first, so
+// the matrix can price the full wire-to-verdict path in the same table.
+type cellFunc func(out []filtering.Verdict) []filtering.Verdict
+
 // mkFlavor builds one filter flavor with the given kernel mode and returns
 // its batch entry point. The configurations are pinned (single/safe/live
 // at the paper's {4×20}, sharded at 8×order-17) so results are comparable
@@ -163,9 +169,55 @@ func mkFlavor(flavor string, kernels core.KernelMode) (batchIntoFunc, error) {
 	return nil, fmt.Errorf("unknown flavor %q", flavor)
 }
 
+// mkWireCell builds one wire-flavor cell: the standard batch re-encoded to
+// 720-byte Ethernet/IPv4 frames (the simulator's average-packet shape),
+// decoded back every op — DecodeInto for "zerocopy", Decode+ToPacket for
+// "struct" — and pushed through a pinned single coalesced filter.
+func mkWireCell(decode string, batch int) (cellFunc, int, error) {
+	pkts := benchWorkload(batch, 8)
+	frames := make([][]byte, len(pkts))
+	for i := range pkts {
+		pkts[i].Length = 720
+		buf, err := packet.Encode(pkts[i])
+		if err != nil {
+			return nil, 0, err
+		}
+		frames[i] = buf
+	}
+	f, err := core.New(core.WithKernels(core.KernelCoalesced))
+	if err != nil {
+		return nil, 0, err
+	}
+	scratch := make([]packet.Packet, len(frames))
+	switch decode {
+	case "zerocopy":
+		return func(out []filtering.Verdict) []filtering.Verdict {
+			for i, fr := range frames {
+				if err := packet.DecodeInto(&scratch[i], fr); err != nil {
+					panic(err) // frames are self-encoded; decode cannot fail
+				}
+			}
+			return f.ProcessBatchInto(scratch, out)
+		}, len(frames), nil
+	case "struct":
+		return func(out []filtering.Verdict) []filtering.Verdict {
+			for i, fr := range frames {
+				df, err := packet.Decode(fr)
+				if err != nil {
+					panic(err) // frames are self-encoded; decode cannot fail
+				}
+				scratch[i] = df.ToPacket()
+			}
+			return f.ProcessBatchInto(scratch, out)
+		}, len(frames), nil
+	}
+	return nil, 0, fmt.Errorf("unknown wire decode %q", decode)
+}
+
 // measure runs one timed window of back-to-back batches and reports
-// (ns/pkt, allocs per batch call).
-func measure(run batchIntoFunc, pkts []packet.Packet, out []filtering.Verdict, benchtime time.Duration) (float64, uint64, []filtering.Verdict) {
+// (ns/pkt, allocs per batch call). pktsPerOp is how many packets one run
+// call processes.
+func measure(run cellFunc, pktsPerOp int, out []filtering.Verdict, benchtime time.Duration) (float64, uint64, []filtering.Verdict) {
 	// Settle background GC work so stray runtime allocations don't land
 	// inside the measurement window and smear the allocs/op contract.
 	runtime.GC()
@@ -176,13 +228,13 @@ func measure(run batchIntoFunc, pkts []packet.Packet, out []filtering.Verdict, b
 	var elapsed time.Duration
 	for elapsed < benchtime {
 		for j := 0; j < 8; j++ {
-			out = run(pkts, out)
+			out = run(out)
 		}
 		iters += 8
 		elapsed = time.Since(start)
 	}
 	runtime.ReadMemStats(&after)
-	nsPerPkt := float64(elapsed.Nanoseconds()) / float64(iters*len(pkts))
+	nsPerPkt := float64(elapsed.Nanoseconds()) / float64(iters*pktsPerOp)
 	allocs := (after.Mallocs - before.Mallocs) / uint64(iters)
 	return nsPerPkt, allocs, out
 }
@@ -214,40 +266,59 @@ func runJSONBench(w io.Writer, label string, batch, count int, benchtime time.Du
 		{name: "coalesced", mode: core.KernelCoalesced},
 	}
 	type cell struct {
-		res  benchResult
-		run  batchIntoFunc
-		pkts []packet.Packet
-		out  []filtering.Verdict
+		res   benchResult
+		run   cellFunc
+		perOp int
+		out   []filtering.Verdict
 	}
 	var cells []*cell
 	for _, flavor := range []string{"single", "safe", "sharded", "live", "tenants"} {
 		for _, k := range kernels {
-			run, err := mkFlavor(flavor, k.mode)
+			bi, err := mkFlavor(flavor, k.mode)
 			if err != nil {
 				return err
-			}
-			c := &cell{
-				res:  benchResult{Flavor: flavor, Kernel: k.name, Samples: make([]float64, 0, count)},
-				run:  run,
-				pkts: pkts,
 			}
 			// The tenants flavor routes by client prefix, so its batch
 			// spreads clients across the fleet; every other flavor shares
 			// the standard workload, keeping row shapes identical.
+			cellPkts := pkts
 			if flavor == "tenants" {
-				c.pkts = tenantWorkload(batch, 8)
+				cellPkts = tenantWorkload(batch, 8)
 			}
-			// Warm up: grow the verdict buffer and scratch pools, prime
-			// caches and branch predictors.
-			for j := 0; j < 32; j++ {
-				c.out = run(c.pkts, c.out)
+			c := &cell{
+				res:   benchResult{Flavor: flavor, Kernel: k.name, Samples: make([]float64, 0, count)},
+				run:   func(out []filtering.Verdict) []filtering.Verdict { return bi(cellPkts, out) },
+				perOp: len(cellPkts),
 			}
 			cells = append(cells, c)
 		}
 	}
+	// The wire rows price the live packet plane: the same standard batch
+	// encoded to 720-byte frames (the paper's average packet size) and
+	// decoded back per op — zero-copy header decode vs. the full Frame
+	// decode — before the identical ProcessBatchInto call. The gap between
+	// wire/zerocopy and the single rows is the decode cost per packet.
+	for _, decode := range []string{"zerocopy", "struct"} {
+		run, perOp, err := mkWireCell(decode, batch)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, &cell{
+			res:   benchResult{Flavor: "wire", Kernel: decode, Samples: make([]float64, 0, count)},
+			run:   run,
+			perOp: perOp,
+		})
+	}
+	for _, c := range cells {
+		// Warm up: grow the verdict buffer and scratch pools, prime
+		// caches and branch predictors.
+		for j := 0; j < 32; j++ {
+			c.out = c.run(c.out)
+		}
+	}
 	for s := 0; s < count; s++ {
 		for _, c := range cells {
-			ns, allocs, o := measure(c.run, c.pkts, c.out, benchtime)
+			ns, allocs, o := measure(c.run, c.perOp, c.out, benchtime)
 			c.out = o
 			c.res.Samples = append(c.res.Samples, ns)
 			if s == 0 || ns < c.res.NsPerPkt {

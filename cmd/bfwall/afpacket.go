@@ -1,0 +1,11 @@
+//go:build linux && afpacket
+
+package main
+
+import "bitmapfilter/internal/capture"
+
+// openAFPacket binds the live AF_PACKET backend. Only compiled with the
+// "afpacket" build tag on Linux.
+func openAFPacket(iface string, snapLen int) (capture.Source, error) {
+	return capture.NewAFPacket(iface, snapLen)
+}

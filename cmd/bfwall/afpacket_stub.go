@@ -1,0 +1,16 @@
+//go:build !linux || !afpacket
+
+package main
+
+import (
+	"errors"
+
+	"bitmapfilter/internal/capture"
+)
+
+// openAFPacket in the hermetic build: live capture is compiled out, so
+// asking for an interface is a configuration error rather than a silent
+// no-op.
+func openAFPacket(string, int) (capture.Source, error) {
+	return nil, errors.New("-iface requires a build with -tags afpacket on linux (go build -tags afpacket ./cmd/bfwall)")
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bitmapfilter/internal/attack"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/pcap"
+	"bitmapfilter/internal/trafficgen"
+)
+
+// genConfig parameterizes the synthesized benchmark trace: the paper's
+// Figure 5 scenario, a random scan flood at scanPPS aimed into the client
+// subnets, over a bed of legitimate bidirectional sessions so the filter
+// exercises both the mark (outgoing) and judge (incoming) paths.
+type genConfig struct {
+	scanPPS  float64
+	connRate float64
+	duration time.Duration
+	seed     uint64
+	subnets  []packet.Prefix
+}
+
+// writeScanTrace encodes the merged legitimate+scan packet stream into a
+// pcap stream on w and returns how many frames it wrote and the virtual
+// time the trace spans.
+func writeScanTrace(w io.Writer, cfg genConfig) (frames uint64, span time.Duration, err error) {
+	tg := trafficgen.DefaultConfig()
+	tg.Duration = cfg.duration
+	tg.ConnRate = cfg.connRate
+	tg.Seed = cfg.seed
+	if len(cfg.subnets) > 0 {
+		tg.Subnets = cfg.subnets
+	}
+	gen, err := trafficgen.NewGenerator(tg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trafficgen: %w", err)
+	}
+	scan, err := attack.NewRandomScan(attack.RandomScanConfig{
+		Seed:     cfg.seed + 1,
+		Rate:     cfg.scanPPS,
+		Duration: cfg.duration,
+		Subnets:  tg.Subnets,
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("scan: %w", err)
+	}
+
+	pw, err := pcap.NewWriter(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	stream := attack.Merge(gen, scan)
+	for {
+		pkt, ok := stream.Next()
+		if !ok {
+			break
+		}
+		frame, err := packet.Encode(pkt)
+		if err != nil {
+			return frames, span, fmt.Errorf("encode: %w", err)
+		}
+		if err := pw.WriteRecord(pcap.Record{Time: pkt.Time, Data: frame}); err != nil {
+			return frames, span, err
+		}
+		frames++
+		span = pkt.Time
+	}
+	return frames, span, nil
+}

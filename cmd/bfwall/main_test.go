@@ -1,0 +1,314 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/capture"
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+)
+
+func TestParseSubnets(t *testing.T) {
+	got, err := parseSubnets("10.0.0.0/8, 192.168.1.0/24")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("parseSubnets: %v %v", got, err)
+	}
+	if got[1].Bits != 24 {
+		t.Errorf("bits = %d", got[1].Bits)
+	}
+	if _, err := parseSubnets("not-a-cidr"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestBenchEndToEnd runs the full wire path — synthesize, encode, replay
+// through zero-copy decode and the batch data plane — and checks the
+// report: the scan must be overwhelmingly dropped while the run
+// saturates a trivial target.
+func TestBenchEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench", "-target", "1",
+		"-scan-pps", "20000", "-conn-rate", "10", "-gen-duration", "500ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "SATURATED") {
+		t.Errorf("no saturation verdict in report:\n%s", report)
+	}
+	if !strings.Contains(report, "decode errors: 0") {
+		t.Errorf("decode errors on a clean synthetic trace:\n%s", report)
+	}
+	if strings.Contains(report, "NOT saturated") {
+		t.Errorf("1 pps target not saturated:\n%s", report)
+	}
+}
+
+// TestGenThenReplayFile round-trips the generated trace through disk:
+// -gen writes a pcap, -pcap replays it with identical frame counts.
+func TestGenThenReplayFile(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "scan.pcap")
+	var out bytes.Buffer
+	err := run([]string{
+		"-gen", trace, "-scan-pps", "5000", "-conn-rate", "5", "-gen-duration", "200ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("gen output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-bench", "-pcap", trace, "-loops", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bfwall bench:") {
+		t.Fatalf("bench output: %s", out.String())
+	}
+}
+
+// TestTenantFleetReplay drives the pump against a multi-tenant data
+// plane, with the tenants' prefixes taking over subnet classification.
+func TestTenantFleetReplay(t *testing.T) {
+	dir := t.TempDir()
+	fleet := filepath.Join(dir, "fleet.json")
+	cfg := `{"tenants":[
+		{"id":"a","prefix":"10.0.0.0/9","order":12},
+		{"id":"b","prefix":"10.128.0.0/9","order":12}
+	]}`
+	if err := os.WriteFile(fleet, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench", "-tenants", fleet,
+		"-scan-pps", "5000", "-conn-rate", "5", "-gen-duration", "200ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bfwall bench:") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+// mustFilter builds a small single filter for pump-level tests.
+func mustFilter(t *testing.T) filtering.BatchFilter {
+	t.Helper()
+	f, err := core.New(core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// refixIPChecksum recomputes the IPv4 header checksum (RFC 1071) after a
+// test mutated header bytes.
+func refixIPChecksum(frame []byte) {
+	ip := frame[packet.EthernetHeaderLen:]
+	ip[10], ip[11] = 0, 0
+	var sum uint32
+	for i := 0; i < packet.IPv4HeaderLen; i += 2 {
+		sum += uint32(ip[i])<<8 | uint32(ip[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	cs := ^uint16(sum)
+	ip[10], ip[11] = byte(cs>>8), byte(cs)
+}
+
+func encodeFrame(t *testing.T, pkt packet.Packet) []byte {
+	t.Helper()
+	frame, err := packet.Encode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestPumpClassifiesAndCounts drives hand-built frames through a
+// Loopback source: an outgoing mark, its matching reply (pass), an
+// unsolicited probe (drop), a fragment (decode error), garbage
+// (decode error), and a transit frame (unrouted).
+func TestPumpClassifiesAndCounts(t *testing.T) {
+	client := packet.AddrFrom4(10, 0, 0, 5)
+	server := packet.AddrFrom4(198, 51, 100, 7)
+	attacker := packet.AddrFrom4(203, 0, 113, 9)
+	tup := packet.Tuple{Src: client, Dst: server, SrcPort: 4000, DstPort: 80, Proto: packet.TCP}
+	rev := packet.Tuple{Src: server, Dst: client, SrcPort: 80, DstPort: 4000, Proto: packet.TCP}
+
+	outFrame := encodeFrame(t, packet.Packet{Time: time.Second, Tuple: tup,
+		Dir: packet.Outgoing, Flags: packet.SYN, Length: 60})
+	replyFrame := encodeFrame(t, packet.Packet{Time: 2 * time.Second, Tuple: rev,
+		Dir: packet.Incoming, Flags: packet.SYN | packet.ACK, Length: 60})
+	probeFrame := encodeFrame(t, packet.Packet{Time: 3 * time.Second,
+		Tuple: packet.Tuple{Src: attacker, Dst: client, SrcPort: 6666, DstPort: 445, Proto: packet.TCP},
+		Dir:   packet.Incoming, Flags: packet.SYN, Length: 60})
+	transitFrame := encodeFrame(t, packet.Packet{Time: 4 * time.Second,
+		Tuple: packet.Tuple{Src: attacker, Dst: server, SrcPort: 1, DstPort: 2, Proto: packet.TCP},
+		Dir:   packet.Incoming, Length: 60})
+	fragFrame := encodeFrame(t, packet.Packet{Time: 5 * time.Second, Tuple: rev,
+		Dir: packet.Incoming, Length: 60})
+	fragFrame[packet.EthernetHeaderLen+6] = 0x20 // MF: decoder must refuse it
+	refixIPChecksum(fragFrame)                   // the mutation, not a checksum error, is under test
+	garbage := []byte{1, 2, 3}
+
+	lb := capture.NewLoopback()
+	for i, data := range [][]byte{outFrame, replyFrame, probeFrame, transitFrame, fragFrame, garbage} {
+		if err := lb.WriteFrame(capture.Frame{Time: time.Duration(i+1) * time.Second, Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	subnets, err := parseSubnets("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := newWallStats(time.Now())
+	p := newPump(lb, mustFilter(t), subnets, 8, 2048, stats)
+	if err := p.run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := stats.frames.Load(); got != 6 {
+		t.Errorf("frames = %d, want 6", got)
+	}
+	if got := stats.outgoing.Load(); got != 1 {
+		t.Errorf("outgoing = %d, want 1", got)
+	}
+	if got := stats.incoming.Load(); got != 2 {
+		t.Errorf("incoming = %d, want 2", got)
+	}
+	if got := stats.passed.Load(); got != 1 {
+		t.Errorf("passed = %d, want 1 (the marked reply)", got)
+	}
+	if got := stats.dropped.Load(); got != 1 {
+		t.Errorf("dropped = %d, want 1 (the unsolicited probe)", got)
+	}
+	if got := stats.unrouted.Load(); got != 1 {
+		t.Errorf("unrouted = %d, want 1 (the transit frame)", got)
+	}
+	if got := stats.decodeErr[decFragmented].Load(); got != 1 {
+		t.Errorf("fragmented decode errors = %d, want 1", got)
+	}
+	if got := stats.decodeErr[decTruncated].Load(); got != 1 {
+		t.Errorf("truncated decode errors = %d, want 1 (the garbage frame)", got)
+	}
+}
+
+// TestPumpZeroAllocsSteadyState pins the hot-loop contract end to end:
+// ring reuse + zero-copy decode + ProcessBatchInto must not allocate per
+// batch once warmed up.
+func TestPumpZeroAllocsSteadyState(t *testing.T) {
+	client := packet.AddrFrom4(10, 0, 0, 5)
+	server := packet.AddrFrom4(198, 51, 100, 7)
+	frame := encodeFrame(t, packet.Packet{Time: time.Second,
+		Tuple: packet.Tuple{Src: client, Dst: server, SrcPort: 4000, DstPort: 80, Proto: packet.TCP},
+		Dir:   packet.Outgoing, Flags: packet.SYN, Length: 60})
+
+	subnets, _ := parseSubnets("10.0.0.0/8")
+	stats := newWallStats(time.Now())
+	p := newPump(nil, mustFilter(t), subnets, 16, 2048, stats)
+	batch := make([]capture.Frame, 16)
+	for i := range batch {
+		batch[i] = capture.Frame{Time: time.Duration(i) * time.Millisecond,
+			Data: frame, OrigLen: len(frame)}
+	}
+	p.processBatch(batch) // warm (verdict buffer growth)
+	allocs := testing.AllocsPerRun(100, func() { p.processBatch(batch) })
+	if allocs != 0 {
+		t.Errorf("processBatch allocates %.2f times per batch", allocs)
+	}
+}
+
+// TestMonitoringEndpoints exercises /healthz, /stats and /metrics off a
+// populated stats object.
+func TestMonitoringEndpoints(t *testing.T) {
+	stats := newWallStats(time.Now().Add(-time.Second))
+	stats.frames.Add(100)
+	stats.incoming.Add(60)
+	stats.dropped.Add(40)
+	stats.decodeErr[decFragmented].Add(3)
+	stats.observeBatchLatency(100*time.Microsecond, 100)
+
+	srv := httptest.NewServer(newMux(stats, mustFilter(t)))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %q", body)
+	}
+
+	var snap statsSnapshot
+	if err := json.Unmarshal([]byte(get("/stats")), &snap); err != nil {
+		t.Fatalf("/stats JSON: %v", err)
+	}
+	if snap.Frames != 100 || snap.Dropped != 40 {
+		t.Errorf("/stats frames=%d dropped=%d", snap.Frames, snap.Dropped)
+	}
+	if snap.DecodeErrors["fragmented"] != 3 {
+		t.Errorf("/stats decode_errors = %v", snap.DecodeErrors)
+	}
+	if snap.LatencyP99Ns <= 0 {
+		t.Errorf("/stats p99 = %d", snap.LatencyP99Ns)
+	}
+	if snap.PPS <= 0 {
+		t.Errorf("/stats pps = %v", snap.PPS)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"bfwall_frames_total 100",
+		`bfwall_decode_errors_total{class="fragmented"} 3`,
+		`bfwall_verdicts_total{verdict="drop"} 40`,
+		`bfwall_packet_latency_seconds{quantile="0.99"}`,
+		"bfwall_filter_memory_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestIfaceWithoutTagFails: the hermetic build must reject -iface with a
+// clear error instead of silently reading nothing.
+func TestIfaceWithoutTagFails(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-iface", "eth0"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "afpacket") {
+		t.Errorf("err = %v, want afpacket build-tag guidance", err)
+	}
+}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/xrand"
+)
+
+// Decode-error classes surfaced on /stats and /metrics. Real links carry
+// traffic the filter deliberately refuses to judge (ARP, IPv6, fragments,
+// corrupt frames); per-class counters separate "the wire is weird" from
+// "the decoder is broken".
+const (
+	decTruncated = iota
+	decNotIPv4
+	decMalformed
+	decChecksum
+	decFragmented
+	decProto
+	decOther
+	decClasses
+)
+
+var decClassNames = [decClasses]string{
+	"truncated", "not_ipv4", "malformed", "checksum", "fragmented", "proto", "other",
+}
+
+func decClass(err error) int {
+	switch {
+	case errors.Is(err, packet.ErrTruncated):
+		return decTruncated
+	case errors.Is(err, packet.ErrNotIPv4):
+		return decNotIPv4
+	case errors.Is(err, packet.ErrBadIPVersion), errors.Is(err, packet.ErrBadIHL):
+		return decMalformed
+	case errors.Is(err, packet.ErrBadChecksum):
+		return decChecksum
+	case errors.Is(err, packet.ErrFragmented):
+		return decFragmented
+	case errors.Is(err, packet.ErrProto):
+		return decProto
+	default:
+		return decOther
+	}
+}
+
+// reservoirSize bounds the latency sample set: enough for a stable p99,
+// constant memory regardless of run length.
+const reservoirSize = 4096
+
+// wallStats is the daemon's observability state. The counters are written
+// by the pump goroutine and read by HTTP handlers, so everything is
+// atomic; the latency reservoir has its own lock (it is touched once per
+// batch, not per packet).
+type wallStats struct {
+	start time.Time
+
+	frames    atomic.Uint64
+	bytes     atomic.Uint64
+	truncated atomic.Uint64
+	decodeErr [decClasses]atomic.Uint64
+	unrouted  atomic.Uint64 // decodable but outside every client subnet
+
+	outgoing atomic.Uint64
+	incoming atomic.Uint64
+	passed   atomic.Uint64
+	dropped  atomic.Uint64
+
+	mu      sync.Mutex
+	rng     *xrand.Rand
+	samples []time.Duration // per-packet latency reservoir
+	seen    uint64
+}
+
+func newWallStats(start time.Time) *wallStats {
+	return &wallStats{
+		start:   start,
+		rng:     xrand.New(0xbf0a11),
+		samples: make([]time.Duration, 0, reservoirSize),
+	}
+}
+
+// observeBatchLatency folds one batch's wall-clock processing time into
+// the per-packet latency reservoir: each of the n packets is attributed
+// the batch average, which is exactly the per-packet cost the saturation
+// question cares about (can the loop keep up), without a clock read per
+// packet.
+func (s *wallStats) observeBatchLatency(elapsed time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	per := elapsed / time.Duration(n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		s.seen++
+		if len(s.samples) < reservoirSize {
+			s.samples = append(s.samples, per)
+			continue
+		}
+		if j := s.rng.Intn(int(s.seen)); j < reservoirSize {
+			s.samples[j] = per
+		}
+	}
+}
+
+// latencyQuantiles returns the requested quantiles of the reservoir
+// (zeros when nothing was sampled yet).
+func (s *wallStats) latencyQuantiles(qs ...float64) []time.Duration {
+	s.mu.Lock()
+	sorted := append([]time.Duration(nil), s.samples...)
+	s.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		idx := int(q * float64(len(sorted)-1))
+		out[i] = sorted[idx]
+	}
+	return out
+}
+
+func (s *wallStats) decodeErrors() (per map[string]uint64, total uint64) {
+	per = make(map[string]uint64, decClasses)
+	for i := range s.decodeErr {
+		v := s.decodeErr[i].Load()
+		per[decClassNames[i]] = v
+		total += v
+	}
+	return per, total
+}
+
+// statsSnapshot is the JSON shape of GET /stats.
+type statsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Frames        uint64            `json:"frames"`
+	Bytes         uint64            `json:"bytes"`
+	Truncated     uint64            `json:"truncated"`
+	DecodeErrors  map[string]uint64 `json:"decode_errors"`
+	Unrouted      uint64            `json:"unrouted"`
+	Outgoing      uint64            `json:"outgoing"`
+	Incoming      uint64            `json:"incoming"`
+	Passed        uint64            `json:"passed"`
+	Dropped       uint64            `json:"dropped"`
+	PPS           float64           `json:"pps"`
+	LatencyP50Ns  int64             `json:"latency_p50_ns"`
+	LatencyP99Ns  int64             `json:"latency_p99_ns"`
+	Filter        filterSnapshot    `json:"filter"`
+}
+
+type filterSnapshot struct {
+	Name        string             `json:"name"`
+	MemoryBytes uint64             `json:"memory_bytes"`
+	Counters    filtering.Counters `json:"counters"`
+}
+
+func (s *wallStats) snapshot(bf filtering.BatchFilter, now time.Time) statsSnapshot {
+	uptime := now.Sub(s.start).Seconds()
+	frames := s.frames.Load()
+	per, _ := s.decodeErrors()
+	lat := s.latencyQuantiles(0.50, 0.99)
+	pps := 0.0
+	if uptime > 0 {
+		pps = float64(frames) / uptime
+	}
+	return statsSnapshot{
+		UptimeSeconds: uptime,
+		Frames:        frames,
+		Bytes:         s.bytes.Load(),
+		Truncated:     s.truncated.Load(),
+		DecodeErrors:  per,
+		Unrouted:      s.unrouted.Load(),
+		Outgoing:      s.outgoing.Load(),
+		Incoming:      s.incoming.Load(),
+		Passed:        s.passed.Load(),
+		Dropped:       s.dropped.Load(),
+		PPS:           pps,
+		LatencyP50Ns:  int64(lat[0]),
+		LatencyP99Ns:  int64(lat[1]),
+		Filter: filterSnapshot{
+			Name:        bf.Name(),
+			MemoryBytes: bf.MemoryBytes(),
+			Counters:    bf.Counters(),
+		},
+	}
+}
+
+// newMux wires the monitoring endpoints: /healthz liveness, /stats JSON,
+// /metrics Prometheus text exposition.
+func newMux(s *wallStats, bf filtering.BatchFilter) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.snapshot(bf, time.Now()))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := s.snapshot(bf, time.Now())
+		fmt.Fprintf(w, "# TYPE bfwall_frames_total counter\nbfwall_frames_total %d\n", snap.Frames)
+		fmt.Fprintf(w, "# TYPE bfwall_bytes_total counter\nbfwall_bytes_total %d\n", snap.Bytes)
+		fmt.Fprintf(w, "# TYPE bfwall_truncated_frames_total counter\nbfwall_truncated_frames_total %d\n", snap.Truncated)
+		fmt.Fprintf(w, "# TYPE bfwall_decode_errors_total counter\n")
+		for i := range decClassNames {
+			fmt.Fprintf(w, "bfwall_decode_errors_total{class=%q} %d\n",
+				decClassNames[i], snap.DecodeErrors[decClassNames[i]])
+		}
+		fmt.Fprintf(w, "# TYPE bfwall_unrouted_packets_total counter\nbfwall_unrouted_packets_total %d\n", snap.Unrouted)
+		fmt.Fprintf(w, "# TYPE bfwall_packets_total counter\n")
+		fmt.Fprintf(w, "bfwall_packets_total{dir=\"out\"} %d\n", snap.Outgoing)
+		fmt.Fprintf(w, "bfwall_packets_total{dir=\"in\"} %d\n", snap.Incoming)
+		fmt.Fprintf(w, "# TYPE bfwall_verdicts_total counter\n")
+		fmt.Fprintf(w, "bfwall_verdicts_total{verdict=\"pass\"} %d\n", snap.Passed)
+		fmt.Fprintf(w, "bfwall_verdicts_total{verdict=\"drop\"} %d\n", snap.Dropped)
+		fmt.Fprintf(w, "# TYPE bfwall_pps gauge\nbfwall_pps %g\n", snap.PPS)
+		fmt.Fprintf(w, "# TYPE bfwall_packet_latency_seconds gauge\n")
+		fmt.Fprintf(w, "bfwall_packet_latency_seconds{quantile=\"0.5\"} %g\n",
+			time.Duration(snap.LatencyP50Ns).Seconds())
+		fmt.Fprintf(w, "bfwall_packet_latency_seconds{quantile=\"0.99\"} %g\n",
+			time.Duration(snap.LatencyP99Ns).Seconds())
+		fmt.Fprintf(w, "# TYPE bfwall_filter_memory_bytes gauge\nbfwall_filter_memory_bytes %d\n",
+			snap.Filter.MemoryBytes)
+	})
+	return mux
+}

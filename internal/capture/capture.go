@@ -1,0 +1,77 @@
+// Package capture abstracts where live frames come from and go to, so the
+// bfwall daemon's pump loop is identical whether it faces a real NIC or a
+// replayed trace.
+//
+// A Source fills caller-owned frame buffers in batches — the ring from
+// NewRing is allocated once and reused for the life of the pump, keeping
+// the hot loop at zero allocations per frame. Two sources ship in the
+// base build: Replay, which streams a pcap capture (optionally looping it
+// to synthesize arbitrarily long runs from a short trace), and Loopback,
+// an in-memory queue for tests and demos. The AF_PACKET backend that
+// binds a real interface lives behind the "afpacket" build tag (Linux
+// only); hermetic builds and CI never compile it.
+//
+// Timestamps are offsets on the source's own clock: a replayed trace
+// carries its recorded virtual time (so filters rotate exactly as they
+// would have live), and the AF_PACKET source stamps frames with the
+// elapsed wall time since it opened. Either way the pump downstream is
+// deterministic given the frame stream.
+package capture
+
+import "time"
+
+// Frame is one captured frame. Data aliases a buffer owned by the reader
+// of the batch and is valid only until the next ReadBatch call that
+// reuses it.
+type Frame struct {
+	// Time is the capture timestamp as an offset on the source's clock.
+	Time time.Duration
+	// Data holds the captured bytes.
+	Data []byte
+	// OrigLen is the frame's length on the wire, which exceeds len(Data)
+	// when the capture truncated it (snapshot length, small ring buffer).
+	OrigLen int
+}
+
+// Truncated reports whether the frame was captured short.
+func (f Frame) Truncated() bool { return f.OrigLen > len(f.Data) }
+
+// Source yields batches of captured frames.
+type Source interface {
+	// ReadBatch fills up to len(frames) entries, reusing each entry's
+	// Data capacity when it suffices, and returns how many were filled.
+	// It blocks until at least one frame is available; n == 0 is returned
+	// only with a non-nil error, io.EOF meaning the source is exhausted
+	// (a finite trace fully replayed, or the source closed).
+	ReadBatch(frames []Frame) (int, error)
+	// Close releases the source. Blocked ReadBatch calls return. Close
+	// is idempotent and may be called from a goroutine other than the
+	// reader (a signal handler interrupting the pump).
+	Close() error
+}
+
+// Sink consumes frames (a pcap writer, an injection queue).
+type Sink interface {
+	// WriteFrame records one frame. The implementation must not retain
+	// f.Data past the call.
+	WriteFrame(f Frame) error
+	Close() error
+}
+
+// DefaultSnapLen is the per-frame buffer capacity NewRing uses when the
+// caller passes snapLen <= 0: a full Ethernet frame.
+const DefaultSnapLen = 1 << 16
+
+// NewRing allocates n reusable frame buffers for ReadBatch. Every Data
+// slice has capacity snapLen; sources slice it down to each frame's
+// captured length without reallocating.
+func NewRing(n, snapLen int) []Frame {
+	if snapLen <= 0 {
+		snapLen = DefaultSnapLen
+	}
+	ring := make([]Frame, n)
+	for i := range ring {
+		ring[i].Data = make([]byte, 0, snapLen)
+	}
+	return ring
+}

@@ -1,0 +1,133 @@
+package capture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"bitmapfilter/internal/pcap"
+)
+
+// Replay streams a pcap capture as a Source. With Loops > 1 the trace is
+// replayed back-to-back: timestamps of later passes are shifted so the
+// stream's clock is monotonic, letting a short recorded burst stand in
+// for an arbitrarily long live run (the 500K pps saturation benchmark
+// replays one generated second many times over).
+type Replay struct {
+	src    io.ReadSeeker
+	rd     *pcap.Reader
+	loops  int // passes remaining, including the current one
+	offset time.Duration
+	last   time.Duration // last raw timestamp seen this pass
+	read   bool          // any record read this pass
+	closed atomic.Bool   // set by Close, possibly from another goroutine
+}
+
+// NewReplay opens a pcap stream for replay. loops is the total number of
+// passes over the trace; values below 1 mean a single pass.
+func NewReplay(src io.ReadSeeker, loops int) (*Replay, error) {
+	rd, err := pcap.NewReader(src)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	if loops < 1 {
+		loops = 1
+	}
+	return &Replay{src: src, rd: rd, loops: loops}, nil
+}
+
+// rewind seeks back to the first record for the next pass and advances
+// the time offset so replayed timestamps keep increasing.
+func (r *Replay) rewind() error {
+	if _, err := r.src.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("capture: rewind: %w", err)
+	}
+	rd, err := pcap.NewReader(r.src)
+	if err != nil {
+		return fmt.Errorf("capture: rewind: %w", err)
+	}
+	r.rd = rd
+	// The next pass restarts at its own recorded base; shifting by the
+	// last timestamp seen (plus a tick so equality never happens) keeps
+	// the synthetic clock strictly monotonic across the seam.
+	r.offset += r.last + time.Microsecond
+	r.last = 0
+	r.read = false
+	return nil
+}
+
+// ReadBatch implements Source. Frames come out with their recorded
+// timestamps shifted by the accumulated loop offset.
+func (r *Replay) ReadBatch(frames []Frame) (int, error) {
+	n := 0
+	for n < len(frames) {
+		// Checked per record so a concurrent Close (the daemon's signal
+		// handler) ends the replay at the next frame boundary.
+		if r.closed.Load() {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		rec, err := r.rd.ReadRecordInto(frames[n].Data[:0])
+		if errors.Is(err, io.EOF) {
+			// An empty trace must not loop forever.
+			if r.loops <= 1 || !r.read {
+				if n > 0 {
+					return n, nil
+				}
+				return 0, io.EOF
+			}
+			r.loops--
+			if rerr := r.rewind(); rerr != nil {
+				return n, rerr
+			}
+			continue
+		}
+		if err != nil {
+			return n, fmt.Errorf("capture: %w", err)
+		}
+		r.read = true
+		r.last = rec.Time
+		frames[n].Time = rec.Time + r.offset
+		frames[n].Data = rec.Data
+		frames[n].OrigLen = rec.OrigLen
+		if frames[n].OrigLen == 0 {
+			frames[n].OrigLen = len(rec.Data)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Close implements Source. It is idempotent and safe to call from a
+// goroutine other than the reader: ReadBatch observes the flag at the
+// next frame boundary and returns io.EOF.
+func (r *Replay) Close() error {
+	r.closed.Store(true)
+	return nil
+}
+
+// PcapSink writes frames to a pcap stream.
+type PcapSink struct {
+	w *pcap.Writer
+}
+
+// NewPcapSink writes a pcap global header to w and returns the sink.
+func NewPcapSink(w io.Writer) (*PcapSink, error) {
+	pw, err := pcap.NewWriter(w)
+	if err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
+	}
+	return &PcapSink{w: pw}, nil
+}
+
+// WriteFrame implements Sink.
+func (s *PcapSink) WriteFrame(f Frame) error {
+	return s.w.WriteRecord(pcap.Record{Time: f.Time, Data: f.Data, OrigLen: f.OrigLen})
+}
+
+// Close implements Sink. The pcap format needs no trailer.
+func (s *PcapSink) Close() error { return nil }

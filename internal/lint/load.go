@@ -212,6 +212,13 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		if !isSourceFile(e) {
 			continue
 		}
+		// Respect build constraints the way the compiler does: files gated
+		// behind //go:build tags not in the default context (e.g. the
+		// afpacket capture backend) would otherwise be type-checked
+		// alongside their fallback twins and fail on duplicate symbols.
+		if match, err := build.Default.MatchFile(dir, e.Name()); err != nil || !match {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {

@@ -16,7 +16,7 @@ import (
 // silently breaks all of it.
 //
 // Wall time is confined to an explicit allowlist of adapter packages
-// (live, checkpoint, httpapi), binaries (cmd/*) and runnable examples
+// (live, checkpoint, httpapi, capture), binaries (cmd/*) and runnable examples
 // (examples/*); everything else must take time as an input (packet
 // timestamps, an injected live.Clock, a caller-supplied seed).
 // A deliberate seam in a deterministic package carries
@@ -41,6 +41,10 @@ var wallclockAllowedLeaves = map[string]bool{
 	"live":       true,
 	"checkpoint": true,
 	"httpapi":    true,
+	// capture adapts real NICs (AF_PACKET) to the virtual-time packet
+	// plane: stamping a received frame with an offset from the capture
+	// epoch is inherently a wall-clock read.
+	"capture": true,
 }
 
 // wallclockBanned are the time-package functions whose results depend on
@@ -82,7 +86,7 @@ func runWallclock(pass *Pass) error {
 				return true
 			}
 			pass.Reportf(call.Pos(),
-				"time.%s in deterministic package %q: take time as an input (packet timestamps, an injected Clock, a seed) or move this to an allowlisted package (live, checkpoint, httpapi, cmd/*, examples/*)",
+				"time.%s in deterministic package %q: take time as an input (packet timestamps, an injected Clock, a seed) or move this to an allowlisted package (live, checkpoint, httpapi, capture, cmd/*, examples/*)",
 				name, pass.Pkg.Path())
 			return true
 		})

@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -39,6 +40,66 @@ func FuzzDecode(f *testing.F) {
 		}
 		if len(frame.Payload) > len(data) {
 			t.Fatal("payload longer than frame")
+		}
+	})
+}
+
+// FuzzDecodeTupleEquivalence is the differential contract between the two
+// decoders on arbitrary bytes: they must agree on success (same tuple and
+// direction) or fail with the same sentinel class. The single permitted
+// divergence is the transport checksum, which the zero-copy path
+// deliberately skips (it never reads payload bytes): DecodeTuple may
+// succeed where Decode fails, but then only with ErrBadChecksum.
+func FuzzDecodeTupleEquivalence(f *testing.F) {
+	tcp, err := Encode(samplePacket(TCP))
+	if err != nil {
+		f.Fatal(err)
+	}
+	udp, err := Encode(samplePacket(UDP))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tcp)
+	f.Add(udp)
+	f.Add(tcp[:EthernetHeaderLen+IPv4HeaderLen])
+	f.Add([]byte{})
+	frag := append([]byte(nil), tcp...)
+	frag[EthernetHeaderLen+6] = 0x20 // MF set
+	f.Add(frag)
+	corrupt := append([]byte(nil), tcp...)
+	corrupt[len(corrupt)-1] ^= 0xff // payload bit flip: transport checksum
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, dir, terr := DecodeTuple(data)
+		fr, derr := Decode(data)
+		switch {
+		case terr == nil && derr == nil:
+			want := fr.ToPacket()
+			if tup != want.Tuple {
+				t.Fatalf("tuple mismatch: zero-copy %v, struct %v", tup, want.Tuple)
+			}
+			if dir != want.Dir {
+				t.Fatalf("direction mismatch: zero-copy %v, struct %v", dir, want.Dir)
+			}
+			var into Packet
+			if err := DecodeInto(&into, data); err != nil {
+				t.Fatalf("DecodeInto failed where DecodeTuple passed: %v", err)
+			}
+			if into.Tuple != want.Tuple || into.Dir != want.Dir ||
+				into.Flags != want.Flags || into.Length != want.Length {
+				t.Fatalf("DecodeInto %+v, struct path %+v", into, want)
+			}
+		case terr == nil && derr != nil:
+			if !errors.Is(derr, ErrBadChecksum) {
+				t.Fatalf("zero-copy accepted a frame Decode rejects with %v (only transport-checksum divergence is allowed)", derr)
+			}
+		case terr != nil && derr == nil:
+			t.Fatalf("zero-copy rejected (%v) a frame Decode accepts", terr)
+		default:
+			if !sameErrorClass(terr, derr) {
+				t.Fatalf("error class mismatch: zero-copy %v, struct %v", terr, derr)
+			}
 		}
 	})
 }

@@ -30,7 +30,22 @@ var (
 	ErrBadIHL       = errors.New("packet: bad IPv4 header length")
 	ErrBadChecksum  = errors.New("packet: bad checksum")
 	ErrProto        = errors.New("packet: unsupported transport protocol")
+	// ErrFragmented rejects IPv4 fragments. A non-first fragment carries
+	// no transport header — its first payload bytes would be misparsed as
+	// ports — and a first fragment (MF set) may be followed by an
+	// overlapping rewrite, so the filter refuses to judge either rather
+	// than hash garbage into the bitmap.
+	ErrFragmented = errors.New("packet: fragmented IPv4 datagram")
+	// ErrTooLong is returned by Encode when the packet cannot be
+	// represented: the IPv4 total-length field is 16 bits, so anything
+	// over 65535 bytes of IP datagram would silently wrap.
+	ErrTooLong = errors.New("packet: frame exceeds IPv4 maximum length")
 )
+
+// fragMask selects the IPv4 MF flag and the 13-bit fragment offset in the
+// flags+offset word (ip[6:8]). DF and the reserved bit are irrelevant to
+// reassembly and pass through.
+const fragMask = 0x3fff
 
 // MAC is a 6-byte Ethernet address.
 type MAC [6]byte
@@ -72,6 +87,12 @@ func Encode(pkt Packet) ([]byte, error) {
 		total = minLen
 	}
 	payloadLen := total - minLen
+	// The IPv4 total-length field is 16 bits. A larger packet used to
+	// encode with a wrapped length (and a checksum over garbage); refuse
+	// it instead.
+	if total-EthernetHeaderLen > 0xffff {
+		return nil, fmt.Errorf("%w: ip total length %d", ErrTooLong, total-EthernetHeaderLen)
+	}
 
 	buf := make([]byte, total)
 
@@ -149,6 +170,12 @@ func Decode(frame []byte) (Frame, error) {
 	ipTotal := int(binary.BigEndian.Uint16(ip[2:4]))
 	if ipTotal < ihl || len(ip) < ipTotal {
 		return out, fmt.Errorf("%w: ip total length %d", ErrTruncated, ipTotal)
+	}
+	// Reject fragments before touching the transport layer: a non-first
+	// fragment (offset != 0) has payload bytes where the ports would be,
+	// and a first fragment (MF set) is an incomplete datagram.
+	if frag := binary.BigEndian.Uint16(ip[6:8]); frag&fragMask != 0 {
+		return out, fmt.Errorf("%w: flags+offset %#04x", ErrFragmented, frag)
 	}
 	out.TTL = ip[8]
 	proto := Proto(ip[9])

@@ -44,6 +44,13 @@ var (
 	ErrBadMagic   = errors.New("pcap: bad magic number")
 	ErrBadVersion = errors.New("pcap: unsupported version")
 	ErrSnapLen    = errors.New("pcap: frame exceeds snapshot length")
+	// ErrTimestamp is returned by WriteRecord for times the record header
+	// cannot represent: negative offsets, and seconds past the 32-bit
+	// field (which used to wrap into garbage timestamps).
+	ErrTimestamp = errors.New("pcap: timestamp not representable")
+	// ErrOrigLen is returned by WriteRecord when a record claims an
+	// original wire length smaller than the bytes it actually carries.
+	ErrOrigLen = errors.New("pcap: original length smaller than captured data")
 )
 
 // Record is one captured frame with its timestamp. Time is an offset on the
@@ -51,7 +58,16 @@ var (
 type Record struct {
 	Time time.Duration
 	Data []byte
+	// OrigLen is the frame's original wire length. Captures taken with a
+	// snapshot length shorter than the frame store only the first snapLen
+	// bytes but record the true length here; bandwidth accounting must use
+	// OrigLen, not len(Data). On write, zero means len(Data).
+	OrigLen int
 }
+
+// Truncated reports whether the capture stored fewer bytes than the frame
+// carried on the wire.
+func (r Record) Truncated() bool { return r.OrigLen > len(r.Data) }
 
 // Writer emits a pcap stream. Construct it with NewWriter, which writes the
 // global header immediately.
@@ -77,16 +93,35 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: w, snapLen: DefaultSnapLen}, nil
 }
 
-// WriteRecord appends one frame to the stream.
+// WriteRecord appends one frame to the stream. rec.Time must fit the
+// 32-bit seconds field (0 .. 2^32-1 s); rec.OrigLen of zero means the
+// frame was captured whole (origLen = len(Data)).
 func (w *Writer) WriteRecord(rec Record) error {
 	if len(rec.Data) > int(w.snapLen) {
 		return fmt.Errorf("%w: %d > %d", ErrSnapLen, len(rec.Data), w.snapLen)
 	}
 	usec := rec.Time.Microseconds()
-	binary.LittleEndian.PutUint32(w.scratch[0:4], uint32(usec/1e6))
+	sec := usec / 1e6
+	// The header's seconds field is 32 bits; uint32() used to wrap both a
+	// negative offset and an overflowing one into a plausible-looking
+	// garbage timestamp.
+	if usec < 0 || sec > 0xffffffff {
+		return fmt.Errorf("%w: %v", ErrTimestamp, rec.Time)
+	}
+	orig := rec.OrigLen
+	if orig == 0 {
+		orig = len(rec.Data)
+	}
+	if orig < len(rec.Data) {
+		return fmt.Errorf("%w: origLen %d < %d captured bytes", ErrOrigLen, orig, len(rec.Data))
+	}
+	if orig > 0xffffffff {
+		return fmt.Errorf("%w: origLen %d overflows the 32-bit field", ErrOrigLen, orig)
+	}
+	binary.LittleEndian.PutUint32(w.scratch[0:4], uint32(sec))
 	binary.LittleEndian.PutUint32(w.scratch[4:8], uint32(usec%1e6))
 	binary.LittleEndian.PutUint32(w.scratch[8:12], uint32(len(rec.Data)))
-	binary.LittleEndian.PutUint32(w.scratch[12:16], uint32(len(rec.Data)))
+	binary.LittleEndian.PutUint32(w.scratch[12:16], uint32(orig))
 	if _, err := w.w.Write(w.scratch[:]); err != nil {
 		return fmt.Errorf("pcap: write record header: %w", err)
 	}
@@ -145,8 +180,18 @@ func (r *Reader) LinkType() uint32 { return r.linkType }
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
 // ReadRecord returns the next record, or io.EOF at a clean end of stream.
-// A stream that ends mid-record yields io.ErrUnexpectedEOF.
+// A stream that ends mid-record yields io.ErrUnexpectedEOF. Each call
+// allocates a fresh Data slice; hot loops should use ReadRecordInto.
 func (r *Reader) ReadRecord() (Record, error) {
+	return r.ReadRecordInto(nil)
+}
+
+// ReadRecordInto is ReadRecord with caller-owned storage: when buf has
+// capacity for the record's captured bytes, rec.Data aliases buf and the
+// read performs no allocation. The returned record (including OrigLen,
+// which earlier versions discarded from the header) is valid only until
+// the next ReadRecordInto call that reuses the same buffer.
+func (r *Reader) ReadRecordInto(buf []byte) (Record, error) {
 	var rec Record
 	if _, err := io.ReadFull(r.r, r.scratch[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -165,7 +210,12 @@ func (r *Reader) ReadRecord() (Record, error) {
 	} else {
 		rec.Time = time.Duration(sec)*time.Second + time.Duration(frac)*time.Microsecond
 	}
-	rec.Data = make([]byte, incl)
+	rec.OrigLen = int(r.order.Uint32(r.scratch[12:16]))
+	if cap(buf) >= int(incl) {
+		rec.Data = buf[:incl]
+	} else {
+		rec.Data = make([]byte, incl)
+	}
 	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
 		return rec, fmt.Errorf("pcap: read record data: %w", err)
 	}

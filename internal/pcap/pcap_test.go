@@ -244,6 +244,161 @@ func TestRecordClaimsMoreThanSnapLen(t *testing.T) {
 	}
 }
 
+// TestOrigLenRoundTrip is the regression test for the dropped origLen:
+// the old reader discarded scratch[12:16], so a snapLen-truncated capture
+// lost the true wire length of every frame.
+func TestOrigLenRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame captured whole, one truncated to 60 of 1500 bytes, and one
+	// relying on the zero-means-len(Data) default.
+	if err := w.WriteRecord(Record{Time: time.Second, Data: make([]byte, 80), OrigLen: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{Time: 2 * time.Second, Data: make([]byte, 60), OrigLen: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{Time: 3 * time.Second, Data: make([]byte, 90)}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		origLen   int
+		truncated bool
+	}{
+		{80, false},
+		{1500, true},
+		{90, false},
+	}
+	for i, w := range want {
+		rec, err := r.ReadRecord()
+		if err != nil {
+			t.Fatalf("ReadRecord[%d]: %v", i, err)
+		}
+		if rec.OrigLen != w.origLen {
+			t.Errorf("record %d OrigLen = %d, want %d", i, rec.OrigLen, w.origLen)
+		}
+		if rec.Truncated() != w.truncated {
+			t.Errorf("record %d Truncated() = %v, want %v", i, rec.Truncated(), w.truncated)
+		}
+	}
+}
+
+// TestWriteRecordBadOrigLen: a record cannot claim fewer wire bytes than
+// it carries.
+func TestWriteRecordBadOrigLen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.WriteRecord(Record{Time: time.Second, Data: make([]byte, 100), OrigLen: 99})
+	if !errors.Is(err, ErrOrigLen) {
+		t.Errorf("OrigLen < len(Data) error = %v, want ErrOrigLen", err)
+	}
+}
+
+// TestWriteRecordTimestampRange is the regression test for the wrapping
+// timestamp: negative offsets and seconds past 2^32-1 used to be cast
+// straight through uint32() into plausible-looking garbage.
+func TestWriteRecordTimestampRange(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3, 4}
+
+	if err := w.WriteRecord(Record{Time: -time.Microsecond, Data: data}); !errors.Is(err, ErrTimestamp) {
+		t.Errorf("negative time error = %v, want ErrTimestamp", err)
+	}
+	over := time.Duration(1<<32) * time.Second
+	if err := w.WriteRecord(Record{Time: over, Data: data}); !errors.Is(err, ErrTimestamp) {
+		t.Errorf("overflow time error = %v, want ErrTimestamp", err)
+	}
+
+	// The largest representable instant must still round-trip exactly.
+	max := time.Duration(1<<32-1)*time.Second + 999999*time.Microsecond
+	if err := w.WriteRecord(Record{Time: max, Data: data}); err != nil {
+		t.Fatalf("boundary time rejected: %v", err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Time != max {
+		t.Errorf("boundary time = %v, want %v", rec.Time, max)
+	}
+}
+
+// TestReadRecordIntoReusesBuffer pins the zero-alloc read contract the
+// live plane's replay source depends on.
+func TestReadRecordIntoReusesBuffer(t *testing.T) {
+	const frames = 64
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 720)
+	for i := 0; i < frames; i++ {
+		payload[0] = byte(i)
+		if err := w.WriteRecord(Record{Time: time.Duration(i) * time.Millisecond, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw := buf.Bytes()
+	scratch := make([]byte, DefaultSnapLen)
+	rdr := bytes.NewReader(raw)
+	r, err := NewReader(rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(frames-1, func() {
+		rec, err := r.ReadRecordInto(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Data[0] != byte(n) || len(rec.Data) != len(payload) {
+			t.Fatalf("record %d: first byte %d, len %d", n, rec.Data[0], len(rec.Data))
+		}
+		if &rec.Data[0] != &scratch[0] {
+			t.Fatal("record data does not alias the caller's buffer")
+		}
+		n++
+	})
+	if allocs != 0 {
+		t.Errorf("ReadRecordInto allocates %.1f times per record", allocs)
+	}
+
+	// A buffer too small for the record must still succeed, freshly
+	// allocated.
+	r2, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r2.ReadRecordInto(make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != len(payload) {
+		t.Errorf("small-buffer read returned %d bytes, want %d", len(rec.Data), len(payload))
+	}
+}
+
 func BenchmarkWriteRecord(b *testing.B) {
 	frame, err := packet.Encode(packet.Packet{
 		Tuple: packet.Tuple{

@@ -28,6 +28,11 @@ var ErrNoSubnets = errors.New("replay: no client subnets")
 type Result struct {
 	// Frames is the number of pcap records read.
 	Frames uint64
+	// Truncated counts records whose capture stored fewer bytes than the
+	// frame carried on the wire (snapLen cut them short). Decodable
+	// truncated frames are replayed with their original wire length so
+	// bandwidth-sensitive observers are not skewed by the snapshot.
+	Truncated uint64
 	// Skipped counts undecodable frames and frames not touching the
 	// subnets.
 	Skipped uint64
@@ -102,8 +107,9 @@ func Run(src io.Reader, filter filtering.PacketFilter, subnets []packet.Prefix, 
 		}
 		batch = batch[:0]
 	}
+	frameBuf := make([]byte, pcap.DefaultSnapLen)
 	for {
-		rec, err := rd.ReadRecord()
+		rec, err := rd.ReadRecordInto(frameBuf)
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -112,6 +118,9 @@ func Run(src io.Reader, filter filtering.PacketFilter, subnets []packet.Prefix, 
 			return res, fmt.Errorf("replay: %w", err)
 		}
 		res.Frames++
+		if rec.Truncated() {
+			res.Truncated++
+		}
 		frame, err := packet.Decode(rec.Data)
 		if err != nil {
 			res.Skipped++
@@ -119,6 +128,11 @@ func Run(src io.Reader, filter filtering.PacketFilter, subnets []packet.Prefix, 
 		}
 		pkt := frame.ToPacket()
 		pkt.Time = rec.Time
+		if rec.Truncated() {
+			// The decoder saw only the captured prefix; the filter and
+			// the observers should account the frame at its wire length.
+			pkt.Length = rec.OrigLen
+		}
 		switch {
 		case inside(pkt.Tuple.Src):
 			pkt.Dir = packet.Outgoing

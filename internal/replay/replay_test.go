@@ -134,6 +134,55 @@ func TestReplaySkipsForeignAndGarbage(t *testing.T) {
 	}
 }
 
+// TestReplayTruncatedRecords: snapLen-truncated captures must be counted,
+// and frames that still decode (the cut fell beyond the IP datagram, e.g.
+// an Ethernet trailer) must be accounted at their original wire length —
+// both depend on the reader surfacing origLen, which it used to discard.
+func TestReplayTruncatedRecords(t *testing.T) {
+	client := packet.AddrFrom4(10, 0, 0, 5)
+	server := packet.AddrFrom4(198, 51, 100, 7)
+	full := packet.Packet{
+		Time: time.Second,
+		Tuple: packet.Tuple{Src: client, Dst: server,
+			SrcPort: 4000, DstPort: 80, Proto: packet.TCP},
+		Dir: packet.Outgoing, Flags: packet.SYN, Length: 60,
+	}
+	frame, err := packet.Encode(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0: whole frame captured, but the wire carried 1514 bytes
+	// (the snapshot cut a trailer the IP header does not cover) —
+	// decodable, replayed at OrigLen.
+	if err := w.WriteRecord(pcap.Record{Time: full.Time, Data: frame, OrigLen: 1514}); err != nil {
+		t.Fatal(err)
+	}
+	// Record 1: cut mid-datagram — truncated and undecodable.
+	if err := w.WriteRecord(pcap.Record{Time: 2 * time.Second, Data: frame[:40], OrigLen: len(frame)}); err != nil {
+		t.Fatal(err)
+	}
+
+	var seen []int
+	res, err := Run(&buf, smallFilter(), []packet.Prefix{subnet},
+		func(p packet.Packet) { seen = append(seen, p.Length) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 2 || res.Truncated != 2 || res.Skipped != 1 {
+		t.Errorf("frames=%d truncated=%d skipped=%d, want 2/2/1",
+			res.Frames, res.Truncated, res.Skipped)
+	}
+	if len(seen) != 1 || seen[0] != 1514 {
+		t.Errorf("observer saw lengths %v, want [1514]", seen)
+	}
+}
+
 // End-to-end: generate a synthetic trace, export to pcap, replay through
 // both the bitmap and an SPI filter, and check the replayed drop rates
 // agree with direct (in-memory) processing.
