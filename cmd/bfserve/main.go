@@ -53,6 +53,7 @@ import (
 	"bitmapfilter/internal/httpapi"
 	"bitmapfilter/internal/live"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/resilience"
 	"bitmapfilter/internal/tenant"
 	"bitmapfilter/internal/trafficgen"
 )
@@ -129,18 +130,33 @@ func run() error {
 	}
 	defer filter.StopRotations()
 
+	// The resilience plane: a watchdog over every background loop, with
+	// /healthz turning 503 on a stall and /readyz tracking the lifecycle.
+	// Rotation liveness is value-driven — the rotation counter must keep
+	// advancing within a few periods — so a wedged rotation goroutine is
+	// indistinguishable from a wedged filter, which is exactly the alarm
+	// an operator wants.
+	wd := resilience.NewWatchdog(nil)
+	health := resilience.NewHealth(wd)
+	rotStall := max(4*filter.RotateEvery(), resilience.DefaultStallAfter)
+	wd.Progress("rotation", rotStall, func() uint64 { return filter.Stats().Rotations })
+
 	// With -checkpoint the daemon persists snapshots periodically (and on
 	// SIGTERM below); the API gains POST /checkpoint and the
-	// bitmapfilter_checkpoint_* series.
+	// bitmapfilter_checkpoint_* series, and the checkpointer reports into
+	// its own watchdog probe.
 	var (
 		cp      *checkpoint.Checkpointer
 		apiOpts []httpapi.Option
 	)
+	apiOpts = append(apiOpts, httpapi.WithHealth(health))
 	if *ckpt != "" {
+		ckptProbe := wd.Heartbeat("checkpoint", max(3**ckptDt, resilience.DefaultStallAfter))
 		cp, err = checkpoint.New(checkpoint.Config{
-			Path:     *ckpt,
-			Write:    filter.WriteSnapshot,
-			Interval: *ckptDt,
+			Path:      *ckpt,
+			Write:     filter.WriteSnapshot,
+			Interval:  *ckptDt,
+			Heartbeat: ckptProbe.Beat,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "bfserve: "+format+"\n", args...)
 			},
@@ -213,19 +229,24 @@ func run() error {
 
 	demoDone := make(chan struct{})
 	if *demo {
+		demoProbe := wd.Heartbeat("demo", resilience.DefaultStallAfter)
 		go func() {
 			defer close(demoDone)
-			if err := runDemo(ctx, filter, *rate, *speedup); err != nil {
+			if err := runDemo(ctx, filter, *rate, *speedup, demoProbe); err != nil {
 				fmt.Fprintln(os.Stderr, "bfserve: demo feed:", err)
 			}
 		}()
 	} else {
 		close(demoDone)
 	}
+	health.SetReady()
 
 	select {
 	case <-ctx.Done():
 		fmt.Println("\nbfserve: shutting down")
+		// Drain order: readiness flips first (load balancers stop routing
+		// here), then the final state persists, then the listener closes.
+		health.SetDraining()
 		// Persist the final state before the server goes away, so the
 		// next boot warm-starts from the very last marks.
 		if cp != nil {
@@ -412,7 +433,10 @@ const (
 
 // runDemo replays the calibrated trace against the filter, pacing trace
 // time at `speedup` × wall-clock time, looping forever until ctx ends.
-func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) error {
+// probe, when set, tracks the feed's liveness: every flushed batch
+// beats it, and the pacing sleeps are marked idle so a slow trace is
+// not mistaken for a wedged feed.
+func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64, probe *resilience.Probe) error {
 	if speedup <= 0 {
 		return fmt.Errorf("speedup must be positive")
 	}
@@ -422,6 +446,9 @@ func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) er
 	flush := func() {
 		verdicts = filter.ObserveBatchInto(batch, verdicts)
 		batch = batch[:0]
+		if probe != nil {
+			probe.Beat()
+		}
 	}
 	for {
 		cfg := trafficgen.DefaultConfig()
@@ -445,10 +472,16 @@ func runDemo(ctx context.Context, filter *live.Filter, rate, speedup float64) er
 			due := epoch.Add(time.Duration(float64(pkt.Time) / speedup))
 			if wait := time.Until(due); wait > demoBatchSlack {
 				flush()
+				if probe != nil {
+					probe.SetIdle(true)
+				}
 				select {
 				case <-ctx.Done():
-					return nil
+					return nil // left idle: the feed is gone, not wedged
 				case <-time.After(wait):
+				}
+				if probe != nil {
+					probe.SetIdle(false)
 				}
 			} else if ctx.Err() != nil {
 				flush()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http/httptest"
@@ -36,7 +37,7 @@ func TestParseSubnets(t *testing.T) {
 // saturates a trivial target.
 func TestBenchEndToEnd(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-bench", "-target", "1",
 		"-scan-pps", "20000", "-conn-rate", "10", "-gen-duration", "500ms",
 	}, &out)
@@ -60,7 +61,7 @@ func TestBenchEndToEnd(t *testing.T) {
 func TestGenThenReplayFile(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "scan.pcap")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-gen", trace, "-scan-pps", "5000", "-conn-rate", "5", "-gen-duration", "200ms",
 	}, &out)
 	if err != nil {
@@ -71,7 +72,7 @@ func TestGenThenReplayFile(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"-bench", "-pcap", trace, "-loops", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-bench", "-pcap", trace, "-loops", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "bfwall bench:") {
@@ -92,7 +93,7 @@ func TestTenantFleetReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-bench", "-tenants", fleet,
 		"-scan-pps", "5000", "-conn-rate", "5", "-gen-duration", "200ms",
 	}, &out)
@@ -248,7 +249,7 @@ func TestMonitoringEndpoints(t *testing.T) {
 	stats.decodeErr[decFragmented].Add(3)
 	stats.observeBatchLatency(100*time.Microsecond, 100)
 
-	srv := httptest.NewServer(newMux(stats, mustFilter(t)))
+	srv := httptest.NewServer(newMux(stats, mustFilter(t), nil))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -307,7 +308,7 @@ func TestMonitoringEndpoints(t *testing.T) {
 // clear error instead of silently reading nothing.
 func TestIfaceWithoutTagFails(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-iface", "eth0"}, &out)
+	err := run(context.Background(), []string{"-iface", "eth0"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "afpacket") {
 		t.Errorf("err = %v, want afpacket build-tag guidance", err)
 	}

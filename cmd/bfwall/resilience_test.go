@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/capture"
+	"bitmapfilter/internal/checkpoint"
+	"bitmapfilter/internal/filtering"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/resilience"
+)
+
+// TestDrainOnSignal: a cancelled context (the SIGTERM path) must stop
+// intake, drain the pump, take the final checkpoint, and exit cleanly —
+// long before the replay would have finished on its own.
+func TestDrainOnSignal(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.bmf")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // signal already pending: drain immediately
+
+	var out bytes.Buffer
+	err := run(ctx, []string{
+		"-loops", "200000", // far more work than the drain window allows
+		"-scan-pps", "2000", "-conn-rate", "10", "-gen-duration", "100ms",
+		"-checkpoint", ckpt,
+	}, &out)
+	if err != nil {
+		t.Fatalf("drain returned error: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"signal received, draining", "final checkpoint saved"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Errorf("final checkpoint not on disk: %v", err)
+	}
+}
+
+// TestCheckpointRoundTrip: a completed run persists its filter state and
+// the next boot restores it instead of cold-starting.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.bmf")
+	args := []string{
+		"-bench", "-target", "1",
+		"-scan-pps", "2000", "-conn-rate", "10", "-gen-duration", "100ms",
+		"-checkpoint", ckpt,
+	}
+
+	var first bytes.Buffer
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "cold start") {
+		t.Errorf("first boot should cold-start:\n%s", first.String())
+	}
+
+	var second bytes.Buffer
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "restored filter state from") {
+		t.Errorf("second boot should restore:\n%s", second.String())
+	}
+}
+
+// TestCheckpointRoundTripTenants pins the fleet path: per-tenant state
+// (including the forced goroutine-safe flavor) survives the snapshot.
+func TestCheckpointRoundTripTenants(t *testing.T) {
+	dir := t.TempDir()
+	fleet := filepath.Join(dir, "fleet.json")
+	cfg := `{"tenants":[
+		{"id":"a","prefix":"10.0.0.0/9","order":12},
+		{"id":"b","prefix":"10.128.0.0/9","order":12}
+	]}`
+	if err := os.WriteFile(fleet, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, "fleet.bmf")
+	args := []string{
+		"-bench", "-target", "1", "-tenants", fleet,
+		"-scan-pps", "2000", "-conn-rate", "10", "-gen-duration", "100ms",
+		"-checkpoint", ckpt,
+	}
+	var first, second bytes.Buffer
+	if err := run(context.Background(), args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "restored filter state from") {
+		t.Errorf("fleet second boot should restore:\n%s", second.String())
+	}
+}
+
+// TestOverloadPolicyFlag: the policy flag parses strictly and an
+// admit-policy run completes end to end with a tiny queue.
+func TestOverloadPolicyFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-on-overload", "bogus"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "overload") {
+		t.Errorf("bogus policy: err = %v", err)
+	}
+
+	out.Reset()
+	err = run(context.Background(), []string{
+		"-bench", "-target", "1", "-on-overload", "admit", "-queue", "16",
+		"-scan-pps", "2000", "-conn-rate", "10", "-gen-duration", "100ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bfwall bench:") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// panicFilter wraps a real filter and panics on the Nth batch — the
+// stand-in for a decode- or filter-path bug the pump must contain.
+type panicFilter struct {
+	filtering.BatchFilter
+	calls   atomic.Int64
+	panicOn int64
+}
+
+func (p *panicFilter) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
+	if p.calls.Add(1) == p.panicOn {
+		panic("injected filter fault")
+	}
+	return p.BatchFilter.ProcessBatchInto(pkts, out)
+}
+
+// TestPumpQuarantinesPanic: a panicking batch is counted and skipped,
+// and the pump keeps judging subsequent batches.
+func TestPumpQuarantinesPanic(t *testing.T) {
+	client := packet.AddrFrom4(10, 0, 0, 5)
+	server := packet.AddrFrom4(198, 51, 100, 7)
+	frame := encodeFrame(t, packet.Packet{Time: time.Second,
+		Tuple: packet.Tuple{Src: client, Dst: server, SrcPort: 4000, DstPort: 80, Proto: packet.TCP},
+		Dir:   packet.Outgoing, Flags: packet.SYN, Length: 60})
+
+	lb := capture.NewLoopback()
+	for i := 0; i < 6; i++ {
+		if err := lb.WriteFrame(capture.Frame{Time: time.Duration(i+1) * time.Second, Data: frame}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	subnets, _ := parseSubnets("10.0.0.0/8")
+	stats := newWallStats(time.Now())
+	bf := &panicFilter{BatchFilter: mustFilter(t), panicOn: 1}
+	p := newPump(lb, bf, subnets, 2, 2048, stats) // 3 batches of 2
+	var logged []string
+	p.logf = func(format string, args ...any) { logged = append(logged, format) }
+
+	if err := p.run(); err != nil {
+		t.Fatalf("pump died on a contained panic: %v", err)
+	}
+	if got := stats.quarantinedBatches.Load(); got != 1 {
+		t.Errorf("quarantined batches = %d, want 1", got)
+	}
+	if got := stats.quarantinedFrames.Load(); got != 2 {
+		t.Errorf("quarantined frames = %d, want 2", got)
+	}
+	// The two healthy batches were judged: 6 frames seen, 4 verdicts.
+	if got := stats.frames.Load(); got != 6 {
+		t.Errorf("frames = %d, want 6", got)
+	}
+	if got := stats.outgoing.Load(); got != 4 {
+		t.Errorf("outgoing = %d, want 4 (quarantined batch never judged)", got)
+	}
+	if len(logged) == 0 {
+		t.Error("quarantine was not logged")
+	}
+}
+
+// TestResilienceEndpoints wires a live resilience plane behind the mux
+// and checks /readyz, the stalled /healthz, and every
+// bitmapfilter_resilience_* series group on /metrics.
+func TestResilienceEndpoints(t *testing.T) {
+	// A fake clock so the stall is deterministic.
+	var clock atomic.Int64
+	wd := resilience.NewWatchdog(func() time.Duration { return time.Duration(clock.Load()) })
+	probe := wd.Heartbeat("capture", 100*time.Millisecond)
+	probe.Beat()
+	health := resilience.NewHealth(wd)
+
+	lb := capture.NewLoopback()
+	sup, err := resilience.NewSupervisor(resilience.SupervisorConfig{
+		Open: func() (capture.Source, error) { return lb, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := resilience.NewBuffer(sup, resilience.BufferConfig{Capacity: 8, SnapLen: 256})
+	defer buf.Close()
+
+	cp, err := checkpoint.New(checkpoint.Config{
+		Path:  filepath.Join(t.TempDir(), "state.bmf"),
+		Write: func(io.Writer) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats := newWallStats(time.Now())
+	stats.quarantinedBatches.Add(2)
+	stats.quarantinedFrames.Add(7)
+	plane := &resiliencePlane{
+		sup:     sup,
+		buf:     buf,
+		health:  health,
+		cp:      cp,
+		restore: checkpoint.RestoreResult{Outcome: checkpoint.OutcomeColdStartEmpty},
+		policy:  resilience.PolicyDrop,
+		stats:   stats,
+	}
+	srv := httptest.NewServer(newMux(stats, mustFilter(t), plane))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Starting: live but not ready.
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz while starting = %d", code)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "starting") {
+		t.Errorf("/readyz while starting = %d %q", code, body)
+	}
+
+	health.SetReady()
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz when ready = %d", code)
+	}
+
+	code, metrics := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"bitmapfilter_resilience_source_transient_errors_total 0",
+		"bitmapfilter_resilience_source_reopens_total 0",
+		"bitmapfilter_resilience_backoff_seconds_total 0",
+		"bitmapfilter_resilience_queue_capacity 8",
+		`bitmapfilter_resilience_shed_frames_total{policy="drop"} 0`,
+		"bitmapfilter_resilience_shedding 0",
+		"bitmapfilter_resilience_quarantined_batches_total 2",
+		`bitmapfilter_resilience_quarantined_frames_total{policy="drop"} 7`,
+		"bitmapfilter_resilience_live 1",
+		"bitmapfilter_resilience_ready 1",
+		`bitmapfilter_resilience_state{state="ready"} 1`,
+		`bitmapfilter_resilience_state{state="draining"} 0`,
+		`bitmapfilter_resilience_probe_beats_total{probe="capture"} 1`,
+		`bitmapfilter_resilience_probe_stalled{probe="capture"} 0`,
+		"bitmapfilter_resilience_checkpoint_successes_total 0",
+		`bitmapfilter_resilience_restore_outcome{outcome="cold-start-empty"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Stall the capture probe: liveness flips, the stalled gauge rises.
+	clock.Store(int64(time.Second))
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "capture stalled") {
+		t.Errorf("/healthz while stalled = %d %q", code, body)
+	}
+	if _, metrics := get("/metrics"); !strings.Contains(metrics,
+		`bitmapfilter_resilience_probe_stalled{probe="capture"} 1`) {
+		t.Error("/metrics stalled gauge did not rise")
+	}
+
+	// Draining: live again (fresh beat), but not ready.
+	probe.Beat()
+	health.SetDraining()
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz while draining = %d", code)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz while draining = %d %q", code, body)
+	}
+}

@@ -4,14 +4,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bitmapfilter/internal/checkpoint"
 	"bitmapfilter/internal/filtering"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/resilience"
 	"bitmapfilter/internal/xrand"
 )
 
@@ -74,6 +77,11 @@ type wallStats struct {
 	incoming atomic.Uint64
 	passed   atomic.Uint64
 	dropped  atomic.Uint64
+
+	// Panic containment: batches quarantined by the pump's recover
+	// boundary, and the frames they carried (never judged).
+	quarantinedBatches atomic.Uint64
+	quarantinedFrames  atomic.Uint64
 
 	mu      sync.Mutex
 	rng     *xrand.Rand
@@ -153,6 +161,7 @@ type statsSnapshot struct {
 	Incoming      uint64            `json:"incoming"`
 	Passed        uint64            `json:"passed"`
 	Dropped       uint64            `json:"dropped"`
+	Quarantined   uint64            `json:"quarantined_batches"`
 	PPS           float64           `json:"pps"`
 	LatencyP50Ns  int64             `json:"latency_p50_ns"`
 	LatencyP99Ns  int64             `json:"latency_p99_ns"`
@@ -185,6 +194,7 @@ func (s *wallStats) snapshot(bf filtering.BatchFilter, now time.Time) statsSnaps
 		Incoming:      s.incoming.Load(),
 		Passed:        s.passed.Load(),
 		Dropped:       s.dropped.Load(),
+		Quarantined:   s.quarantinedBatches.Load(),
 		PPS:           pps,
 		LatencyP50Ns:  int64(lat[0]),
 		LatencyP99Ns:  int64(lat[1]),
@@ -196,12 +206,45 @@ func (s *wallStats) snapshot(bf filtering.BatchFilter, now time.Time) statsSnaps
 	}
 }
 
-// newMux wires the monitoring endpoints: /healthz liveness, /stats JSON,
-// /metrics Prometheus text exposition.
-func newMux(s *wallStats, bf filtering.BatchFilter) *http.ServeMux {
+// resiliencePlane bundles the resilience layer's observable surfaces for
+// the monitoring mux. Every field may be nil/zero: the mux degrades to
+// the bare pump view (tests and -queue=0 runs).
+type resiliencePlane struct {
+	sup     *resilience.Supervisor
+	buf     *resilience.Buffer
+	health  *resilience.Health
+	cp      *checkpoint.Checkpointer
+	restore checkpoint.RestoreResult
+	policy  resilience.OverloadPolicy
+	stats   *wallStats
+}
+
+// newMux wires the monitoring endpoints: /healthz liveness (503 when a
+// supervised loop stalls), /readyz readiness (503 while starting or
+// draining), /stats JSON, /metrics Prometheus text exposition. plane may
+// be nil.
+func newMux(s *wallStats, bf filtering.BatchFilter, plane *resiliencePlane) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if plane != nil && plane.health != nil {
+			if ok, detail := plane.health.Live(); !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "stalled:", detail)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if plane != nil && plane.health != nil {
+			if ok, detail := plane.health.Ready(); !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "not ready:", detail)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -236,6 +279,78 @@ func newMux(s *wallStats, bf filtering.BatchFilter) *http.ServeMux {
 			time.Duration(snap.LatencyP99Ns).Seconds())
 		fmt.Fprintf(w, "# TYPE bfwall_filter_memory_bytes gauge\nbfwall_filter_memory_bytes %d\n",
 			snap.Filter.MemoryBytes)
+		if plane != nil {
+			plane.writeMetrics(w)
+		}
 	})
 	return mux
+}
+
+// writeMetrics renders the resilience layer's Prometheus series. The
+// bitmapfilter_resilience_* namespace is shared with internal/httpapi so
+// one alert set covers both daemons.
+func (p *resiliencePlane) writeMetrics(w io.Writer) {
+	pol := p.policy.String()
+	if p.sup != nil {
+		st := p.sup.Stats()
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_source_reads_total counter\nbitmapfilter_resilience_source_reads_total %d\n", st.Reads)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_source_transient_errors_total counter\nbitmapfilter_resilience_source_transient_errors_total %d\n", st.TransientErrors)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_source_reopens_total counter\nbitmapfilter_resilience_source_reopens_total %d\n", st.Reopens)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_source_reopen_failures_total counter\nbitmapfilter_resilience_source_reopen_failures_total %d\n", st.ReopenFailures)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_source_fatal_errors_total counter\nbitmapfilter_resilience_source_fatal_errors_total %d\n", st.FatalErrors)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_backoffs_total counter\nbitmapfilter_resilience_backoffs_total %d\n", st.Backoffs)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_backoff_seconds_total counter\nbitmapfilter_resilience_backoff_seconds_total %g\n", st.BackoffTotal.Seconds())
+	}
+	if p.buf != nil {
+		st := p.buf.Stats()
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_queue_depth gauge\nbitmapfilter_resilience_queue_depth %d\n", st.Depth)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_queue_capacity gauge\nbitmapfilter_resilience_queue_capacity %d\n", st.Capacity)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_queue_max_depth gauge\nbitmapfilter_resilience_queue_max_depth %d\n", st.MaxDepth)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_accepted_frames_total counter\nbitmapfilter_resilience_accepted_frames_total %d\n", st.Accepted)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_shed_frames_total counter\nbitmapfilter_resilience_shed_frames_total{policy=%q} %d\n", pol, st.Shed)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_shed_events_total counter\nbitmapfilter_resilience_shed_events_total %d\n", st.ShedEvents)
+		shedding := 0
+		if st.Shedding {
+			shedding = 1
+		}
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_shedding gauge\nbitmapfilter_resilience_shedding %d\n", shedding)
+	}
+	if p.stats != nil {
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_quarantined_batches_total counter\nbitmapfilter_resilience_quarantined_batches_total %d\n", p.stats.quarantinedBatches.Load())
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_quarantined_frames_total counter\nbitmapfilter_resilience_quarantined_frames_total{policy=%q} %d\n", pol, p.stats.quarantinedFrames.Load())
+	}
+	if p.health != nil {
+		live, _ := p.health.Live()
+		ready, _ := p.health.Ready()
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_live gauge\nbitmapfilter_resilience_live %d\n", b2i(live))
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_ready gauge\nbitmapfilter_resilience_ready %d\n", b2i(ready))
+		state := p.health.State()
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_state gauge\n")
+		for _, s := range []resilience.State{resilience.StateStarting, resilience.StateReady, resilience.StateDraining} {
+			fmt.Fprintf(w, "bitmapfilter_resilience_state{state=%q} %d\n", s, b2i(s == state))
+		}
+		if wd := p.health.Watchdog(); wd != nil {
+			fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_probe_beats_total counter\n")
+			fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_probe_age_seconds gauge\n")
+			fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_probe_stalled gauge\n")
+			for _, ps := range wd.Status() {
+				fmt.Fprintf(w, "bitmapfilter_resilience_probe_beats_total{probe=%q} %d\n", ps.Name, ps.Beats)
+				fmt.Fprintf(w, "bitmapfilter_resilience_probe_age_seconds{probe=%q} %g\n", ps.Name, ps.Age.Seconds())
+				fmt.Fprintf(w, "bitmapfilter_resilience_probe_stalled{probe=%q} %d\n", ps.Name, b2i(ps.Stalled))
+			}
+		}
+	}
+	if p.cp != nil {
+		st := p.cp.Stats()
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_checkpoint_successes_total counter\nbitmapfilter_resilience_checkpoint_successes_total %d\n", st.Successes)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_checkpoint_failures_total counter\nbitmapfilter_resilience_checkpoint_failures_total %d\n", st.Failures)
+		fmt.Fprintf(w, "# TYPE bitmapfilter_resilience_restore_outcome gauge\nbitmapfilter_resilience_restore_outcome{outcome=%q} 1\n", p.restore.Outcome)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,126 @@
+package capture_test
+
+// External test package: these tests pin the Source error contract the
+// resilience layer is built on, so they import resilience to assert how
+// each failure classifies (capture cannot import resilience internally —
+// the dependency runs the other way).
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/capture"
+	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/pcap"
+	"bitmapfilter/internal/resilience"
+)
+
+func trace(t testing.TB, count int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		p := packet.Packet{
+			Time: time.Duration(i+1) * time.Millisecond,
+			Tuple: packet.Tuple{
+				Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(198, 51, 100, 1),
+				SrcPort: uint16(1024 + i), DstPort: 80, Proto: packet.TCP,
+			},
+			Dir: packet.Outgoing, Flags: packet.SYN, Length: 60,
+		}
+		frame, err := packet.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteRecord(pcap.Record{Time: p.Time, Data: frame}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestLoopbackCloseDuringRead: Close from another goroutine must wake a
+// blocked reader with io.EOF — the clean-shutdown signal the supervisor
+// and the pump both treat as "stop, nothing is wrong".
+func TestLoopbackCloseDuringRead(t *testing.T) {
+	lb := capture.NewLoopback()
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ring := capture.NewRing(4, 256)
+		n, err := lb.ReadBatch(ring)
+		done <- result{n, err}
+	}()
+	// Let the reader park on the empty queue, then close under it.
+	time.Sleep(10 * time.Millisecond)
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.n != 0 || !errors.Is(res.err, io.EOF) {
+			t.Errorf("ReadBatch after close = (%d, %v), want (0, io.EOF)", res.n, res.err)
+		}
+		if got := resilience.Classify(res.err); got != resilience.ClassEOF {
+			t.Errorf("close-during-read classifies %v, want ClassEOF", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader still blocked after Close")
+	}
+}
+
+// TestReplayCorruptRecordMidStream: a trace truncated inside a record
+// must deliver every intact frame and then fail with
+// io.ErrUnexpectedEOF — a transient error (retry, reopen), never a
+// clean EOF (which would silently drop the tail) and never fatal.
+func TestReplayCorruptRecordMidStream(t *testing.T) {
+	full := trace(t, 5)
+	cut := append([]byte(nil), full[:len(full)-10]...) // tear the last record
+	r, err := capture.NewReplay(bytes.NewReader(cut), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ring := capture.NewRing(16, 2048)
+	got := 0
+	var readErr error
+	for {
+		n, err := r.ReadBatch(ring)
+		got += n
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	if got != 4 {
+		t.Errorf("intact frames delivered = %d, want 4", got)
+	}
+	if !errors.Is(readErr, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-record truncation error = %v, want io.ErrUnexpectedEOF", readErr)
+	}
+	if got := resilience.Classify(readErr); got != resilience.ClassTransient {
+		t.Errorf("truncation classifies %v, want ClassTransient", got)
+	}
+}
+
+// TestReplayBadMagicIsFatal: garbage that is not a pcap at all must fail
+// at open with pcap.ErrBadMagic — a fatal, do-not-retry error.
+func TestReplayBadMagicIsFatal(t *testing.T) {
+	garbage := []byte("this is definitely not a pcap capture file")
+	_, err := capture.NewReplay(bytes.NewReader(garbage), 1)
+	if !errors.Is(err, pcap.ErrBadMagic) {
+		t.Fatalf("open error = %v, want pcap.ErrBadMagic", err)
+	}
+	if got := resilience.Classify(err); got != resilience.ClassFatal {
+		t.Errorf("bad magic classifies %v, want ClassFatal", got)
+	}
+}

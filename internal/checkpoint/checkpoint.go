@@ -244,6 +244,11 @@ type Config struct {
 	Backoff time.Duration
 	// Seed randomizes the jitter; 0 derives one from the wall clock.
 	Seed uint64
+	// Heartbeat, when set, is called once per completed checkpoint round
+	// (successful or not) — the liveness signal a resilience.Watchdog
+	// probe uses to tell "checkpoints keep happening" from "the
+	// checkpointer is wedged".
+	Heartbeat func()
 	// Logf, when set, receives one line per checkpoint outcome.
 	Logf func(format string, args ...any)
 }
@@ -401,6 +406,9 @@ func (c *Checkpointer) CheckpointNow() error {
 func (c *Checkpointer) checkpoint(stop <-chan struct{}) error {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
+	if c.cfg.Heartbeat != nil {
+		defer c.cfg.Heartbeat()
+	}
 	backoff := c.cfg.Backoff
 	var err error
 	for attempt := 0; ; attempt++ {

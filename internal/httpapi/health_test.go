@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/core"
+	"bitmapfilter/internal/live"
+	"bitmapfilter/internal/resilience"
+)
+
+// TestHealthEndpoints exercises the WithHealth wiring: /readyz tracks the
+// lifecycle, /healthz flips 503 on a watchdog stall, and /metrics grows
+// the bitmapfilter_resilience_* series.
+func TestHealthEndpoints(t *testing.T) {
+	var clock atomic.Int64
+	wd := resilience.NewWatchdog(func() time.Duration { return time.Duration(clock.Load()) })
+	probe := wd.Heartbeat("pump", 100*time.Millisecond)
+	probe.Beat()
+	health := resilience.NewHealth(wd)
+
+	inner := core.MustNew(
+		core.WithOrder(12), core.WithVectors(4), core.WithHashes(3),
+		core.WithRotateEvery(5*time.Second))
+	lf, err := live.New(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := New(lf, WithHealth(health))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Starting: live, not ready.
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz while starting = %d", code)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "starting") {
+		t.Errorf("/readyz while starting = %d %q", code, body)
+	}
+
+	health.SetReady()
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz when ready = %d", code)
+	}
+
+	code, metrics := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"bitmapfilter_resilience_live 1",
+		"bitmapfilter_resilience_ready 1",
+		`bitmapfilter_resilience_state{state="ready"} 1`,
+		`bitmapfilter_resilience_state{state="starting"} 0`,
+		`bitmapfilter_resilience_probe_beats_total{probe="pump"} 1`,
+		`bitmapfilter_resilience_probe_stalled{probe="pump"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Stall the probe: liveness (and with it readiness) flips 503.
+	clock.Store(int64(time.Second))
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "pump stalled") {
+		t.Errorf("/healthz while stalled = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != 503 {
+		t.Errorf("/readyz while stalled = %d", code)
+	}
+	if _, m := get("/metrics"); !strings.Contains(m, "bitmapfilter_resilience_live 0") {
+		t.Error("/metrics live gauge did not drop")
+	}
+
+	// Recover, then drain: live but not ready.
+	probe.Beat()
+	health.SetDraining()
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz while draining = %d", code)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz while draining = %d %q", code, body)
+	}
+}
+
+// TestHealthzWithoutHealth pins the legacy surface: no WithHealth means
+// /healthz stays unconditionally 200 and /readyz answers ok.
+func TestHealthzWithoutHealth(t *testing.T) {
+	api, _ := newAPI(t)
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s without health = %d", path, resp.StatusCode)
+		}
+	}
+}

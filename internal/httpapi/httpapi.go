@@ -2,7 +2,8 @@
 // bitmap filter over HTTP, the surface an operator integration would
 // scrape and script against:
 //
-//	GET  /healthz     liveness probe
+//	GET  /healthz     liveness probe (503 when a supervised loop stalls)
+//	GET  /readyz      readiness probe (503 while starting or draining)
 //	GET  /stats       full filter introspection as JSON
 //	GET  /metrics     Prometheus text exposition of the key gauges/counters
 //	POST /punch       §5.1 hole punching: ?local=10.0.0.5&port=20000
@@ -25,6 +26,7 @@ import (
 	"bitmapfilter/internal/checkpoint"
 	"bitmapfilter/internal/core"
 	"bitmapfilter/internal/packet"
+	"bitmapfilter/internal/resilience"
 	"bitmapfilter/internal/tenant"
 )
 
@@ -89,6 +91,19 @@ func WithCheckpointer(ctl CheckpointControl, restore checkpoint.RestoreResult) O
 	return checkpointOption{ctl: ctl, restore: restore}
 }
 
+type healthOption struct{ h *resilience.Health }
+
+func (o healthOption) apply(a *API) { a.health = o.h }
+
+// WithHealth wires the resilience layer's health view into the probes
+// and metrics: /healthz answers 503 when a supervised loop stalls,
+// /readyz answers 503 until the daemon is ready (and again once it
+// drains), and /metrics gains the bitmapfilter_resilience_* series —
+// lifecycle state plus per-probe beats, ages and stall flags.
+func WithHealth(h *resilience.Health) Option {
+	return healthOption{h: h}
+}
+
 // API serves the endpoints for one live filter.
 type API struct {
 	filter      Filter
@@ -96,6 +111,7 @@ type API struct {
 	start       time.Time
 	checkpoints CheckpointControl
 	restore     checkpoint.RestoreResult
+	health      *resilience.Health
 }
 
 var _ http.Handler = (*API)(nil)
@@ -114,6 +130,7 @@ func New(f Filter, opts ...Option) (*API, error) {
 		o.apply(a)
 	}
 	a.mux.HandleFunc("GET /healthz", a.handleHealthz)
+	a.mux.HandleFunc("GET /readyz", a.handleReadyz)
 	a.mux.HandleFunc("GET /stats", a.handleStats)
 	a.mux.HandleFunc("GET /metrics", a.handleMetrics)
 	a.mux.HandleFunc("POST /punch", a.handlePunch)
@@ -130,6 +147,29 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.health != nil {
+		if ok, detail := a.health.Live(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "stalled:", detail)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers the readiness probe. Without a health view the
+// daemon is ready whenever it serves (the historical behavior); with one
+// it is ready only in StateReady with no stalled probes, so a load
+// balancer stops routing the moment draining starts.
+func (a *API) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.health != nil {
+		if ok, detail := a.health.Ready(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready:", detail)
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -435,6 +475,46 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			func(ts tenant.Stat) uint64 { return ts.Stats.APDSpared })
 		counter("bitmapfilter_unrouted_packets_total", unrouted,
 			"Packets passed through unfiltered because no tenant prefix matched")
+	}
+	if a.health != nil {
+		live, _ := a.health.Live()
+		ready, _ := a.health.Ready()
+		bool01 := func(v bool) float64 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		gauge("bitmapfilter_resilience_live", bool01(live),
+			"Whether every supervised loop is making progress")
+		gauge("bitmapfilter_resilience_ready", bool01(ready),
+			"Whether the daemon should receive new traffic")
+		fmt.Fprintf(&b, "# HELP bitmapfilter_resilience_state Daemon lifecycle state (one-hot)\n"+
+			"# TYPE bitmapfilter_resilience_state gauge\n")
+		for _, st := range []resilience.State{
+			resilience.StateStarting, resilience.StateReady, resilience.StateDraining,
+		} {
+			fmt.Fprintf(&b, "bitmapfilter_resilience_state{state=%q} %g\n",
+				st, bool01(a.health.State() == st))
+		}
+		if wd := a.health.Watchdog(); wd != nil {
+			probes := wd.Status()
+			fmt.Fprintf(&b, "# HELP bitmapfilter_resilience_probe_beats_total Loop iterations recorded by each watchdog probe\n"+
+				"# TYPE bitmapfilter_resilience_probe_beats_total counter\n")
+			for _, p := range probes {
+				fmt.Fprintf(&b, "bitmapfilter_resilience_probe_beats_total{probe=%q} %d\n", p.Name, p.Beats)
+			}
+			fmt.Fprintf(&b, "# HELP bitmapfilter_resilience_probe_age_seconds Seconds since each probe last made progress\n"+
+				"# TYPE bitmapfilter_resilience_probe_age_seconds gauge\n")
+			for _, p := range probes {
+				fmt.Fprintf(&b, "bitmapfilter_resilience_probe_age_seconds{probe=%q} %g\n", p.Name, p.Age.Seconds())
+			}
+			fmt.Fprintf(&b, "# HELP bitmapfilter_resilience_probe_stalled Whether each probe exceeded its stall threshold\n"+
+				"# TYPE bitmapfilter_resilience_probe_stalled gauge\n")
+			for _, p := range probes {
+				fmt.Fprintf(&b, "bitmapfilter_resilience_probe_stalled{probe=%q} %g\n", p.Name, bool01(p.Stalled))
+			}
+		}
 	}
 	cpEnabled := 0.0
 	if a.checkpoints != nil {

@@ -45,6 +45,10 @@ var wallclockAllowedLeaves = map[string]bool{
 	// plane: stamping a received frame with an offset from the capture
 	// epoch is inherently a wall-clock read.
 	"capture": true,
+	// resilience supervises the wall-clock-facing capture plane: backoff
+	// sleeps are real time, and the watchdog's default clock is the
+	// process's monotonic elapsed time (tests inject a fake).
+	"resilience": true,
 }
 
 // wallclockBanned are the time-package functions whose results depend on

@@ -1,0 +1,322 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"bitmapfilter/internal/capture"
+)
+
+// OverloadPolicy says what a shed frame *means*. The buffer itself can
+// only discard frames it has no room to judge; the policy decides which
+// failure semantics the deployment wants, and for a positive-listing
+// reply filter the two are opposites:
+//
+//   - PolicyAdmit (fail-open): unjudged traffic is treated as admitted.
+//     The link stays useful under overload, but every shed incoming
+//     packet is a packet the filter never screened — an attacker who
+//     can force overload buys penetration. This is the availability
+//     posture.
+//   - PolicyDrop (fail-closed): unjudged traffic is treated as dropped.
+//     Overload costs legitimate replies (exactly the clients the paper
+//     protects), but the filter never waves attack traffic through
+//     unscreened. This is the security posture, and the default.
+type OverloadPolicy uint8
+
+const (
+	// PolicyDrop is fail-closed: shed frames count as dropped.
+	PolicyDrop OverloadPolicy = iota
+	// PolicyAdmit is fail-open: shed frames count as admitted.
+	PolicyAdmit
+)
+
+// String returns "drop" or "admit" (the -on-overload flag values).
+func (p OverloadPolicy) String() string {
+	switch p {
+	case PolicyDrop:
+		return "drop"
+	case PolicyAdmit:
+		return "admit"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses an -on-overload flag value.
+func ParsePolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "drop":
+		return PolicyDrop, nil
+	case "admit":
+		return PolicyAdmit, nil
+	default:
+		return 0, fmt.Errorf("resilience: unknown overload policy %q (want admit or drop)", s)
+	}
+}
+
+// Buffer defaults.
+const (
+	DefaultCapacity      = 4096
+	DefaultReadBatch     = 256
+	DefaultHighWatermark = 0.9
+	DefaultLowWatermark  = 0.7
+)
+
+// BufferConfig parameterizes a Buffer.
+type BufferConfig struct {
+	// Capacity is the bounded queue depth in frames
+	// (DefaultCapacity if 0).
+	Capacity int
+	// SnapLen is the per-slot byte capacity
+	// (capture.DefaultSnapLen if 0).
+	SnapLen int
+	// ReadBatch is the intake goroutine's batch size
+	// (DefaultReadBatch if 0).
+	ReadBatch int
+	// HighWatermark starts shedding when depth/capacity reaches it;
+	// LowWatermark stops shedding once depth/capacity falls back to it.
+	// The hysteresis gap keeps the filter from flapping in and out of
+	// shedding on every frame. Defaults 0.9 / 0.7.
+	HighWatermark float64
+	LowWatermark  float64
+	// Policy is the fail-open/fail-closed accounting for shed frames.
+	Policy OverloadPolicy
+	// Heartbeat, when set, is called once per intake iteration — the
+	// signal a Watchdog probe uses to tell "parked on a quiet source"
+	// from "wedged".
+	Heartbeat func()
+	// Logf, when set, receives one line per shedding transition.
+	Logf func(format string, args ...any)
+}
+
+// BufferStats is a point-in-time view for metrics export.
+type BufferStats struct {
+	// Accepted counts frames queued; Shed counts frames discarded under
+	// overload. Accepted+Shed is every frame the source delivered.
+	Accepted, Shed uint64
+	// ShedEvents counts transitions into shedding mode.
+	ShedEvents uint64
+	// Depth is the current queue depth, MaxDepth the high-water mark,
+	// Capacity the bound.
+	Depth, MaxDepth, Capacity int
+	// Shedding reports whether the buffer is currently shedding.
+	Shedding bool
+	// Policy echoes the configured overload policy.
+	Policy OverloadPolicy
+}
+
+// Buffer decouples capture from filtering with a bounded frame queue:
+// an intake goroutine drains the underlying source as fast as it
+// produces, and the filter pulls from the queue at its own pace. When
+// the filter falls behind and the queue passes the high watermark, new
+// frames are shed (counted, never silently lost) until the queue drains
+// past the low watermark — so a scan burst degrades the daemon
+// predictably instead of growing memory without bound or back-pressuring
+// the NIC into drops the daemon cannot see.
+//
+// Buffer implements capture.Source; Close closes the underlying source,
+// the intake drains out, and readers consume the remaining queue before
+// seeing io.EOF — which is exactly the graceful-drain order.
+type Buffer struct {
+	src capture.Source
+	cfg BufferConfig
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Fixed circular queue; slot Data capacities are allocated once and
+	// reused forever, so steady state pushes and pops are allocation
+	// free.
+	slots []capture.Frame //bf:guardedby mu
+	head  int             //bf:guardedby mu
+	count int             //bf:guardedby mu
+
+	shedding bool //bf:guardedby mu
+	// done flags that the intake finished; err is its terminal error.
+	done bool  //bf:guardedby mu
+	err  error //bf:guardedby mu
+
+	accepted   uint64 //bf:guardedby mu
+	shed       uint64 //bf:guardedby mu
+	shedEvents uint64 //bf:guardedby mu
+	maxDepth   int    //bf:guardedby mu
+
+	closeOnce sync.Once
+}
+
+var _ capture.Source = (*Buffer)(nil)
+
+// NewBuffer wraps src and starts the intake goroutine. The goroutine
+// exits when the source does (EOF, fatal error, or Close).
+func NewBuffer(src capture.Source, cfg BufferConfig) *Buffer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.SnapLen <= 0 {
+		cfg.SnapLen = capture.DefaultSnapLen
+	}
+	if cfg.ReadBatch <= 0 {
+		cfg.ReadBatch = DefaultReadBatch
+	}
+	if cfg.HighWatermark <= 0 || cfg.HighWatermark > 1 {
+		cfg.HighWatermark = DefaultHighWatermark
+	}
+	if cfg.LowWatermark <= 0 || cfg.LowWatermark > cfg.HighWatermark {
+		cfg.LowWatermark = min(DefaultLowWatermark, cfg.HighWatermark)
+	}
+	b := &Buffer{
+		src:   src,
+		cfg:   cfg,
+		slots: capture.NewRing(cfg.Capacity, cfg.SnapLen),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	go b.intake()
+	return b
+}
+
+// highDepth and lowDepth convert the watermark fractions to frame
+// counts. High is clamped to ≥1 so a tiny queue still accepts frames.
+func (b *Buffer) highDepth() int { return max(1, int(float64(b.cfg.Capacity)*b.cfg.HighWatermark)) }
+func (b *Buffer) lowDepth() int  { return int(float64(b.cfg.Capacity) * b.cfg.LowWatermark) }
+
+// intake drains the source into the queue until it ends.
+func (b *Buffer) intake() {
+	ring := capture.NewRing(b.cfg.ReadBatch, b.cfg.SnapLen)
+	for {
+		n, err := b.src.ReadBatch(ring)
+		if b.cfg.Heartbeat != nil {
+			b.cfg.Heartbeat()
+		}
+		if n > 0 {
+			b.push(ring[:n])
+		}
+		if err != nil {
+			b.finish(err)
+			return
+		}
+	}
+}
+
+// push enqueues a batch, shedding per the watermarks.
+func (b *Buffer) push(frames []capture.Frame) {
+	b.mu.Lock()
+	for i := range frames {
+		if b.shedding && b.count <= b.lowDepth() {
+			b.shedding = false
+			if logShedEvent(b.shedEvents) {
+				b.logf("overload cleared (depth %d/%d); %d frames shed over %d events", b.count, b.cfg.Capacity, b.shed, b.shedEvents)
+			}
+		}
+		if !b.shedding && b.count >= b.highDepth() {
+			b.shedding = true
+			b.shedEvents++
+			if logShedEvent(b.shedEvents) {
+				b.logf("overload: queue at %d/%d, shedding (%s, event %d)", b.count, b.cfg.Capacity, b.cfg.Policy, b.shedEvents)
+			}
+		}
+		if b.shedding {
+			b.shed++
+			continue
+		}
+		slot := &b.slots[(b.head+b.count)%len(b.slots)]
+		slot.Time = frames[i].Time
+		slot.OrigLen = frames[i].OrigLen
+		slot.Data = append(slot.Data[:0], frames[i].Data...)
+		b.count++
+		if b.count > b.maxDepth {
+			b.maxDepth = b.count
+		}
+		b.accepted++
+	}
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// finish records the intake's terminal error and wakes all readers.
+func (b *Buffer) finish(err error) {
+	b.mu.Lock()
+	b.done = true
+	b.err = err
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// ReadBatch implements capture.Source: it blocks until at least one
+// frame is queued or the intake has finished, drains up to len(frames)
+// entries into the caller's buffers, and — once the queue is empty —
+// returns the intake's terminal error (io.EOF after a clean close).
+func (b *Buffer) ReadBatch(frames []capture.Frame) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	b.mu.Lock()
+	for b.count == 0 && !b.done {
+		b.cond.Wait()
+	}
+	if b.count == 0 {
+		err := b.err
+		b.mu.Unlock()
+		if err == nil {
+			err = io.EOF
+		}
+		return 0, err
+	}
+	n := 0
+	for n < len(frames) && b.count > 0 {
+		slot := &b.slots[b.head]
+		frames[n].Time = slot.Time
+		frames[n].OrigLen = slot.OrigLen
+		frames[n].Data = append(frames[n].Data[:0], slot.Data...)
+		b.head = (b.head + 1) % len(b.slots)
+		b.count--
+		n++
+	}
+	if b.shedding && b.count <= b.lowDepth() {
+		b.shedding = false
+		if logShedEvent(b.shedEvents) {
+			b.logf("overload cleared (depth %d/%d); %d frames shed over %d events", b.count, b.cfg.Capacity, b.shed, b.shedEvents)
+		}
+	}
+	b.mu.Unlock()
+	return n, nil
+}
+
+// logShedEvent rate-limits overload logging under sustained pressure: a
+// queue flapping across its watermarks thousands of times per second
+// must not flood the log, so only power-of-two event counts (1st, 2nd,
+// 4th, 8th, …) are reported. The counters on /metrics stay exact.
+func logShedEvent(events uint64) bool {
+	return events&(events-1) == 0
+}
+
+// Close implements capture.Source: it closes the underlying source,
+// which winds the intake down; readers drain the remaining queue and
+// then see the terminal error. Idempotent, callable from any goroutine.
+func (b *Buffer) Close() error {
+	var err error
+	b.closeOnce.Do(func() { err = b.src.Close() })
+	return err
+}
+
+func (b *Buffer) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf(format, args...)
+	}
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (b *Buffer) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BufferStats{
+		Accepted:   b.accepted,
+		Shed:       b.shed,
+		ShedEvents: b.shedEvents,
+		Depth:      b.count,
+		MaxDepth:   b.maxDepth,
+		Capacity:   b.cfg.Capacity,
+		Shedding:   b.shedding,
+		Policy:     b.cfg.Policy,
+	}
+}

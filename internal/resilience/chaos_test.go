@@ -1,0 +1,279 @@
+package resilience
+
+// The chaos harness: injected source failures, stalls, partial reads,
+// clock jumps and slow filters driven through the full supervised stack
+// (Supervisor feeding Buffer feeding a consumer), asserting the daemon
+// contract — survive transient chaos with bounded backoff, shed
+// deterministically under overload, flag stalls, and leak nothing.
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"bitmapfilter/internal/capture"
+)
+
+// noLeakedGoroutines records the goroutine count and verifies at cleanup
+// that the test returned to it (with a grace period for exits in
+// flight).
+func noLeakedGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// TestChaosSurvivesThousandTransientFailures is the headline injection:
+// a source that fails on every other read, 1000 failures across the
+// run, supervised and buffered. Every frame must arrive, every failure
+// must be counted, every backoff must stay within the configured cap,
+// and no goroutine may outlive the stack.
+func TestChaosSurvivesThousandTransientFailures(t *testing.T) {
+	noLeakedGoroutines(t)
+
+	const (
+		wantFrames   = 2000
+		wantFailures = 1000
+	)
+	src := &flakySource{total: wantFrames, perRead: 2, errEvery: 2, err: errTransient}
+	sl := newInstantSleep()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Open:        func() (capture.Source, error) { return src, nil },
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Sleep:       sl.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(sup, BufferConfig{Capacity: 4096, SnapLen: 64})
+
+	got := drain(t, buf)
+	if got != wantFrames {
+		t.Errorf("delivered %d frames through the chaos, want %d", got, wantFrames)
+	}
+
+	st := sup.Stats()
+	if st.TransientErrors != wantFailures {
+		t.Errorf("transient errors = %d, want %d", st.TransientErrors, wantFailures)
+	}
+	if st.Frames != wantFrames {
+		t.Errorf("supervisor frames = %d, want %d", st.Frames, wantFrames)
+	}
+	if st.Reopens != 0 {
+		t.Errorf("reopens = %d, want 0 (failures never consecutive)", st.Reopens)
+	}
+	if st.Backoffs != wantFailures {
+		t.Errorf("backoffs = %d, want %d", st.Backoffs, wantFailures)
+	}
+
+	// Bounded backoff: every sleep within the cap, and — because a
+	// success always intervened — every sleep from the bottom of the
+	// ladder (base ± jitter).
+	if len(sl.slept) != wantFailures {
+		t.Fatalf("recorded %d backoff sleeps, want %d", len(sl.slept), wantFailures)
+	}
+	maxAllowed := time.Duration(float64(time.Millisecond) * (1 + DefaultJitter))
+	for i, d := range sl.slept {
+		if d <= 0 || d > maxAllowed {
+			t.Fatalf("backoff %d = %v, want (0, %v]", i, d, maxAllowed)
+		}
+	}
+	if st.BackoffTotal > time.Duration(wantFailures)*maxAllowed {
+		t.Errorf("backoff total %v exceeds the bound", st.BackoffTotal)
+	}
+
+	bst := buf.Stats()
+	if bst.Accepted+bst.Shed != wantFrames {
+		t.Errorf("buffer accounted %d frames, want %d", bst.Accepted+bst.Shed, wantFrames)
+	}
+
+	if err := buf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sup.Close()
+}
+
+// TestChaosReopenStorm: sources that die for good every few frames, a
+// factory that keeps replacing them. The stream must continue across
+// hundreds of reopens with the budget reset by each successful read.
+func TestChaosReopenStorm(t *testing.T) {
+	noLeakedGoroutines(t)
+
+	const (
+		perSource = 4
+		sources   = 250
+	)
+	opens := 0
+	sl := newInstantSleep()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Open: func() (capture.Source, error) {
+			opens++
+			if opens > sources {
+				return &flakySource{total: 0}, nil // clean EOF ends the run
+			}
+			return &dyingSource{healthy: perSource, err: errTransient}, nil
+		},
+		ReopenAfter: 1, // reopen on the first failure of each source
+		Sleep:       sl.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, sup)
+	if want := perSource * sources; got != want {
+		t.Errorf("delivered %d frames across the reopen storm, want %d", got, want)
+	}
+	st := sup.Stats()
+	if st.Reopens != sources {
+		t.Errorf("reopens = %d, want %d", st.Reopens, sources)
+	}
+	if st.TransientErrors != sources {
+		t.Errorf("transient errors = %d, want %d", st.TransientErrors, sources)
+	}
+}
+
+// TestChaosSlowFilterOverload drives a fast supervised source against a
+// consumer that does not keep up, end to end: the buffer must shed
+// exactly the overflow, count it, and deliver the rest intact.
+func TestChaosSlowFilterOverload(t *testing.T) {
+	noLeakedGoroutines(t)
+
+	const total = 5000
+	src := &flakySource{total: total, perRead: 32, errEvery: 7, err: errTransient}
+	sl := newInstantSleep()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Open:  func() (capture.Source, error) { return src, nil },
+		Sleep: sl.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(sup, BufferConfig{Capacity: 200, SnapLen: 64})
+
+	// The slow filter: refuses to read until the whole burst has been
+	// pushed or shed, then drains.
+	for {
+		st := buf.Stats()
+		if st.Accepted+st.Shed == total {
+			break
+		}
+		runtime.Gosched()
+	}
+	st := buf.Stats()
+	if st.Accepted != 180 { // high watermark of 200
+		t.Errorf("accepted %d frames, want 180", st.Accepted)
+	}
+	if st.Shed != total-180 {
+		t.Errorf("shed %d frames, want %d", st.Shed, total-180)
+	}
+	if got := drain(t, buf); got != int(st.Accepted) {
+		t.Errorf("drained %d frames, want %d", got, st.Accepted)
+	}
+	buf.Close()
+}
+
+// TestChaosStallingSourceFlagsWatchdog wires the watchdog into the
+// supervised stack and injects a wedge: the probe must flag, health must
+// go not-live, and releasing the wedge must restore both.
+func TestChaosStallingSourceFlagsWatchdog(t *testing.T) {
+	noLeakedGoroutines(t)
+
+	src := newStallingSource()
+	clk := &fakeClock{}
+	wd := NewWatchdog(clk.fn())
+	probe := wd.Heartbeat("intake", 100*time.Millisecond)
+	h := NewHealth(wd)
+
+	sup, err := NewSupervisor(SupervisorConfig{
+		Open: func() (capture.Source, error) { return src, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(sup, BufferConfig{Capacity: 16, SnapLen: 64, Heartbeat: probe.Beat})
+	h.SetReady()
+
+	// The intake is parked inside the stalled source; no beats arrive.
+	clk.advance(time.Second)
+	if ok, detail := h.Live(); ok {
+		t.Error("live while the intake is wedged")
+	} else if detail == "" {
+		t.Error("stall detail empty")
+	}
+	if ok, _ := h.Ready(); ok {
+		t.Error("ready while the intake is wedged")
+	}
+
+	// Release the wedge: a frame flows, the intake beats, health
+	// recovers.
+	close(src.release)
+	ring := capture.NewRing(1, 64)
+	if n, err := buf.ReadBatch(ring); n != 1 || err != nil {
+		t.Fatalf("post-release read = %d, %v", n, err)
+	}
+	if ok, detail := h.Live(); !ok {
+		t.Errorf("not live after the wedge cleared: %s", detail)
+	}
+
+	buf.Close()
+	drain(t, buf) // consume the EOF so the intake goroutine exits
+	sup.Close()
+}
+
+// TestChaosPartialReads: a source that trickles one frame per call with
+// interleaved failures must still deliver everything, in order.
+func TestChaosPartialReads(t *testing.T) {
+	noLeakedGoroutines(t)
+
+	const total = 300
+	src := &flakySource{total: total, perRead: 1, errEvery: 3, err: errTransient}
+	sl := newInstantSleep()
+	sup, err := NewSupervisor(SupervisorConfig{
+		Open:  func() (capture.Source, error) { return src, nil },
+		Sleep: sl.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffer(sup, BufferConfig{Capacity: 512, SnapLen: 64})
+
+	ring := capture.NewRing(8, 64)
+	seq := 0
+	for {
+		n, err := buf.ReadBatch(ring)
+		for i := 0; i < n; i++ {
+			want := byte(seq)
+			if ring[i].Data[0] != want {
+				t.Fatalf("frame %d out of order: data[0] = %d", seq, ring[i].Data[0])
+			}
+			seq++
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq != total {
+		t.Errorf("delivered %d frames, want %d", seq, total)
+	}
+	buf.Close()
+}

@@ -1,0 +1,118 @@
+// Package resilience is the supervision and graceful-degradation layer
+// between a capture source and the filter data plane. The edge filter
+// only protects clients while the box running it stays up and keeps
+// judging packets — and a 500K pps scan is precisely when capture
+// sources hiccup, queues back up, and operators need liveness signals.
+// This package makes the packet plane survive the attack it observes:
+//
+//   - Supervisor wraps any capture.Source with error classification
+//     (transient vs. fatal), bounded retry with jittered exponential
+//     backoff, and reopen-on-failure through a factory, so a flapping
+//     AF_PACKET socket or a truncated pcap no longer kills the daemon.
+//   - Buffer is a bounded frame-ring stage with watermark-based
+//     shedding and an explicit fail-open vs. fail-closed overload
+//     policy. For a positive-listing reply filter the two failure
+//     semantics have opposite security meaning (see OverloadPolicy);
+//     everything shed is counted.
+//   - Watchdog collects heartbeats from the capture loop, the batch
+//     loop and the checkpointer, flags stalls (a wedged loop, a
+//     rotation that stopped advancing), and Health turns them into
+//     /healthz (liveness) and /readyz (readiness) answers.
+//
+// Both Supervisor and Buffer implement capture.Source, so they compose:
+//
+//	sup, _ := resilience.NewSupervisor(resilience.SupervisorConfig{Open: open})
+//	buf := resilience.NewBuffer(sup, resilience.BufferConfig{Policy: resilience.PolicyDrop})
+//	// feed buf to the same pump loop that read the raw source before
+//
+// Everything is deterministic given injected hooks: the backoff jitter
+// is seeded, sleeps and clocks are injectable, so the chaos tests drive
+// thousands of failures without wall-clock time.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"syscall"
+
+	"bitmapfilter/internal/capture"
+	"bitmapfilter/internal/pcap"
+)
+
+// Class is the supervisor's triage of a source error: does the stream
+// end cleanly, is the source worth retrying, or is the configuration
+// itself broken?
+type Class uint8
+
+const (
+	// ClassEOF is a clean end of stream: a finite trace fully replayed,
+	// or the source deliberately closed. The supervisor propagates
+	// io.EOF and the daemon drains out.
+	ClassEOF Class = iota
+	// ClassTransient is a recoverable hiccup: an interrupted syscall, a
+	// record truncated mid-stream, a socket that flapped. The supervisor
+	// retries the source after a backoff and eventually reopens it via
+	// the factory. Unknown errors default here — liveness first — but
+	// the consecutive-failure budget bounds how long a persistent
+	// "transient" error can spin before the supervisor gives up.
+	ClassTransient
+	// ClassFatal is a structural or configuration error retrying cannot
+	// fix: a file that is not a pcap, a missing path, a permission
+	// problem. The supervisor closes the source and returns the error.
+	ClassFatal
+)
+
+// String names the class for logs.
+func (c Class) String() string {
+	switch c {
+	case ClassEOF:
+		return "eof"
+	case ClassTransient:
+		return "transient"
+	case ClassFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Classifier triages one non-nil source error.
+type Classifier func(error) Class
+
+// Classify is the default Classifier. The decisions the chaos and
+// capture tests pin:
+//
+//   - io.EOF and capture.ErrClosed end the stream cleanly (ClassEOF).
+//   - io.ErrUnexpectedEOF — a pcap record truncated mid-stream — is
+//     transient: reopening replays the trace's good prefix, which keeps
+//     a daemon looping a damaged trace alive instead of killing it.
+//   - pcap.ErrSnapLen (a record claiming more bytes than the snapshot
+//     length — corrupt framing mid-stream) is likewise transient.
+//   - pcap.ErrBadMagic and pcap.ErrBadVersion mean the input is not a
+//     readable pcap at all: fatal.
+//   - fs.ErrNotExist and fs.ErrPermission are configuration problems a
+//     reopen loop would only amplify: fatal.
+//   - Interrupted or would-block syscalls (EINTR, EAGAIN) are
+//     transient, matching the AF_PACKET backend's own retry behavior.
+//   - Anything unrecognized is transient, bounded by the supervisor's
+//     consecutive-failure budget.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassEOF
+	case errors.Is(err, io.EOF), errors.Is(err, capture.ErrClosed):
+		return ClassEOF
+	case errors.Is(err, pcap.ErrBadMagic), errors.Is(err, pcap.ErrBadVersion):
+		return ClassFatal
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, fs.ErrPermission):
+		return ClassFatal
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, pcap.ErrSnapLen):
+		return ClassTransient
+	case errors.Is(err, syscall.EINTR), errors.Is(err, syscall.EAGAIN):
+		return ClassTransient
+	default:
+		return ClassTransient
+	}
+}

@@ -1,0 +1,193 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultStallAfter is the stall threshold NewWatchdog applies when a
+// probe is registered with zero.
+const DefaultStallAfter = 30 * time.Second
+
+// Watchdog collects liveness probes from the daemon's loops — capture
+// intake, batch processing, the checkpointer — and flags the ones that
+// stopped making progress. It deliberately does not kill anything
+// itself: it is the evidence source for Health (and thence /healthz),
+// for metrics, and for operator logs.
+//
+// The clock is injectable and monotonic by construction: the default
+// measures elapsed time since the watchdog was built (Go's monotonic
+// reading), so wall-clock jumps — NTP steps, VM pauses resumed with a
+// new wall time — cannot spuriously stall or un-stall probes, and a
+// probe observed with a clock that went backwards is rebased instead of
+// reported with a negative or absurd age.
+type Watchdog struct {
+	now func() time.Duration
+
+	mu     sync.Mutex
+	probes []*Probe //bf:guardedby mu
+}
+
+// NewWatchdog builds a watchdog on the given clock; nil uses the
+// monotonic elapsed-time default.
+func NewWatchdog(now func() time.Duration) *Watchdog {
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	return &Watchdog{now: now}
+}
+
+// Probe is one supervised loop. Loops call Beat when they complete an
+// iteration and SetIdle(true) before parking on a blocking read: a loop
+// wedged in our code fails to beat, while a loop legitimately parked in
+// the kernel waiting for a quiet wire is explicitly exempt — an idle
+// link is not a stall.
+type Probe struct {
+	name       string
+	stallAfter time.Duration
+	wd         *Watchdog
+
+	last  atomic.Int64 // last beat on the watchdog clock, ns
+	beats atomic.Uint64
+	idle  atomic.Bool
+
+	// progress, when set, makes this a progress probe: Check treats an
+	// advance of the observed value as a beat, so loops that cannot
+	// call Beat themselves (a rotation counter inside the filter) are
+	// still supervised.
+	progress func() uint64
+	lastVal  atomic.Uint64
+}
+
+// register wires a probe into the watchdog.
+func (w *Watchdog) register(p *Probe) *Probe {
+	if p.stallAfter <= 0 {
+		p.stallAfter = DefaultStallAfter
+	}
+	p.wd = w
+	p.last.Store(int64(w.now()))
+	w.mu.Lock()
+	w.probes = append(w.probes, p)
+	w.mu.Unlock()
+	return p
+}
+
+// Heartbeat registers a beat-driven probe: the loop must call Beat at
+// least every stallAfter (or declare itself idle) or it is flagged.
+func (w *Watchdog) Heartbeat(name string, stallAfter time.Duration) *Probe {
+	return w.register(&Probe{name: name, stallAfter: stallAfter})
+}
+
+// Progress registers a value-driven probe: value() must advance at
+// least every stallAfter. Used for counters owned by other subsystems,
+// e.g. "rotations keep happening".
+func (w *Watchdog) Progress(name string, stallAfter time.Duration, value func() uint64) *Probe {
+	p := &Probe{name: name, stallAfter: stallAfter, progress: value}
+	if value != nil {
+		p.lastVal.Store(value())
+	}
+	return w.register(p)
+}
+
+// Beat records one loop iteration.
+func (p *Probe) Beat() {
+	p.beats.Add(1)
+	p.last.Store(int64(p.wd.now()))
+}
+
+// SetIdle marks the probe as parked on a blocking call (true) or
+// actively working (false). Leaving idle also counts as a beat, so the
+// stall window restarts from the moment work resumed.
+func (p *Probe) SetIdle(idle bool) {
+	if !idle && p.idle.Load() {
+		p.last.Store(int64(p.wd.now()))
+	}
+	p.idle.Store(idle)
+}
+
+// Name returns the probe's registered name.
+func (p *Probe) Name() string { return p.name }
+
+// age returns time since the last beat on the watchdog clock, rebasing
+// if the clock went backwards (an injected or stepped clock).
+func (p *Probe) age(now time.Duration) time.Duration {
+	last := time.Duration(p.last.Load())
+	if now < last {
+		p.last.Store(int64(now))
+		return 0
+	}
+	return now - last
+}
+
+// Stall is one flagged probe.
+type Stall struct {
+	// Name identifies the probe.
+	Name string
+	// Age is how long ago it last made progress.
+	Age time.Duration
+}
+
+// ProbeStatus is one probe's state for metrics export.
+type ProbeStatus struct {
+	Name    string
+	Beats   uint64
+	Age     time.Duration
+	Idle    bool
+	Stalled bool
+}
+
+// Check evaluates every probe now and returns the stalled ones (nil
+// when all healthy). Progress probes observe their value first: an
+// advance is a beat.
+func (w *Watchdog) Check() []Stall {
+	w.mu.Lock()
+	probes := w.probes
+	w.mu.Unlock()
+	now := w.now()
+	var stalls []Stall
+	for _, p := range probes {
+		if st := w.check(p, now); st != nil {
+			stalls = append(stalls, *st)
+		}
+	}
+	return stalls
+}
+
+// check evaluates one probe.
+func (w *Watchdog) check(p *Probe, now time.Duration) *Stall {
+	if p.progress != nil {
+		if v := p.progress(); v != p.lastVal.Load() {
+			p.lastVal.Store(v)
+			p.last.Store(int64(now))
+		}
+	}
+	if p.idle.Load() {
+		return nil
+	}
+	if age := p.age(now); age > p.stallAfter {
+		return &Stall{Name: p.name, Age: age}
+	}
+	return nil
+}
+
+// Status reports every probe's state (for /metrics and /stats).
+func (w *Watchdog) Status() []ProbeStatus {
+	w.mu.Lock()
+	probes := w.probes
+	w.mu.Unlock()
+	now := w.now()
+	out := make([]ProbeStatus, 0, len(probes))
+	for _, p := range probes {
+		stalled := w.check(p, now) != nil
+		out = append(out, ProbeStatus{
+			Name:    p.name,
+			Beats:   p.beats.Load(),
+			Age:     p.age(now),
+			Idle:    p.idle.Load(),
+			Stalled: stalled,
+		})
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package resilience
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable watchdog clock for deterministic stall and
+// clock-jump tests.
+type fakeClock struct{ now atomic.Int64 }
+
+func (c *fakeClock) fn() func() time.Duration {
+	return func() time.Duration { return time.Duration(c.now.Load()) }
+}
+
+func (c *fakeClock) advance(d time.Duration) { c.now.Add(int64(d)) }
+func (c *fakeClock) set(d time.Duration)     { c.now.Store(int64(d)) }
+
+func TestWatchdogBeatAndStall(t *testing.T) {
+	clk := &fakeClock{}
+	wd := NewWatchdog(clk.fn())
+	p := wd.Heartbeat("pump", 100*time.Millisecond)
+
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("fresh probe already stalled: %v", stalls)
+	}
+	clk.advance(90 * time.Millisecond)
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("stalled before the threshold: %v", stalls)
+	}
+	clk.advance(20 * time.Millisecond) // age 110ms > 100ms
+	stalls := wd.Check()
+	if len(stalls) != 1 || stalls[0].Name != "pump" {
+		t.Fatalf("stalls = %v, want pump flagged", stalls)
+	}
+	if stalls[0].Age != 110*time.Millisecond {
+		t.Errorf("stall age = %v, want 110ms", stalls[0].Age)
+	}
+
+	p.Beat()
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("beat did not clear the stall: %v", stalls)
+	}
+	if got := p.beats.Load(); got != 1 {
+		t.Errorf("beats = %d, want 1", got)
+	}
+}
+
+// TestWatchdogIdleExempt: a loop parked on a blocking read is not a
+// stall; resuming work restarts the window.
+func TestWatchdogIdleExempt(t *testing.T) {
+	clk := &fakeClock{}
+	wd := NewWatchdog(clk.fn())
+	p := wd.Heartbeat("capture", 50*time.Millisecond)
+
+	p.SetIdle(true)
+	clk.advance(time.Hour)
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("idle probe flagged: %v", stalls)
+	}
+
+	// Work resumes: the window restarts now, not an hour ago.
+	p.SetIdle(false)
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("probe stalled immediately after leaving idle: %v", stalls)
+	}
+	clk.advance(60 * time.Millisecond)
+	if stalls := wd.Check(); len(stalls) != 1 {
+		t.Fatalf("probe not flagged after stalling post-idle: %v", stalls)
+	}
+}
+
+// TestWatchdogProgressProbe: a value that advances is alive; a frozen
+// value stalls.
+func TestWatchdogProgressProbe(t *testing.T) {
+	clk := &fakeClock{}
+	wd := NewWatchdog(clk.fn())
+	var rotations atomic.Uint64
+	wd.Progress("rotation", 100*time.Millisecond, rotations.Load)
+
+	clk.advance(90 * time.Millisecond)
+	rotations.Add(1)
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("advancing value flagged: %v", stalls)
+	}
+	clk.advance(90 * time.Millisecond) // 90ms since the advance was seen
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("stalled before threshold: %v", stalls)
+	}
+	clk.advance(20 * time.Millisecond) // 110ms, value frozen
+	if stalls := wd.Check(); len(stalls) != 1 {
+		t.Fatalf("frozen value not flagged: %v", stalls)
+	}
+}
+
+// TestWatchdogClockJump: a clock that steps backwards (chaos injection:
+// NTP step, resumed VM) rebases the probe instead of reporting a bogus
+// age, and a forward jump past the threshold still flags honestly.
+func TestWatchdogClockJump(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(time.Hour)
+	wd := NewWatchdog(clk.fn())
+	wd.Heartbeat("pump", 100*time.Millisecond)
+
+	// Backwards jump: age would be negative; probe must rebase, not flag.
+	clk.set(0)
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("backwards clock jump produced stalls: %v", stalls)
+	}
+	// After the rebase the window counts from the new clock position.
+	clk.advance(90 * time.Millisecond)
+	if stalls := wd.Check(); len(stalls) != 0 {
+		t.Fatalf("stalled inside the rebased window: %v", stalls)
+	}
+	clk.advance(20 * time.Millisecond)
+	if stalls := wd.Check(); len(stalls) != 1 {
+		t.Fatalf("rebased probe never stalls: %v", stalls)
+	}
+}
+
+func TestWatchdogStatus(t *testing.T) {
+	clk := &fakeClock{}
+	wd := NewWatchdog(clk.fn())
+	p1 := wd.Heartbeat("a", 50*time.Millisecond)
+	p2 := wd.Heartbeat("b", 50*time.Millisecond)
+	p1.Beat()
+	p2.SetIdle(true)
+	clk.advance(100 * time.Millisecond)
+	p1.Beat()
+
+	status := wd.Status()
+	if len(status) != 2 {
+		t.Fatalf("status has %d probes, want 2", len(status))
+	}
+	byName := map[string]ProbeStatus{}
+	for _, st := range status {
+		byName[st.Name] = st
+	}
+	if a := byName["a"]; a.Beats != 2 || a.Stalled || a.Idle || a.Age != 0 {
+		t.Errorf("probe a status = %+v", a)
+	}
+	if b := byName["b"]; !b.Idle || b.Stalled {
+		t.Errorf("probe b status = %+v", b)
+	}
+	if p1.Name() != "a" {
+		t.Errorf("Name() = %q", p1.Name())
+	}
+}
+
+func TestHealthLifecycle(t *testing.T) {
+	clk := &fakeClock{}
+	wd := NewWatchdog(clk.fn())
+	wd.Heartbeat("pump", 100*time.Millisecond)
+	h := NewHealth(wd)
+
+	// Starting: live (nothing stalled) but not ready.
+	if ok, _ := h.Live(); !ok {
+		t.Error("starting process not live")
+	}
+	if ok, detail := h.Ready(); ok || detail != "starting" {
+		t.Errorf("Ready during startup = %v, %q", ok, detail)
+	}
+
+	h.SetReady()
+	if ok, _ := h.Ready(); !ok {
+		t.Error("not ready after SetReady")
+	}
+	if h.State() != StateReady {
+		t.Errorf("state = %v", h.State())
+	}
+
+	// A stall kills both liveness and readiness.
+	clk.advance(200 * time.Millisecond)
+	if ok, detail := h.Live(); ok || !strings.Contains(detail, "pump stalled") {
+		t.Errorf("Live with stalled pump = %v, %q", ok, detail)
+	}
+	if ok, _ := h.Ready(); ok {
+		t.Error("ready with a stalled probe")
+	}
+
+	// Draining: no longer ready, but still live — do not kill harder.
+	clk.set(0)
+	wd.Check() // rebase after the jump back
+	h.SetDraining()
+	if ok, _ := h.Live(); !ok {
+		t.Error("draining process reported dead")
+	}
+	if ok, detail := h.Ready(); ok || detail != "draining" {
+		t.Errorf("Ready while draining = %v, %q", ok, detail)
+	}
+	if h.State().String() != "draining" {
+		t.Errorf("state string = %q", h.State())
+	}
+}
+
+// TestHealthNilWatchdog: a Health with no watchdog answers from the
+// state machine alone.
+func TestHealthNilWatchdog(t *testing.T) {
+	h := NewHealth(nil)
+	if ok, _ := h.Live(); !ok {
+		t.Error("nil-watchdog health not live")
+	}
+	h.SetReady()
+	if ok, _ := h.Ready(); !ok {
+		t.Error("nil-watchdog health not ready")
+	}
+}
