@@ -1,30 +1,52 @@
-// Command bflint runs the repository's custom static-analysis suite: five
-// analyzers that enforce invariants generic tooling cannot check — see
-// internal/lint for the rule catalogue and the //bf: annotation language.
+// Command bflint runs the repository's custom static-analysis suite:
+// the analyzers that enforce invariants generic tooling cannot check —
+// see internal/lint for the rule catalogue and the //bf: annotation
+// language.
 //
 // Usage:
 //
-//	bflint [-list] [packages]
+//	bflint [-list] [-run names] [-skip names] [-tags list] [-json] [-stale-allows] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The exit
 // status is 1 when any diagnostic is reported, so `go run ./cmd/bflint
-// ./...` gates CI exactly like vet.
+// ./...` gates CI exactly like vet. -json emits one JSON object per
+// diagnostic (file/line/column/analyzer/message) for machine consumers
+// such as the GitHub Actions problem matcher; -skip drops named
+// analyzers (the `make lint-fast` loop skips escapecheck's compiler
+// pass); -tags selects build tags for file loading and the escapecheck
+// compiler invocation; -stale-allows additionally fails on //bf:allow
+// markers that no longer suppress anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/build"
 	"os"
 	"strings"
 
 	"bitmapfilter/internal/lint"
 )
 
+// jsonDiag is the machine-readable diagnostic shape for -json output.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	listOnly := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	tags := flag.String("tags", "", "comma-separated build tags (selects files and feeds escapecheck's compiler pass)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON objects, one per line")
+	staleAllows := flag.Bool("stale-allows", false, "also fail on //bf:allow markers that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bflint [-list] [-run analyzers] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: bflint [-list] [-run names] [-skip names] [-tags list] [-json] [-stale-allows] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the bitmapfilter invariant suite (default packages: ./...).\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
@@ -40,11 +62,11 @@ func main() {
 	}
 
 	analyzers := lint.Analyzers()
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
 	if *only != "" {
-		byName := map[string]*lint.Analyzer{}
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
 		analyzers = nil
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
@@ -54,6 +76,30 @@ func main() {
 			}
 			analyzers = append(analyzers, a)
 		}
+	}
+	if *skip != "" {
+		skipped := map[string]bool{}
+		for _, name := range strings.Split(*skip, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				fmt.Fprintf(os.Stderr, "bflint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			skipped[name] = true
+		}
+		kept := analyzers[:0:0]
+		for _, a := range analyzers {
+			if !skipped[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	if *tags != "" {
+		// The loader and escapecheck both consult build.Default, so one
+		// mutation covers file selection and the compiler pass alike.
+		build.Default.BuildTags = strings.Split(*tags, ",")
 	}
 
 	patterns := flag.Args()
@@ -74,18 +120,36 @@ func main() {
 		fatal(err)
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(d lint.Diagnostic) {
+		if *asJSON {
+			enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			return
+		}
+		fmt.Println(d)
+	}
+
 	failed := false
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
-		diags, err := lint.Check(pkg, analyzers)
+		diags, allows, err := lint.CheckWithAllows(pkg, analyzers)
 		if err != nil {
 			fatal(err)
 		}
+		if *staleAllows {
+			diags = append(diags, lint.StaleAllows(allows, analyzers)...)
+		}
 		for _, d := range diags {
-			fmt.Println(d)
+			emit(d)
 			failed = true
 		}
 	}

@@ -225,7 +225,7 @@ func (v *Vector) coalesceInto(dst []WordMask, idxs []uint64) int {
 //
 //bf:hotpath
 func (v *Vector) Coalesce(dst []WordMask, idxs []uint64) []WordMask {
-	dst = growWordMasks(dst, len(idxs))
+	dst = growWordMasks(dst, len(idxs)) //bf:allow escapecheck amortized grow: callers recycle dst per the documented contract, so steady state reuses capacity
 	return dst[:v.coalesceInto(dst, idxs)]
 }
 

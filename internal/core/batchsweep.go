@@ -124,11 +124,11 @@ func radixSortByWord(ents, aux []batchEntry, maxWord uint32) []batchEntry {
 func (f *Filter) processSegment(pkts []packet.Packet, out []filtering.Verdict) {
 	sc := &f.sweep
 	m := f.cfg.hashes
-	sc.entries = scratchSlice(sc.entries, len(pkts)*m)
-	sc.aux = scratchSlice(sc.aux, len(pkts)*m)
-	sc.matched = scratchSlice(sc.matched, len(pkts))
-	sc.marked = scratchSlice(sc.marked, len(pkts))
-	sc.pairs = scratchSlice(sc.pairs, len(pkts)*m)
+	sc.entries = scratchSlice(sc.entries, len(pkts)*m) //bf:allow escapecheck pooled sweep scratch grows to the high-water batch size once, then is reused
+	sc.aux = scratchSlice(sc.aux, len(pkts)*m)         //bf:allow escapecheck pooled sweep scratch grows to the high-water batch size once, then is reused
+	sc.matched = scratchSlice(sc.matched, len(pkts))   //bf:allow escapecheck pooled sweep scratch grows to the high-water batch size once, then is reused
+	sc.marked = scratchSlice(sc.marked, len(pkts))     //bf:allow escapecheck pooled sweep scratch grows to the high-water batch size once, then is reused
+	sc.pairs = scratchSlice(sc.pairs, len(pkts)*m)     //bf:allow escapecheck pooled sweep scratch grows to the high-water batch size once, then is reused
 
 	// Phase 1: hash every packet once and flatten its m index touches
 	// into tagged entries. Entries are emitted in packet order, which the

@@ -463,7 +463,7 @@ func (f *Filter) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 //
 //bf:hotpath
 func (f *Filter) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
-	out = filtering.GrowVerdicts(out, len(pkts))
+	out = filtering.GrowVerdicts(out, len(pkts)) //bf:allow escapecheck amortized grow per the BatchFilter contract; steady state reuses the caller buffer
 	f.processBatch(pkts, out)
 	return out
 }

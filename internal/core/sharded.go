@@ -266,7 +266,7 @@ func (s *Sharded) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 //
 //bf:hotpath
 func (s *Sharded) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
-	out = filtering.GrowVerdicts(out, len(pkts))
+	out = filtering.GrowVerdicts(out, len(pkts)) //bf:allow escapecheck amortized grow per the BatchFilter contract; steady state reuses the caller buffer
 	s.processBatchInto(pkts, out)
 	return out
 }
@@ -285,13 +285,13 @@ func (s *Sharded) processBatchInto(pkts []packet.Packet, out []filtering.Verdict
 	// routing hash is computed once per packet. The scratch goes back to
 	// the pool via defer so a panicking shard cannot leak it.
 	sc := shardScratchPool.Get().(*shardScratch)
-	defer shardScratchPool.Put(sc) //bf:allow hotpath pooled put must run even if a shard panics, or the scratch leaks
-	sc.shardOf = scratchSlice(sc.shardOf, len(pkts))
-	sc.starts = scratchSlice(sc.starts, len(s.shards)+1)
-	sc.next = scratchSlice(sc.next, len(s.shards))
-	sc.grouped = scratchSlice(sc.grouped, len(pkts))
-	sc.perm = scratchSlice(sc.perm, len(pkts))
-	sc.groupedOut = scratchSlice(sc.groupedOut, len(pkts))
+	defer shardScratchPool.Put(sc)                         //bf:allow hotpath pooled put must run even if a shard panics, or the scratch leaks
+	sc.shardOf = scratchSlice(sc.shardOf, len(pkts))       //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.starts = scratchSlice(sc.starts, len(s.shards)+1)   //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.next = scratchSlice(sc.next, len(s.shards))         //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.grouped = scratchSlice(sc.grouped, len(pkts))       //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.perm = scratchSlice(sc.perm, len(pkts))             //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.groupedOut = scratchSlice(sc.groupedOut, len(pkts)) //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
 
 	clear(sc.starts)
 	for i := range pkts {

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicFieldAnalyzer enforces the memory-model discipline the stats
+// plumbing depends on: once a struct field is touched via sync/atomic,
+// every access must be atomic, and the field must not also claim mutex
+// protection.
+//
+// Two styles of atomic use are recognized:
+//
+//   - function style: atomic.AddUint64(&s.count, 1). The field's
+//     object is recorded, and any other read or write of that field
+//     that is not an &-arg to a sync/atomic call is a race: the plain
+//     access can be torn or reordered against the atomic ones.
+//   - typed style: fields of type atomic.Uint64/Bool/... . The type
+//     system already forces Load/Store through methods, so the only
+//     plain access possible is copying the value (assignment, range
+//     value, composite literal) — which silently forks the counter.
+//     Method calls, &-of, array indexing, index-only range, and
+//     len/cap are the legitimate shapes and are allowed.
+//
+// Separately, an atomic field (either style) that also carries a
+// //bf:guardedby marker is reported at its declaration: mixed
+// mutex-plus-atomic protection means neither discipline actually holds,
+// because writers under the lock and atomic readers outside it see no
+// common ordering.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly, and must be disjoint from //bf:guardedby fields",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Inventory function-style atomic fields: &s.f passed to sync/atomic.
+	funcStyle := make(map[types.Object]token.Pos)
+	// Every &s.f expression that appears as a sync/atomic argument is a
+	// sanctioned use; remember the selector nodes so the access walk can
+	// skip them.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, _, ok := pkgFunc(info, call)
+			if !ok || pkgPath != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObject(info, sel); obj != nil {
+					if _, seen := funcStyle[obj]; !seen {
+						funcStyle[obj] = obj.Pos()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Walk all field accesses with parent context.
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(info, sel)
+			if obj == nil {
+				return true
+			}
+			if _, isFuncStyle := funcStyle[obj]; isFuncStyle && !sanctioned[sel] {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed via sync/atomic elsewhere; this plain access races with the atomic ones — use atomic.Load/Store here too",
+					obj.Name())
+				return true
+			}
+			if isTypedAtomic(obj.Type()) && !typedAtomicUseOK(parents, sel) {
+				pass.Reportf(sel.Pos(),
+					"field %s has a sync/atomic type but is copied or accessed plainly here; atomics must only be used via their methods or by address",
+					obj.Name())
+			}
+			return true
+		})
+	}
+
+	// Disjointness from //bf:guardedby, reported at the declaration so
+	// the fix (pick one discipline) lands where the field is defined.
+	guarded := collectGuardedFields(pass)
+	reported := make(map[types.Object]bool)
+	check := func(obj types.Object) {
+		if reported[obj] || obj == nil {
+			return
+		}
+		if _, isGuarded := guarded[obj]; isGuarded {
+			reported[obj] = true
+			pass.Reportf(obj.Pos(),
+				"field %s is marked //bf:guardedby but is also accessed via sync/atomic; mixed mutex/atomic protection orders nothing — pick one",
+				obj.Name())
+		}
+	}
+	for obj := range funcStyle {
+		check(obj)
+	}
+	for obj := range guarded {
+		if isTypedAtomic(obj.Type()) {
+			reported[obj] = true
+			pass.Reportf(obj.Pos(),
+				"field %s has a sync/atomic type and a //bf:guardedby marker; mixed mutex/atomic protection orders nothing — pick one",
+				obj.Name())
+		}
+	}
+	return nil
+}
+
+// fieldObject resolves a selector to a struct field object, or nil.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// isTypedAtomic reports whether t (or an array of it) is one of the
+// sync/atomic value types.
+func isTypedAtomic(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isTypedAtomic(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// typedAtomicUseOK reports whether the context around a typed-atomic
+// field selector is one of the non-copying shapes.
+func typedAtomicUseOK(parents map[ast.Node]ast.Node, sel ast.Expr) bool {
+	parent := parents[sel]
+	// Unwrap parens around the selector.
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		sel = p
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.counter.Load(): the atomic value is the method receiver.
+		return p.X == sel
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.IndexExpr:
+		// s.arr[i]: the element is itself atomic-typed; the IndexExpr
+		// gets its own check as a value node via its parent.
+		return p.X == sel && typedAtomicUseOK(parents, p)
+	case *ast.RangeStmt:
+		// for i := range s.arr — index-only iteration; a range with a
+		// value variable copies elements and go vet's copylocks already
+		// rejects it.
+		return p.X == sel
+	case *ast.CallExpr:
+		// len(s.arr) / cap(s.arr).
+		if ident, ok := p.Fun.(*ast.Ident); ok && (ident.Name == "len" || ident.Name == "cap") {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// buildParents maps every node in f to its parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EscapeCheckAnalyzer closes the gap between what the AST can prove and
+// what the compiler actually does. HotpathAnalyzer rejects allocation
+// *constructs* — make, closures, fmt calls, interface boxing at call
+// boundaries — but allocation is ultimately an escape-analysis verdict,
+// and that verdict depends on inlining depth, devirtualization, and
+// flow facts no syntax-directed pass can reconstruct. The canonical
+// miss: assigning a concrete struct to a package-level interface
+// variable boxes it on the heap, while the identical composite literal
+// assigned to a *local* interface variable devirtualizes and stays on
+// the stack. Same syntax, opposite allocation behavior — only the
+// compiler knows which is which.
+//
+// So this analyzer asks the compiler: it runs
+//
+//	go build -gcflags=-m=2 .
+//
+// in the package directory (the build cache replays diagnostics on
+// cached builds, so repeat runs cost milliseconds), parses the
+// file:line:col escape diagnostics, and reports every "escapes to heap"
+// or "moved to heap" verdict whose position falls inside a //bf:hotpath
+// function body. Packages with no hotpath functions skip the compiler
+// run entirely.
+//
+// Contract with the compiler output (documented in DESIGN.md §8): one
+// diagnostic per line, `<path>:<line>:<col>: <message>`, where messages
+// containing "escapes to heap" (but not "does not escape") or starting
+// with "moved to heap" are allocation verdicts; indented flow:/from
+// lines are explanatory and ignored. "leaking param" lines are ignored
+// too — a leaked parameter only allocates at call sites, which are
+// checked in their own packages.
+var EscapeCheckAnalyzer = &Analyzer{
+	Name: "escapecheck",
+	Doc:  "cross-check //bf:hotpath bodies against the compiler's own escape analysis (go build -gcflags=-m=2)",
+	Run:  runEscapeCheck,
+}
+
+// escapeDiagRE matches one compiler diagnostic line. Paths may be
+// printed ./relative, bare, or absolute.
+var escapeDiagRE = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.+)$`)
+
+// hotSpan is one //bf:hotpath function's position range within a file.
+type hotSpan struct {
+	name       string
+	start, end int // line numbers, inclusive
+}
+
+func runEscapeCheck(pass *Pass) error {
+	if pass.Dir == "" {
+		return nil
+	}
+
+	// Inventory hotpath function spans per file base name. No hotpath
+	// functions → no compiler run.
+	spans := make(map[string][]hotSpan)
+	astFiles := make(map[string]*ast.File)
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		base := filepath.Base(pos.Filename)
+		astFiles[base] = f
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := commentHasMarker(fd.Doc, hotpathMarker); !ok {
+				continue
+			}
+			spans[base] = append(spans[base], hotSpan{
+				name:  fd.Name.Name,
+				start: pass.Fset.Position(fd.Pos()).Line,
+				end:   pass.Fset.Position(fd.Body.End()).Line,
+			})
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+
+	out, err := compilerEscapeOutput(pass)
+	if err != nil {
+		return err
+	}
+
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeDiagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		base := filepath.Base(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		msg := strings.TrimSuffix(m[4], ":")
+		if !isEscapeVerdict(msg) {
+			continue
+		}
+		span, ok := spanAt(spans[base], lineNo)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", base, lineNo, colNo, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pos, ok := filePos(pass.Fset, astFiles[base], lineNo, colNo)
+		if !ok {
+			continue
+		}
+		pass.Reportf(pos,
+			"compiler escape analysis: %s, inside //bf:hotpath function %s; the allocation is real even though no AST rule matches — restructure (keep the value local, pass a pointer, or predeclare the boxed value)",
+			msg, span.name)
+	}
+	return nil
+}
+
+// isEscapeVerdict filters compiler -m=2 messages down to the ones that
+// mean "this heap-allocates here".
+func isEscapeVerdict(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+func spanAt(spans []hotSpan, line int) (hotSpan, bool) {
+	for _, s := range spans {
+		if line >= s.start && line <= s.end {
+			return s, true
+		}
+	}
+	return hotSpan{}, false
+}
+
+// filePos maps a (line, col) pair back into the fileset.
+func filePos(fset *token.FileSet, f *ast.File, line, col int) (token.Pos, bool) {
+	if f == nil {
+		return token.NoPos, false
+	}
+	tf := fset.File(f.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return token.NoPos, false
+	}
+	return tf.LineStart(line) + token.Pos(col-1), true
+}
+
+// compilerEscapeOutput shells out to the go tool from the package
+// directory and returns the -m=2 diagnostic stream. Build tags follow
+// the loader's build.Default (the -tags flag mutates it), and the
+// subprocess inherits the environment, so GOOS=linux runs analyze the
+// same file set the loader saw.
+func compilerEscapeOutput(pass *Pass) (string, error) {
+	args := []string{"build", "-gcflags=-m=2"}
+	if tags := build.Default.BuildTags; len(tags) > 0 {
+		args = append(args, "-tags="+strings.Join(tags, ","))
+	}
+	if pass.Pkg.Name() == "main" {
+		// Keep go build from dropping a binary into the package dir.
+		args = append(args, "-o", os.DevNull)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = pass.Dir
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		out := buf.String()
+		if len(out) > 2000 {
+			out = out[:2000] + " ..."
+		}
+		return "", fmt.Errorf("escapecheck: go build -gcflags=-m=2 in %s failed: %v\n%s", pass.Dir, err, out)
+	}
+	return buf.String(), nil
+}

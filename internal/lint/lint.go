@@ -59,6 +59,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dir is the package's directory on disk. Compiler-driven analyzers
+	// (escapecheck) shell out to the go tool from here.
+	Dir string
 
 	diags *[]Diagnostic
 	lines *lineComments
@@ -89,7 +92,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full bflint suite in stable order.
+// Analyzers returns the full bflint suite in stable order: the five
+// phase-1 AST analyzers, then the five phase-2 dataflow/concurrency/
+// compiler analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WallclockAnalyzer,
@@ -97,12 +102,35 @@ func Analyzers() []*Analyzer {
 		LockguardAnalyzer,
 		BoundedAllocAnalyzer,
 		SentinelErrAnalyzer,
+		TaintAnalyzer,
+		GoleakAnalyzer,
+		AtomicFieldAnalyzer,
+		EscapeCheckAnalyzer,
+		MetricNameAnalyzer,
 	}
+}
+
+// AllowSite is one //bf:allow marker found in a package, plus whether
+// any of the analyzers run against that package actually had a
+// diagnostic suppressed by it. Unused allows are drift: either the code
+// they excused was fixed (prune the comment) or the marker was
+// misplaced and never protected anything.
+type AllowSite struct {
+	Pos      token.Position
+	Analyzer string
+	Used     bool
 }
 
 // Check runs every analyzer in the suite over pkg and returns the
 // diagnostics sorted by position.
 func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := CheckWithAllows(pkg, analyzers)
+	return diags, err
+}
+
+// CheckWithAllows is Check plus the package's //bf:allow inventory with
+// usage bits, for the driver's stale-allow audit.
+func CheckWithAllows(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []AllowSite, error) {
 	var diags []Diagnostic
 	lines := newLineComments(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
@@ -112,11 +140,12 @@ func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Dir:       pkg.Dir,
 			diags:     &diags,
 			lines:     lines,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -129,7 +158,36 @@ func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	allows := make([]AllowSite, len(lines.allows))
+	for i, s := range lines.allows {
+		allows[i] = *s
+	}
+	return diags, allows, nil
+}
+
+// StaleAllows turns unused //bf:allow markers into diagnostics. Only
+// allows naming one of the analyzers that actually ran are considered:
+// an escapecheck allow is not stale just because a -skip escapecheck
+// run never consulted it.
+func StaleAllows(allows []AllowSite, ran []*Analyzer) []Diagnostic {
+	active := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		active[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, s := range allows {
+		if s.Used || !active[s.Analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      s.Pos,
+			Analyzer: "staleallow",
+			Message: fmt.Sprintf(
+				"//bf:allow %s suppresses nothing; the code it excused was fixed or the marker is misplaced — delete it",
+				s.Analyzer),
+		})
+	}
+	return diags
 }
 
 // ---- //bf: annotation plumbing ----
@@ -140,16 +198,21 @@ const (
 	guardedByMarker = "bf:guardedby"
 )
 
-// lineComments indexes every comment by (file, line) so same-line
-// //bf:allow markers resolve in O(1), and records which lines each
-// function declaration spans so function-level allows cover their bodies.
+// lineComments indexes every //bf:allow marker by (file, line) so
+// same-line allows resolve in O(1), records which lines each function
+// declaration spans so function-level allows cover their bodies, and
+// keeps the full allow inventory with usage bits for the stale-allow
+// audit.
 type lineComments struct {
 	fset *token.FileSet
-	// byLine maps file:line to the concatenated comment text on that line.
-	byLine map[string]string
-	// funcAllow maps file:line to the set of analyzers allowed for the
-	// function whose body covers that line.
-	funcAllow map[string]map[string]bool
+	// lineAllow maps file:line to the allow sites declared on that line.
+	lineAllow map[string][]*AllowSite
+	// funcAllow maps file:line to the allow sites of the function whose
+	// body covers that line (entries are shared across the span, so one
+	// suppression anywhere marks the site used).
+	funcAllow map[string][]*AllowSite
+	// allows is every //bf:allow marker in the package, in source order.
+	allows []*AllowSite
 }
 
 func lineKey(pos token.Position) string {
@@ -159,42 +222,39 @@ func lineKey(pos token.Position) string {
 func newLineComments(fset *token.FileSet, files []*ast.File) *lineComments {
 	lc := &lineComments{
 		fset:      fset,
-		byLine:    make(map[string]string),
-		funcAllow: make(map[string]map[string]bool),
+		lineAllow: make(map[string][]*AllowSite),
+		funcAllow: make(map[string][]*AllowSite),
 	}
+	// Function-doc comment groups become function-scoped allows; every
+	// other comment is a line-scoped allow on its own line.
+	funcDocs := make(map[*ast.CommentGroup]*ast.FuncDecl)
 	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				p := fset.Position(c.Pos())
-				lc.byLine[lineKey(p)] += " " + c.Text
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = fd
 			}
 		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			// Read the raw comment list: CommentGroup.Text() drops
-			// directive-style comments (no space after //), which is
-			// exactly what //bf:allow is.
-			var doc strings.Builder
-			for _, c := range fd.Doc.List {
-				doc.WriteString(c.Text)
-				doc.WriteByte('\n')
-			}
-			allowed := allowedAnalyzers(doc.String())
-			if len(allowed) == 0 {
-				continue
-			}
-			start := fset.Position(fd.Pos())
-			end := fset.Position(fd.End())
-			for line := start.Line; line <= end.Line; line++ {
-				key := fmt.Sprintf("%s:%d", start.Filename, line)
-				if lc.funcAllow[key] == nil {
-					lc.funcAllow[key] = make(map[string]bool)
+		for _, cg := range f.Comments {
+			fd := funcDocs[cg]
+			for _, c := range cg.List {
+				// Read the raw comment text: CommentGroup.Text() drops
+				// directive-style comments (no space after //), which is
+				// exactly what //bf:allow is.
+				name, ok := allowedAnalyzer(c.Text)
+				if !ok {
+					continue
 				}
-				for name := range allowed {
-					lc.funcAllow[key][name] = true
+				site := &AllowSite{Pos: fset.Position(c.Pos()), Analyzer: name}
+				lc.allows = append(lc.allows, site)
+				if fd != nil {
+					start := fset.Position(fd.Pos())
+					end := fset.Position(fd.End())
+					for line := start.Line; line <= end.Line; line++ {
+						key := fmt.Sprintf("%s:%d", start.Filename, line)
+						lc.funcAllow[key] = append(lc.funcAllow[key], site)
+					}
+				} else {
+					lc.lineAllow[lineKey(site.Pos)] = append(lc.lineAllow[lineKey(site.Pos)], site)
 				}
 			}
 		}
@@ -202,21 +262,18 @@ func newLineComments(fset *token.FileSet, files []*ast.File) *lineComments {
 	return lc
 }
 
-// allowedAnalyzers extracts the analyzer names named by //bf:allow markers
-// in a block of comment text.
-func allowedAnalyzers(text string) map[string]bool {
-	out := map[string]bool{}
-	for _, line := range strings.Split(text, "\n") {
-		rest, ok := markerArgs(line, allowMarker)
-		if !ok {
-			continue
-		}
-		fields := strings.Fields(rest)
-		if len(fields) > 0 {
-			out[fields[0]] = true
-		}
+// allowedAnalyzer extracts the analyzer name from one //bf:allow comment
+// line, if present.
+func allowedAnalyzer(text string) (string, bool) {
+	rest, ok := markerArgs(text, allowMarker)
+	if !ok {
+		return "", false
 	}
-	return out
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
 }
 
 // markerArgs reports whether line carries the given //bf: marker and
@@ -248,10 +305,19 @@ func commentHasMarker(doc *ast.CommentGroup, marker string) (string, bool) {
 
 func (p *Pass) allowedAt(pos token.Pos) bool {
 	key := lineKey(p.Fset.Position(pos))
-	if allowed := allowedAnalyzers(p.lines.byLine[key]); allowed[p.Analyzer.Name] {
-		return true
+	for _, site := range p.lines.lineAllow[key] {
+		if site.Analyzer == p.Analyzer.Name {
+			site.Used = true
+			return true
+		}
 	}
-	return p.lines.funcAllow[key][p.Analyzer.Name]
+	for _, site := range p.lines.funcAllow[key] {
+		if site.Analyzer == p.Analyzer.Name {
+			site.Used = true
+			return true
+		}
+	}
+	return false
 }
 
 // ---- shared AST / type helpers ----

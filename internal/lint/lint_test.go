@@ -1,6 +1,10 @@
 package lint_test
 
 import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"bitmapfilter/internal/lint"
@@ -41,6 +45,128 @@ func TestBoundedAllocNonTarget(t *testing.T) {
 
 func TestSentinelErr(t *testing.T) {
 	linttest.Run(t, "testdata/sentinelerr/sent", "example.com/internal/sent", lint.SentinelErrAnalyzer)
+}
+
+func TestTaintDecoder(t *testing.T) {
+	linttest.Run(t, "testdata/taint/dec", "example.com/internal/pcap", lint.TaintAnalyzer)
+}
+
+func TestTaintNonTarget(t *testing.T) {
+	// The same unclamped wire read outside the decoder/config packages is
+	// out of scope.
+	linttest.Run(t, "testdata/taint/other", "example.com/internal/render", lint.TaintAnalyzer)
+}
+
+func TestGoleak(t *testing.T) {
+	linttest.Run(t, "testdata/goleak/res", "example.com/internal/resilience", lint.GoleakAnalyzer)
+}
+
+func TestGoleakNonTarget(t *testing.T) {
+	linttest.Run(t, "testdata/goleak/other", "example.com/internal/render", lint.GoleakAnalyzer)
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/atomicfield/af", "example.com/internal/af", lint.AtomicFieldAnalyzer)
+}
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, "testdata/metricname/m", "example.com/internal/metricsx", lint.MetricNameAnalyzer)
+}
+
+func TestEscapeCheck(t *testing.T) {
+	linttest.Run(t, "testdata/escapecheck/hot", "example.com/internal/hot", lint.EscapeCheckAnalyzer)
+}
+
+// TestEscapeCheckBeyondAST is the acceptance proof that escapecheck
+// catches an allocation the AST hotpath analyzer structurally cannot:
+// over the same fixture where escapecheck reports the package-level
+// interface boxing (TestEscapeCheck), the hotpath analyzer must find
+// nothing at all.
+func TestEscapeCheckBeyondAST(t *testing.T) {
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("testdata/escapecheck/hot", "example.com/internal/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Check(pkg, []*lint.Analyzer{lint.HotpathAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hotpath analyzer unexpectedly sees the boxing fixture: %s", d)
+	}
+	diags, err = lint.Check(pkg, []*lint.Analyzer{lint.EscapeCheckAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("escapecheck found nothing in the boxing fixture; the compiler cross-check is not working")
+	}
+}
+
+// TestAnalyzerRegistry is the suite's completeness contract: every
+// analyzer the bflint binary advertises via -list must be exactly the
+// set lint.Analyzers() returns, and each must carry non-empty golden
+// testdata on both sides — at least one // want annotation proving it
+// fires, and at least one clean-side marker (an // ok: package or a
+// //bf:allow for that analyzer) proving its silence and suppression
+// paths are exercised too. Registering an analyzer without goldens, or
+// goldens without registration, fails here before CI ever runs it.
+func TestAnalyzerRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bflint subprocess skipped in -short mode")
+	}
+	cmd := exec.Command("go", "run", "bitmapfilter/cmd/bflint", "-list")
+	cmd.Dir = filepath.Join("..", "..")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bflint -list: %v\n%s", err, out)
+	}
+	var listed []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if fields := strings.Fields(line); len(fields) > 0 {
+			listed = append(listed, fields[0])
+		}
+	}
+	var registered []string
+	for _, a := range lint.Analyzers() {
+		registered = append(registered, a.Name)
+	}
+	if strings.Join(listed, ",") != strings.Join(registered, ",") {
+		t.Fatalf("bflint -list = %v, lint.Analyzers() = %v", listed, registered)
+	}
+
+	for _, name := range registered {
+		dir := filepath.Join("testdata", name)
+		var wants, okMarks, allows int
+		walkErr := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			src := string(data)
+			wants += strings.Count(src, "// want ")
+			okMarks += strings.Count(src, "// ok:")
+			allows += strings.Count(src, "bf:allow "+name)
+			return nil
+		})
+		if walkErr != nil {
+			t.Errorf("analyzer %s has no golden testdata directory: %v", name, walkErr)
+			continue
+		}
+		if wants == 0 {
+			t.Errorf("analyzer %s: no // want annotations in %s; the firing side is unproven", name, dir)
+		}
+		if okMarks == 0 && allows == 0 {
+			t.Errorf("analyzer %s: no // ok: marker or //bf:allow %s in %s; the clean side is unproven", name, name, dir)
+		}
+	}
 }
 
 // TestRepoIsClean runs the full suite over the whole module — the same

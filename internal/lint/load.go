@@ -37,7 +37,7 @@ type Loader struct {
 	ModulePath string
 
 	std     types.Importer
-	pkgs    map[string]*Package // by import path
+	pkgs    map[string]*Package // by dir + import path
 	loading map[string]bool     // import-cycle guard
 }
 
@@ -174,9 +174,6 @@ func isSourceFile(e os.DirEntry) bool {
 // Load parses and type-checks the package with the given import path
 // (module-internal paths only).
 func (l *Loader) Load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
-	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("lint: import cycle through %q", path)
 	}
@@ -197,7 +194,12 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 }
 
 func (l *Loader) loadDir(dir, path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
+	// The cache key includes the directory: golden tests stand up
+	// different testdata packages under the same synthetic import path
+	// (two analyzers both want "example.com/internal/pcap"), and a
+	// path-only key would hand the second test the first test's package.
+	key := dir + "\x00" + path
+	if pkg, ok := l.pkgs[key]; ok {
 		return pkg, nil
 	}
 	l.loading[path] = true
@@ -252,7 +254,7 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 		Types: tpkg,
 		Info:  info,
 	}
-	l.pkgs[path] = pkg
+	l.pkgs[key] = pkg
 	return pkg, nil
 }
 

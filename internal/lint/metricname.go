@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricNameAnalyzer guards the /metrics contract now that three layers
+// (httpapi, the bfwall stats plane, the resilience probes) emit
+// Prometheus series. Metric names are stringly-typed: nothing in the
+// type system stops two layers from registering the same series, a typo
+// from forking bitmapfilter_lookups_total into _lookup_total on a
+// dashboard, or a new counter from shipping undocumented. Each of those
+// is silent until an operator's query returns nothing.
+//
+// The analyzer scans every string literal for bitmapfilter_* tokens and
+// enforces, per package:
+//
+//   - style: names must be snake_case segments —
+//     bitmapfilter(_[a-z0-9]+)+ — no uppercase, no double or trailing
+//     underscores, no colons (reserved for recording rules)
+//   - unique registration: a `# TYPE name kind` exposition line for the
+//     same name must appear at most once per package (the same name in
+//     its series line or a HELP line is of course fine)
+//   - valid kind: the TYPE kind must be counter, gauge, histogram,
+//     summary, or untyped
+//   - documented: every name must appear in the nearest DESIGN.md
+//     above the package directory, so the operator-facing metrics table
+//     stays the single source of truth
+//
+// Tokens immediately followed by '*' (log messages and comments saying
+// "bitmapfilter_resilience_*") are wildcard mentions, not names, and
+// are skipped.
+var MetricNameAnalyzer = &Analyzer{
+	Name: "metricname",
+	Doc:  "bitmapfilter_* metric literals must be unique, snake_case, and documented in DESIGN.md",
+	Run:  runMetricName,
+}
+
+var (
+	metricTokenRE = regexp.MustCompile(`bitmapfilter[A-Za-z0-9_]*`)
+	metricNameRE  = regexp.MustCompile(`^bitmapfilter(_[a-z0-9]+)+$`)
+	metricTypeRE  = regexp.MustCompile(`# TYPE ([A-Za-z0-9_]+) ([A-Za-z]+)`)
+)
+
+var metricKinds = map[string]bool{
+	"counter":   true,
+	"gauge":     true,
+	"histogram": true,
+	"summary":   true,
+	"untyped":   true,
+}
+
+func runMetricName(pass *Pass) error {
+	design, designPath := nearestDesignDoc(pass.Dir)
+
+	typeSeen := make(map[string]token.Pos) // first # TYPE registration per name
+	undocumented := make(map[string]bool)  // report each missing name once per package
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			text, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !strings.Contains(text, "bitmapfilter") {
+				return true
+			}
+
+			// TYPE registrations: uniqueness and kind validity.
+			for _, m := range metricTypeRE.FindAllStringSubmatch(text, -1) {
+				name, kind := m[1], m[2]
+				if !strings.HasPrefix(name, "bitmapfilter") {
+					continue
+				}
+				if !metricKinds[kind] {
+					pass.Reportf(lit.Pos(),
+						"metric %s registered with invalid Prometheus type %q (want counter, gauge, histogram, summary, or untyped)",
+						name, kind)
+				}
+				if prev, dup := typeSeen[name]; dup {
+					pass.Reportf(lit.Pos(),
+						"metric %s registered twice in this package (previous # TYPE at %s); duplicate series corrupt the exposition",
+						name, pass.Fset.Position(prev))
+				} else {
+					typeSeen[name] = lit.Pos()
+				}
+			}
+
+			// Every token: style and documentation.
+			for _, loc := range metricTokenRE.FindAllStringIndex(text, -1) {
+				name := text[loc[0]:loc[1]]
+				if name == "bitmapfilter" {
+					continue // the bare project name, e.g. in import paths
+				}
+				if loc[1] < len(text) && (text[loc[1]] == '*' || text[loc[1]] == '%') {
+					// Wildcard mention ("bitmapfilter_resilience_*") or
+					// dynamic prefix ("bitmapfilter_%s_total"): not a
+					// literal series name.
+					continue
+				}
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(lit.Pos(),
+						"metric name %s is not snake_case (want bitmapfilter(_[a-z0-9]+)+: lowercase segments, single underscores)",
+						name)
+					continue
+				}
+				if design != "" && !strings.Contains(design, name) && !undocumented[name] {
+					undocumented[name] = true
+					pass.Reportf(lit.Pos(),
+						"metric %s is not documented in %s; add it to the metrics table so dashboards have a source of truth",
+						name, designPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nearestDesignDoc walks up from dir to the filesystem root and returns
+// the content and path of the first DESIGN.md found. Golden testdata
+// carries its own DESIGN.md next to the package, making the fixture
+// hermetic; real packages resolve to the repo root's. Empty content
+// means no doc was found and the documentation check is skipped.
+func nearestDesignDoc(dir string) (string, string) {
+	for dir != "" {
+		p := filepath.Join(dir, "DESIGN.md")
+		if b, err := os.ReadFile(p); err == nil {
+			return string(b), p
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return "", ""
+}

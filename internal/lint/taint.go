@@ -1,0 +1,677 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TaintAnalyzer is the interprocedural generalization of boundedalloc:
+// it tracks values that originate in untrusted input through assignments,
+// arithmetic, field stores and same-package calls, and reports any path
+// on which such a value reaches an allocation-size sink without a clamp.
+//
+// boundedalloc asks "is this make() size compared against something
+// trusted in this function?" — purely local. taint answers the question
+// the attacker actually poses: "can a length I control reach an
+// allocation anywhere, laundered through a helper, a struct field, or a
+// return value?" The pcap snapLen DoS that motivated boundedalloc was a
+// one-hop flow; the flows this pass closes are the multi-hop ones.
+//
+// # Sources
+//
+// A value is tainted when it originates from:
+//
+//   - a binary.{Big,Little}Endian.Uint16/32/64 read (a wire integer)
+//   - a field of capture.Frame or pcap.Record (captured wire data), or
+//     http.Request.Body / http.Request.ContentLength
+//   - a []byte (or byte-index of one) passed as a parameter into a
+//     decoder package (core, packet, pcap, tenant) — those packages'
+//     inputs are adversarial by design
+//   - the target of encoding/json Unmarshal/Decode (attacker-shaped
+//     config, e.g. tenant.ParseConfig)
+//   - a struct field that is assigned a tainted value anywhere in the
+//     package (snapshot headers decoded in one method, consumed in
+//     another)
+//   - a call to a same-package function whose return derives from any
+//     of the above
+//
+// # Sanitizers
+//
+// Taint is discharged by a bound the analyzer can see in the same
+// function: a relational comparison against a constant, len/cap, or a
+// local identifier; a mask (x & const) or modulus (x % const); a
+// min/max with a constant operand; or passing the value to a
+// same-package validator — a function that itself compares that
+// parameter against a trusted bound. Struct-field comparisons still do
+// not sanitize (fields carry unvalidated decoded state), matching
+// boundedalloc.
+//
+// # Sinks
+//
+// make() size arguments, bytes/strings.Repeat counts, bytes.Buffer.Grow,
+// and — the interprocedural step — arguments to same-package functions
+// whose parameter reaches one of those sinks unclamped.
+//
+// Flows the analyzer cannot see (clamps enforced by a caller in another
+// package) are annotated //bf:allow taint with a reason.
+var TaintAnalyzer = &Analyzer{
+	Name: "taint",
+	Doc:  "track untrusted input (wire reads, capture frames, JSON config) into allocation sizes across function boundaries",
+	Run:  runTaint,
+}
+
+// taintTargetLeaves are the package-name leaves the pass analyzes: every
+// package that parses adversarial bytes or attacker-shaped config.
+var taintTargetLeaves = map[string]bool{
+	"core":       true,
+	"packet":     true,
+	"pcap":       true,
+	"capture":    true,
+	"tenant":     true,
+	"checkpoint": true,
+	"httpapi":    true,
+}
+
+// taintParamLeaves are the decoder packages whose []byte parameters are
+// themselves untrusted roots: their whole contract is "parse bytes an
+// attacker crafted".
+var taintParamLeaves = map[string]bool{
+	"core":   true,
+	"packet": true,
+	"pcap":   true,
+	"tenant": true,
+}
+
+// taintSourceTypes maps (package leaf, type name) pairs whose field
+// reads are intrinsically tainted.
+var taintSourceTypes = map[[2]string]bool{
+	{"capture", "Frame"}: true,
+	{"pcap", "Record"}:   true,
+	{"http", "Request"}:  true,
+}
+
+const (
+	// taintIntrinsic marks taint that originated inside the analyzed
+	// function (or a field cell / tainted return): these are reported at
+	// local sinks. Bits 0..62 mark taint derived only from parameter i,
+	// which is recorded in the function's summary and reported at call
+	// sites that pass tainted arguments.
+	taintIntrinsic uint64 = 1 << 63
+	maxTaintParams        = 63
+)
+
+// taintSummary is one function's interprocedural contract.
+type taintSummary struct {
+	// paramToSink[i]: parameter i reaches an allocation size unclamped.
+	paramToSink map[int]bool
+	// paramToRet[i]: parameter i flows into a return value unclamped.
+	paramToRet map[int]bool
+	// retTainted: some return value derives from an intrinsic source.
+	retTainted bool
+	// validates[i]: parameter i is compared against a trusted bound in
+	// the body, so passing a value here sanitizes it at the call site.
+	validates map[int]bool
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	return boolMapEqual(s.paramToSink, o.paramToSink) &&
+		boolMapEqual(s.paramToRet, o.paramToRet) &&
+		s.retTainted == o.retTainted &&
+		boolMapEqual(s.validates, o.validates)
+}
+
+func boolMapEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// taintCtx is the per-package analysis state shared by the summary
+// fixpoint and the reporting pass.
+type taintCtx struct {
+	pass       *Pass
+	decls      map[*types.Func]*ast.FuncDecl
+	summaries  map[*types.Func]*taintSummary
+	fields     map[types.Object]bool // field cells assigned tainted values anywhere
+	paramRoots bool                  // []byte params are untrusted (decoder package)
+}
+
+func pkgLeaf(path string) string {
+	segs := strings.Split(path, "/")
+	return segs[len(segs)-1]
+}
+
+func runTaint(pass *Pass) error {
+	if !taintTargetLeaves[pkgLeaf(pass.Pkg.Path())] {
+		return nil
+	}
+	ctx := &taintCtx{
+		pass:       pass,
+		decls:      make(map[*types.Func]*ast.FuncDecl),
+		summaries:  make(map[*types.Func]*taintSummary),
+		fields:     make(map[types.Object]bool),
+		paramRoots: taintParamLeaves[pkgLeaf(pass.Pkg.Path())],
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				ctx.decls[fn] = fd
+				ctx.summaries[fn] = &taintSummary{
+					paramToSink: map[int]bool{},
+					paramToRet:  map[int]bool{},
+					validates:   map[int]bool{},
+				}
+			}
+		}
+	}
+
+	// Fixpoint: summaries and field cells feed each other (a helper's
+	// tainted return can be stored into a field, which taints another
+	// function, which widens its summary...). The lattice is finite and
+	// monotone, so this converges; the cap is a safety net.
+	for iter := 0; iter < 16; iter++ {
+		changed := false
+		for fn, fd := range ctx.decls {
+			next := ctx.analyzeFunc(fd, nil)
+			if !next.equal(ctx.summaries[fn]) {
+				ctx.summaries[fn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Reporting pass: re-run each function with diagnostics enabled.
+	for _, fd := range sortedDecls(ctx.decls) {
+		ctx.analyzeFunc(fd, pass)
+	}
+	return nil
+}
+
+// sortedDecls yields declarations in source order for stable output.
+func sortedDecls(decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	out := make([]*ast.FuncDecl, 0, len(decls))
+	for _, fd := range decls {
+		out = append(out, fd)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pos() < out[j-1].Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// funcParams returns the parameter objects of fd in order.
+func funcParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// analyzeFunc runs the dataflow over one function body. With report nil
+// it only computes the function's summary (and widens the package field
+// cells); with report set it emits diagnostics for intrinsic taint
+// reaching sinks.
+func (c *taintCtx) analyzeFunc(fd *ast.FuncDecl, report *Pass) *taintSummary {
+	info := c.pass.TypesInfo
+	params := funcParams(info, fd)
+	paramBit := make(map[types.Object]uint64, len(params))
+	masks := make(map[types.Object]uint64)
+	for i, p := range params {
+		if i >= maxTaintParams {
+			break
+		}
+		bit := uint64(1) << i
+		paramBit[p] = bit
+		masks[p] = bit
+		if c.paramRoots && isByteSliceType(p.Type()) {
+			// Decoder-package []byte inputs are wire data: intrinsic.
+			masks[p] |= taintIntrinsic
+		}
+	}
+
+	sanitized := c.collectTaintSanitized(fd.Body)
+	sum := &taintSummary{
+		paramToSink: map[int]bool{},
+		paramToRet:  map[int]bool{},
+		validates:   map[int]bool{},
+	}
+	for i, p := range params {
+		if sanitized[p.Name()] {
+			sum.validates[i] = true
+		}
+	}
+
+	// Propagate assignments to a fixpoint: loop bodies can taint a
+	// variable after its first read.
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		inspectShallow(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var m uint64
+					if len(n.Rhs) == len(n.Lhs) {
+						m = c.taintOf(n.Rhs[i], masks, sanitized)
+					} else if len(n.Rhs) == 1 {
+						// Multi-value: a tainted call taints every lhs.
+						m = c.taintOf(n.Rhs[0], masks, sanitized)
+					}
+					if n.Tok != token.DEFINE && n.Tok != token.ASSIGN {
+						// Compound (+=, <<=, ...): old taint persists.
+						m |= c.taintOf(lhs, masks, sanitized)
+					}
+					if m == 0 {
+						continue
+					}
+					changed = c.taintLHS(lhs, m, masks) || changed
+				}
+			case *ast.RangeStmt:
+				m := c.taintOf(n.X, masks, sanitized)
+				if m != 0 && n.Value != nil {
+					changed = c.taintLHS(n.Value, m, masks) || changed
+				}
+			case *ast.CallExpr:
+				// json.Unmarshal(data, &v) / dec.Decode(&v) taint v.
+				if jsonDecodeTarget(info, n) != nil {
+					if obj := addrTargetObj(info, jsonDecodeTarget(info, n)); obj != nil {
+						if masks[obj]&taintIntrinsic == 0 {
+							masks[obj] |= taintIntrinsic
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Sinks and returns.
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				m := c.taintOf(res, masks, sanitized)
+				if m&taintIntrinsic != 0 {
+					sum.retTainted = true
+				}
+				for i := range params {
+					if i < maxTaintParams && m&(1<<i) != 0 {
+						sum.paramToRet[i] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkSinkCall(fd, n, masks, sanitized, sum, params, report)
+		}
+		return true
+	})
+	return sum
+}
+
+// taintLHS merges mask m into the object or field cell named by an
+// assignment target, reporting whether anything widened.
+func (c *taintCtx) taintLHS(lhs ast.Expr, m uint64, masks map[types.Object]uint64) bool {
+	lhs = ast.Unparen(lhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.ObjectOf(lhs); obj != nil {
+			if masks[obj]|m != masks[obj] {
+				masks[obj] |= m
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		// Storing taint into a field makes the field a package-wide
+		// taint cell (the snapshot-header pattern). Only intrinsic
+		// taint is promoted: a field holding a caller's parameter is
+		// the caller's problem at its own call sites.
+		if sel, ok := c.pass.TypesInfo.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			if m&taintIntrinsic != 0 && !c.fields[sel.Obj()] {
+				c.fields[sel.Obj()] = true
+				return true
+			}
+		}
+	case *ast.IndexExpr:
+		return c.taintLHS(lhs.X, m, masks)
+	case *ast.StarExpr:
+		return c.taintLHS(lhs.X, m, masks)
+	}
+	return false
+}
+
+// checkSinkCall handles the three sink shapes: make sizes, stdlib
+// repeat/grow counts, and same-package calls whose parameter reaches a
+// sink.
+func (c *taintCtx) checkSinkCall(fd *ast.FuncDecl, call *ast.CallExpr,
+	masks map[types.Object]uint64, sanitized map[string]bool,
+	sum *taintSummary, params []types.Object, report *Pass) {
+
+	info := c.pass.TypesInfo
+	sinkArg := func(arg ast.Expr, what string) {
+		m := c.taintOf(arg, masks, sanitized)
+		if m == 0 {
+			return
+		}
+		for i := range params {
+			if i < maxTaintParams && m&(1<<i) != 0 {
+				sum.paramToSink[i] = true
+			}
+		}
+		if m&taintIntrinsic != 0 && report != nil {
+			report.Reportf(arg.Pos(),
+				"%s %s derives from untrusted input (wire read, capture frame, or decoded config) and reaches the allocation unclamped; bound it with a comparison against a constant or len/cap, a mask, or a validated helper",
+				what, types.ExprString(arg))
+		}
+	}
+
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[ident].(*types.Builtin); isBuiltin && ident.Name == "make" {
+			for _, sizeArg := range call.Args[1:] {
+				sinkArg(sizeArg, "make size")
+			}
+			return
+		}
+	}
+	if pkgPath, name, ok := pkgFunc(info, call); ok {
+		if (pkgPath == "bytes" || pkgPath == "strings") && name == "Repeat" && len(call.Args) == 2 {
+			sinkArg(call.Args[1], "Repeat count")
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Grow" && len(call.Args) == 1 {
+		if recv := info.TypeOf(sel.X); recv != nil && strings.Contains(recv.String(), "bytes.Buffer") {
+			sinkArg(call.Args[0], "Grow size")
+		}
+	}
+
+	// Interprocedural: a tainted argument at a parameter position that
+	// the callee's summary says reaches a sink.
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	calleeSum, ok := c.summaries[callee]
+	if !ok {
+		return
+	}
+	for argIdx, arg := range call.Args {
+		if !calleeSum.paramToSink[argIdx] {
+			continue
+		}
+		m := c.taintOf(arg, masks, sanitized)
+		if m == 0 {
+			continue
+		}
+		for i := range params {
+			if i < maxTaintParams && m&(1<<i) != 0 {
+				sum.paramToSink[i] = true
+			}
+		}
+		if m&taintIntrinsic != 0 && report != nil {
+			report.Reportf(arg.Pos(),
+				"untrusted value %s flows into %s, whose parameter %d reaches an allocation size unclamped; validate it here or clamp it in %s",
+				types.ExprString(arg), callee.Name(), argIdx, callee.Name())
+		}
+	}
+}
+
+// taintOf computes the taint mask of an expression.
+func (c *taintCtx) taintOf(e ast.Expr, masks map[types.Object]uint64, sanitized map[string]bool) uint64 {
+	e = ast.Unparen(e)
+	info := c.pass.TypesInfo
+
+	// A constant is never tainted; a sanitized printed form has been
+	// bounded somewhere in this body.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return 0
+	}
+	if sanitized[types.ExprString(e)] {
+		return 0
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return masks[obj]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if c.fields[sel.Obj()] {
+				return taintIntrinsic
+			}
+			if isTaintSourceField(sel) {
+				return taintIntrinsic
+			}
+		}
+		return c.taintOf(e.X, masks, sanitized)
+	case *ast.IndexExpr:
+		return c.taintOf(e.X, masks, sanitized)
+	case *ast.SliceExpr:
+		return c.taintOf(e.X, masks, sanitized)
+	case *ast.StarExpr:
+		return c.taintOf(e.X, masks, sanitized)
+	case *ast.UnaryExpr:
+		return c.taintOf(e.X, masks, sanitized)
+	case *ast.BinaryExpr:
+		// Masking and modulus by an untainted operand bound the result.
+		if e.Op == token.AND || e.Op == token.REM {
+			if c.taintOf(e.Y, masks, sanitized) == 0 {
+				return 0
+			}
+		}
+		return c.taintOf(e.X, masks, sanitized) | c.taintOf(e.Y, masks, sanitized)
+	case *ast.CallExpr:
+		return c.taintOfCall(e, masks, sanitized)
+	}
+	return 0
+}
+
+func (c *taintCtx) taintOfCall(call *ast.CallExpr, masks map[types.Object]uint64, sanitized map[string]bool) uint64 {
+	info := c.pass.TypesInfo
+
+	// Builtins: len/cap are bounded by existing memory; min/max with a
+	// constant is a clamp; conversions unwrap.
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "len", "cap":
+				return 0
+			case "min", "max":
+				for _, arg := range call.Args {
+					if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+						return 0
+					}
+				}
+			}
+			var m uint64
+			for _, arg := range call.Args {
+				m |= c.taintOf(arg, masks, sanitized)
+			}
+			return m
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return c.taintOf(call.Args[0], masks, sanitized)
+	}
+
+	// Wire-integer reads are intrinsic sources in these packages.
+	if isByteOrderRead(info, call) {
+		return taintIntrinsic
+	}
+	// io.ReadAll of a tainted reader (an http body) yields tainted bytes.
+	if pkgPath, name, ok := pkgFunc(info, call); ok && pkgPath == "io" && name == "ReadAll" && len(call.Args) == 1 {
+		return c.taintOf(call.Args[0], masks, sanitized)
+	}
+
+	// Same-package calls propagate via summaries.
+	if callee := calleeFunc(info, call); callee != nil {
+		if calleeSum, ok := c.summaries[callee]; ok {
+			var m uint64
+			if calleeSum.retTainted {
+				m = taintIntrinsic
+			}
+			for argIdx, arg := range call.Args {
+				if calleeSum.paramToRet[argIdx] {
+					m |= c.taintOf(arg, masks, sanitized)
+				}
+			}
+			return m
+		}
+	}
+	return 0
+}
+
+// collectTaintSanitized is collectSanitized plus same-package validator
+// calls: passing x to a function that compares that parameter against a
+// trusted bound sanitizes x in this body.
+func (c *taintCtx) collectTaintSanitized(body *ast.BlockStmt) map[string]bool {
+	sanitized := collectSanitized(c.pass, body)
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(c.pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		sum, ok := c.summaries[callee]
+		if !ok {
+			return true
+		}
+		for argIdx, arg := range call.Args {
+			if sum.validates[argIdx] {
+				sanitized[types.ExprString(arg)] = true
+			}
+		}
+		return true
+	})
+	return sanitized
+}
+
+// ---- classification helpers ----
+
+// calleeFunc resolves a call to a same-package function or method
+// declaration's object, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// isByteOrderRead reports whether call is a Uint16/32/64 read on an
+// encoding/binary ByteOrder value.
+func isByteOrderRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return false
+	}
+	recv := info.TypeOf(sel.X)
+	return recv != nil && strings.HasPrefix(recv.String(), "encoding/binary.")
+}
+
+// isTaintSourceField reports whether a field selection reads one of the
+// untrusted source types (capture.Frame, pcap.Record, http.Request),
+// matched by package leaf + type name so synthetic testdata paths work.
+func isTaintSourceField(sel *types.Selection) bool {
+	t := sel.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return taintSourceTypes[[2]string{pkgLeaf(obj.Pkg().Path()), obj.Name()}]
+}
+
+// isByteSliceType reports whether t is []byte (or a named []byte).
+func isByteSliceType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// jsonDecodeTarget returns the &target argument of a json.Unmarshal or
+// (*json.Decoder).Decode call, or nil.
+func jsonDecodeTarget(info *types.Info, call *ast.CallExpr) ast.Expr {
+	if pkgPath, name, ok := pkgFunc(info, call); ok {
+		if pkgPath == "encoding/json" && name == "Unmarshal" && len(call.Args) == 2 {
+			return call.Args[1]
+		}
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Decode" || len(call.Args) != 1 {
+		return nil
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil || !strings.Contains(recv.String(), "encoding/json.Decoder") {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// addrTargetObj resolves &ident (possibly through parens) to ident's
+// object.
+func addrTargetObj(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	if ident, ok := e.(*ast.Ident); ok {
+		return info.ObjectOf(ident)
+	}
+	return nil
+}

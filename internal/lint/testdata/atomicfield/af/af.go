@@ -1,0 +1,110 @@
+// Package af exercises the atomic-field discipline: once a field is
+// touched via sync/atomic it must never be accessed plainly, and it
+// must not also claim //bf:guardedby protection.
+package af
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	// count is a function-style atomic: accessed via atomic.AddUint64.
+	count uint64
+
+	mu sync.Mutex
+
+	// guardedU claims mutex protection but is also bumped atomically —
+	// the conflict is reported at the declaration.
+	//
+	//bf:guardedby mu
+	guardedU uint64 // want "also accessed via sync/atomic"
+
+	// badTyped is atomic-typed and claims a mutex at the same time.
+	//
+	//bf:guardedby mu
+	badTyped atomic.Bool // want "sync/atomic type and a //bf:guardedby marker"
+
+	// typed and arr are well-behaved typed atomics.
+	typed atomic.Uint64
+	arr   [4]atomic.Uint64
+}
+
+func inc(s *stats) {
+	atomic.AddUint64(&s.count, 1)
+	atomic.AddUint64(&s.guardedU, 1)
+}
+
+// BadPlainRead races with inc's atomic adds.
+func BadPlainRead(s *stats) uint64 {
+	return s.count // want "plain access races"
+}
+
+// BadPlainWrite is a torn store waiting to happen.
+func BadPlainWrite(s *stats) {
+	s.count = 0 // want "plain access races"
+}
+
+// GoodAtomicLoad is the sanctioned read.
+func GoodAtomicLoad(s *stats) uint64 {
+	return atomic.LoadUint64(&s.count)
+}
+
+// BadCopy forks the counter: the copy and the original diverge
+// silently.
+func BadCopy(s *stats) atomic.Uint64 {
+	return s.typed // want "copied or accessed plainly"
+}
+
+// BadIndexCopy copies an element out of an atomic array.
+func BadIndexCopy(s *stats) atomic.Uint64 {
+	return s.arr[1] // want "copied or accessed plainly"
+}
+
+// GoodMethod, GoodAddr, GoodIndex, GoodRange, GoodLen are the
+// legitimate shapes.
+func GoodMethod(s *stats) uint64 {
+	return s.typed.Load()
+}
+
+func GoodAddr(s *stats) *atomic.Uint64 {
+	return &s.typed
+}
+
+func GoodIndex(s *stats) uint64 {
+	return s.arr[2].Load()
+}
+
+func GoodRange(s *stats) uint64 {
+	var total uint64
+	for i := range s.arr {
+		total += s.arr[i].Load()
+	}
+	return total
+}
+
+func GoodLen(s *stats) int {
+	return len(s.arr)
+}
+
+// legacy models a documented exception: a best-effort snapshot read
+// that tolerates torn values.
+type legacy struct {
+	n uint64
+}
+
+func bump(l *legacy) {
+	atomic.AddUint64(&l.n, 1)
+}
+
+// AllowedPlain is the escape hatch in action.
+//
+//bf:allow atomicfield snapshot read is best-effort; torn values only skew one report
+func AllowedPlain(l *legacy) uint64 {
+	return l.n
+}
+
+var (
+	_ = inc
+	_ = bump
+)

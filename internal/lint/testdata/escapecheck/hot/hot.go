@@ -1,0 +1,60 @@
+// Package hot demonstrates the allocation class only the compiler can
+// see. Both functions below build the identical composite literal and
+// call the identical interface method; the AST hotpath analyzer finds
+// nothing to object to in either (no make, no closure, no boxing at a
+// call boundary). But the compiler's escape analysis — which runs after
+// inlining and devirtualization — proves hotOK's value never leaves the
+// stack, while hotBox's assignment to a package-level interface
+// variable forces a heap allocation on every call.
+package hot
+
+type summer interface {
+	sum() uint64
+}
+
+type pair struct {
+	a, b uint64
+}
+
+func (p pair) sum() uint64 {
+	return p.a + p.b
+}
+
+var sink summer
+
+// hotBox stores the pair into a package-level interface: the concrete
+// value outlives the frame, so the compiler boxes it on the heap —
+// one allocation per call, invisible to any syntax-directed rule.
+//
+//bf:hotpath
+func hotBox(k uint64) uint64 {
+	sink = pair{a: k, b: k} // want "escapes to heap"
+	return sink.sum()
+}
+
+// hotOK binds the same literal to a local interface variable: the
+// compiler devirtualizes the call and keeps the pair on the stack.
+// Zero allocations, zero diagnostics.
+//
+//bf:hotpath
+func hotOK(k uint64) uint64 {
+	var s summer = pair{a: k, b: k}
+	return s.sum()
+}
+
+// hotAllowed boxes exactly like hotBox, but the escape is the point of
+// this helper and the allow records why — proving line suppression
+// works even when the diagnostic originates from the compiler pass.
+//
+//bf:allow escapecheck fixture: boxing here is deliberate, the helper publishes a snapshot once per rotation
+//bf:hotpath
+func hotAllowed(k uint64) uint64 {
+	sink = pair{a: k, b: k}
+	return sink.sum()
+}
+
+var (
+	_ = hotBox
+	_ = hotOK
+	_ = hotAllowed
+)

@@ -1,0 +1,14 @@
+// Package other stands in for a package outside the goleak target set
+// (synthetic path leaf /render): request-scoped goroutines there are
+// not this analyzer's concern.
+//
+// ok: no diagnostics expected
+package other
+
+var counter int
+
+func Fire() {
+	go func() {
+		counter++
+	}()
+}

@@ -1,0 +1,40 @@
+// Package m exercises the Prometheus series-name rules against the
+// DESIGN.md fixture in this directory.
+package m
+
+import (
+	"fmt"
+	"io"
+)
+
+// good registers two documented, well-formed series.
+func good(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE bitmapfilter_good_total counter\nbitmapfilter_good_total %d\n", 1)
+	fmt.Fprintf(w, "# TYPE bitmapfilter_depth gauge\nbitmapfilter_depth %d\n", 2)
+}
+
+func bad(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE bitmapfilter_BadCase counter\n")    // want "not snake_case"
+	fmt.Fprintf(w, "# TYPE bitmapfilter_good_total counter\n") // want "registered twice"
+	fmt.Fprintf(w, "# TYPE bitmapfilter_reg_total meter\n")    // want "invalid Prometheus type"
+	fmt.Fprintf(w, "bitmapfilter_undocumented_total %d\n", 3)  // want "not documented"
+	fmt.Fprintf(w, "bitmapfilter__double_total %d\n", 4)       // want "not snake_case"
+}
+
+// wildcard mentions name a family, not a series.
+func note() string {
+	return "see bitmapfilter_resilience_* for the probe counters"
+}
+
+// AllowedLegacy keeps a grandfathered series until dashboards migrate.
+//
+//bf:allow metricname legacy camelCase series; dashboards migrate next release
+func AllowedLegacy(w io.Writer) {
+	fmt.Fprintf(w, "bitmapfilter_legacyCamel %d\n", 5)
+}
+
+var (
+	_ = good
+	_ = bad
+	_ = note
+)

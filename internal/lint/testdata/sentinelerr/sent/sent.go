@@ -77,3 +77,11 @@ func GoodNotError(n int) bool {
 func GoodLocalCompare(err error) bool {
 	return err == errLocalStyle
 }
+
+// AllowedCompare: a hot loop may compare identity on purpose when the
+// sentinel is guaranteed unwrapped; the allow records the reason.
+//
+//bf:allow sentinelerr identity compare is intentional: the decode loop never wraps ErrBad
+func AllowedCompare(err error) bool {
+	return err == ErrBad
+}

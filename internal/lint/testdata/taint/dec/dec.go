@@ -1,0 +1,173 @@
+// Package dec stands in for the pcap decoder (synthetic import path
+// leaf /pcap): values that originate on the wire must be clamped before
+// they size an allocation, on every interprocedural path.
+package dec
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+)
+
+const maxRecord = 1 << 20
+
+// Bad is the classic one-hop flow (the bug boundedalloc was built for);
+// taint must agree with it.
+func Bad(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	buf := make([]byte, n) // want "derives from untrusted input"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// Good clamps the wire value before allocating.
+func Good(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxRecord {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// alloc is an unvalidating helper: its summary records that parameter n
+// reaches a make size unclamped, so callers must sanitize first.
+func alloc(n uint32) []byte {
+	return make([]byte, n)
+}
+
+// BadCall launders the wire length through alloc — the flow boundedalloc
+// structurally cannot see.
+func BadCall(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	return alloc(n), nil // want "flows into alloc"
+}
+
+// allocChecked validates its parameter, so its summary marks it as a
+// sanitizer and callers may pass wire values directly.
+func allocChecked(n uint32) []byte {
+	if n > maxRecord {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// GoodCall delegates the clamp to a visibly-validating helper.
+func GoodCall(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	return allocChecked(n), nil
+}
+
+// BadByte: in a decoder package the []byte parameter is wire data, so a
+// length computed from its bytes is tainted at birth.
+func BadByte(data []byte) []byte {
+	n := int(data[0])<<8 | int(data[1])
+	return make([]byte, n) // want "derives from untrusted input"
+}
+
+// GoodMask: masking against a constant bounds the result by
+// construction.
+func GoodMask(data []byte) []byte {
+	n := int(data[0]) & 0x3f
+	return make([]byte, n)
+}
+
+// Record mirrors the pcap record struct: captured wire data, so every
+// field read is untrusted regardless of how the value got there.
+type Record struct {
+	CapLen uint32
+	Data   []byte
+}
+
+func BadRecordLen(rec *Record) []byte {
+	return make([]byte, rec.CapLen) // want "derives from untrusted input"
+}
+
+func GoodRecordLen(rec *Record) []byte {
+	n := rec.CapLen
+	if n > maxRecord {
+		n = maxRecord
+	}
+	return make([]byte, n)
+}
+
+// header models the snapshot-header pattern: a length decoded in one
+// method and consumed in another. The field becomes a package-wide
+// taint cell.
+type header struct {
+	count uint32
+}
+
+func (h *header) decode(b []byte) {
+	h.count = binary.LittleEndian.Uint32(b)
+}
+
+func (h *header) BadFieldAlloc() []uint64 {
+	return make([]uint64, h.count) // want "derives from untrusted input"
+}
+
+func (h *header) GoodFieldAlloc() []uint64 {
+	n := h.count
+	if n > maxRecord {
+		n = maxRecord
+	}
+	return make([]uint64, n)
+}
+
+// frameConfig models tenant.ParseConfig: JSON-decoded values are
+// attacker-shaped.
+type frameConfig struct {
+	Slots int `json:"slots"`
+}
+
+func BadJSON(raw []byte) ([]uint64, error) {
+	var fc frameConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		return nil, err
+	}
+	return make([]uint64, fc.Slots), nil // want "derives from untrusted input"
+}
+
+func GoodJSON(raw []byte) ([]uint64, error) {
+	var fc frameConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		return nil, err
+	}
+	n := fc.Slots
+	if n > maxRecord {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]uint64, n), nil
+}
+
+// AllowedCross: the container format validated n at the section table,
+// which this helper cannot see; the escape hatch documents the contract.
+//
+//bf:allow taint n validated against the section directory by the container reader
+func AllowedCross(r io.Reader) []byte {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	return make([]byte, n)
+}
+
+var _ = (*header).decode

@@ -1,0 +1,20 @@
+// Package other stands in for a package outside the taint target set
+// (synthetic path leaf /render): the same unclamped wire read draws no
+// diagnostic because the package never parses adversarial input.
+//
+// ok: no diagnostics expected
+package other
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func Size(r io.Reader) []byte {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	return make([]byte, n)
+}

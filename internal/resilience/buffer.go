@@ -143,6 +143,10 @@ type Buffer struct {
 	maxDepth   int    //bf:guardedby mu
 
 	closeOnce sync.Once
+	// intakeDone is closed when the intake goroutine exits — the join
+	// Close blocks on, so no goroutine outlives the Buffer across
+	// reopen cycles.
+	intakeDone chan struct{}
 }
 
 var _ capture.Source = (*Buffer)(nil)
@@ -166,9 +170,10 @@ func NewBuffer(src capture.Source, cfg BufferConfig) *Buffer {
 		cfg.LowWatermark = min(DefaultLowWatermark, cfg.HighWatermark)
 	}
 	b := &Buffer{
-		src:   src,
-		cfg:   cfg,
-		slots: capture.NewRing(cfg.Capacity, cfg.SnapLen),
+		src:        src,
+		cfg:        cfg,
+		slots:      capture.NewRing(cfg.Capacity, cfg.SnapLen),
+		intakeDone: make(chan struct{}),
 	}
 	b.cond = sync.NewCond(&b.mu)
 	go b.intake()
@@ -182,6 +187,7 @@ func (b *Buffer) lowDepth() int  { return int(float64(b.cfg.Capacity) * b.cfg.Lo
 
 // intake drains the source into the queue until it ends.
 func (b *Buffer) intake() {
+	defer close(b.intakeDone)
 	ring := capture.NewRing(b.cfg.ReadBatch, b.cfg.SnapLen)
 	for {
 		n, err := b.src.ReadBatch(ring)
@@ -291,11 +297,16 @@ func logShedEvent(events uint64) bool {
 }
 
 // Close implements capture.Source: it closes the underlying source,
-// which winds the intake down; readers drain the remaining queue and
-// then see the terminal error. Idempotent, callable from any goroutine.
+// which winds the intake down (the Source contract says a blocked
+// ReadBatch returns after Close), and then joins the intake goroutine
+// before returning — so when Close returns, nothing touches the source
+// anymore and nothing is leaked across a reopen cycle. Readers drain
+// the remaining queue and then see the terminal error. Idempotent,
+// callable from any goroutine.
 func (b *Buffer) Close() error {
 	var err error
 	b.closeOnce.Do(func() { err = b.src.Close() })
+	<-b.intakeDone
 	return err
 }
 

@@ -271,7 +271,7 @@ func (s *Set) ProcessBatch(pkts []packet.Packet) []filtering.Verdict {
 //
 //bf:hotpath
 func (s *Set) ProcessBatchInto(pkts []packet.Packet, out []filtering.Verdict) []filtering.Verdict {
-	out = filtering.GrowVerdicts(out, len(pkts))
+	out = filtering.GrowVerdicts(out, len(pkts)) //bf:allow escapecheck amortized grow per the BatchFilter contract; steady state reuses the caller buffer
 	if len(pkts) == 0 {
 		return out
 	}
@@ -291,13 +291,13 @@ func (s *Set) processBatchInto(pkts []packet.Packet, out []filtering.Verdict) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
-	slots := len(s.tenants) + 1 // + the unrouted pseudo-slot
-	sc.slotOf = scratchSlice(sc.slotOf, len(pkts))
-	sc.starts = scratchSlice(sc.starts, slots+1)
-	sc.next = scratchSlice(sc.next, slots)
-	sc.grouped = scratchSlice(sc.grouped, len(pkts))
-	sc.perm = scratchSlice(sc.perm, len(pkts))
-	sc.groupedOut = scratchSlice(sc.groupedOut, len(pkts))
+	slots := len(s.tenants) + 1                            // + the unrouted pseudo-slot
+	sc.slotOf = scratchSlice(sc.slotOf, len(pkts))         //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.starts = scratchSlice(sc.starts, slots+1)           //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.next = scratchSlice(sc.next, slots)                 //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.grouped = scratchSlice(sc.grouped, len(pkts))       //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.perm = scratchSlice(sc.perm, len(pkts))             //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
+	sc.groupedOut = scratchSlice(sc.groupedOut, len(pkts)) //bf:allow escapecheck pooled scratch grows to the high-water batch size once, then is reused
 
 	// Stable counting sort by tenant slot; the LPM walk runs once per
 	// packet.
